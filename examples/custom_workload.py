@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Build a custom workload against the public program API.
+
+Demonstrates the snapshot-able program IR (Emit/Loop/If) by writing a
+small producer-consumer pipeline from scratch: even threads produce into
+per-pair shared buffers under a lock, odd threads consume, with a barrier
+between phases — then compares slack schemes on it.
+
+Usage::
+
+    python examples/custom_workload.py
+"""
+
+from repro import Simulation, SlackConfig
+from repro.isa import Emit, Loop, barrier, compute, load, lock, store, unlock
+from repro.isa.operations import ILP_HIGH, ILP_MED
+from repro.workloads.base import LINE, AddressSpace, Workload
+
+NUM_THREADS = 8
+ITEMS = 64
+PHASES = 4
+
+
+def build_pipeline() -> Workload:
+    """A producer->consumer pipeline: pairs share a lock-protected buffer."""
+    space = AddressSpace()
+    buffers = [space.alloc(f"buffer{p}", ITEMS * LINE) for p in range(NUM_THREADS // 2)]
+    private = [space.alloc(f"private{t}", 32 * LINE) for t in range(NUM_THREADS)]
+
+    def builder(tid: int):
+        pair = tid // 2
+        producing = tid % 2 == 0
+        buffer = buffers[pair]
+        mine = private[tid]
+
+        def produce(ctx):
+            item = ctx["i"]
+            return [
+                load(mine + (item % 32) * LINE),
+                compute(8, ILP_HIGH),
+                lock(pair),
+                store(buffer + item * LINE),
+                unlock(pair),
+            ]
+
+        def consume(ctx):
+            item = ctx["i"]
+            return [
+                lock(pair),
+                load(buffer + item * LINE),
+                unlock(pair),
+                compute(12, ILP_MED),
+                store(mine + (item % 32) * LINE),
+            ]
+
+        phase_body = [
+            Loop("i", ITEMS, [Emit(produce if producing else consume)]),
+            Emit(lambda ctx: barrier(0, NUM_THREADS)),
+        ]
+        return [Loop("phase", PHASES, phase_body)]
+
+    return Workload("pipeline", NUM_THREADS, builder, params={"items": ITEMS})
+
+
+def main() -> None:
+    workload = build_pipeline()
+    print(f"custom workload: {workload.name}, {workload.num_threads} threads\n")
+
+    gold = Simulation(workload, scheme=SlackConfig(bound=0)).run()
+    print(f"cycle-by-cycle : {gold.target_cycles} cycles, "
+          f"{gold.sim_time_s:.3f} s, CPI {gold.cpi:.2f}")
+
+    for bound in (4, 16, None):
+        report = Simulation(workload, scheme=SlackConfig(bound=bound)).run()
+        label = "SU " if bound is None else f"S{bound:<3d}"
+        print(f"slack {label}     : {report.speedup_over(gold):.2f}x speedup, "
+              f"{report.execution_time_error(gold):.2%} error, "
+              f"violations {report.violation_counts}")
+
+    print("\nLock-heavy pipelines violate on the bus constantly — compare with")
+    print("the compute-heavy kernels in repro.workloads.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate an 8-core CMP under three slack schemes.
+
+Runs the FFT kernel on the paper's 8-core target (section 2.1) under
+cycle-by-cycle simulation (the accuracy gold standard), bounded slack, and
+unbounded slack, and reports the speed/accuracy trade-off that motivates
+the whole paper.
+
+Usage::
+
+    python examples/quickstart.py [scale]
+"""
+
+import sys
+
+from repro import Simulation, SlackConfig
+from repro.workloads import make_workload
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    workload = make_workload("fft", num_threads=8, scale=scale)
+
+    print(f"Simulating {workload.name} ({workload.params}) on the paper's 8-core CMP\n")
+
+    gold = Simulation(workload, scheme=SlackConfig(bound=0)).run()
+    print(f"cycle-by-cycle (gold standard):")
+    print(f"  target execution : {gold.target_cycles} cycles, CPI {gold.cpi:.3f}")
+    print(f"  simulation time  : {gold.sim_time_s:.3f} s (modeled host)")
+    print(f"  violations       : {sum(gold.violation_counts.values())}\n")
+
+    for bound in (4, None):
+        report = Simulation(workload, scheme=SlackConfig(bound=bound)).run()
+        label = "unbounded slack" if bound is None else f"bounded slack S{bound}"
+        print(f"{label}:")
+        print(f"  target execution : {report.target_cycles} cycles")
+        print(f"  simulation time  : {report.sim_time_s:.3f} s "
+              f"-> {report.speedup_over(gold):.2f}x speedup")
+        print(f"  execution error  : {report.execution_time_error(gold):.2%}")
+        print(f"  violations       : {report.violation_counts} "
+              f"(rate {report.violation_rate:.5f}/cycle)\n")
+
+    print("Slack trades a controlled accuracy loss for parallel-simulation speed —")
+    print("run examples/adaptive_tuning.py to see the paper's feedback controller.")
+
+
+if __name__ == "__main__":
+    main()

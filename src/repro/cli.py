@@ -1,0 +1,218 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands::
+
+    run         simulate one benchmark under one scheme and print the report
+    compare     run a benchmark under several schemes against cycle-by-cycle
+    experiment  regenerate one paper table/figure (table1..table5, figure3,
+                figure4, speculative, p2p, adaptive-quantum, scaling,
+                hierarchy, ablation-detection, ablation-manager,
+                ablation-tracked)
+    list        list available workloads and experiments
+
+Examples::
+
+    python -m repro run fft --scheme slack:8
+    python -m repro run barnes --scheme adaptive:1e-3 --scale 2
+    python -m repro compare water --bounds 0,4,None
+    python -m repro experiment table2 --format csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.config import (
+    AdaptiveConfig,
+    CheckpointConfig,
+    P2PConfig,
+    QuantumConfig,
+    SchemeConfig,
+    SlackConfig,
+    SpeculativeConfig,
+)
+from repro.core.simulation import Simulation
+from repro.errors import ReproError
+from repro.harness import ExperimentRunner
+from repro.harness import experiments as experiments_mod
+from repro.harness.export import to_csv, to_json
+from repro.workloads import WORKLOADS, make_workload
+
+EXPERIMENTS = {
+    "table1": experiments_mod.table1,
+    "table2": experiments_mod.table2,
+    "table3": experiments_mod.table3,
+    "table4": experiments_mod.table4,
+    "table5": experiments_mod.table5,
+    "figure3": experiments_mod.figure3,
+    "figure4": experiments_mod.figure4,
+    "speculative": experiments_mod.speculative_full,
+    "p2p": experiments_mod.p2p_comparison,
+    "adaptive-quantum": experiments_mod.adaptive_quantum_comparison,
+    "scaling": lambda runner: experiments_mod.scaling(seed=runner.seed),
+    "hierarchy": lambda runner: experiments_mod.hierarchy(seed=runner.seed),
+    "ablation-detection": experiments_mod.ablation_detection,
+    "ablation-manager": lambda runner: experiments_mod.ablation_manager_placement(
+        seed=runner.seed
+    ),
+    "ablation-tracked": experiments_mod.ablation_tracked,
+}
+
+
+def parse_scheme(spec: str) -> SchemeConfig:
+    """Parse a scheme spec: ``cc``, ``slack:N``, ``unbounded``,
+    ``quantum:N``, ``adaptive:RATE``, ``p2p:PERIOD,LEAD``,
+    ``speculative:INTERVAL``."""
+    name, _, arg = spec.partition(":")
+    name = name.lower()
+    if name in ("cc", "cycle-by-cycle"):
+        return SlackConfig(bound=0)
+    if name in ("unbounded", "su"):
+        return SlackConfig(bound=None)
+    if name == "slack":
+        return SlackConfig(bound=int(arg) if arg else 8)
+    if name == "quantum":
+        return QuantumConfig(quantum=int(arg) if arg else 10)
+    if name in ("adaptive-quantum", "aq"):
+        from repro.config import AdaptiveQuantumConfig
+
+        if arg:
+            return AdaptiveQuantumConfig(initial_quantum=int(arg))
+        return AdaptiveQuantumConfig()
+    if name == "adaptive":
+        return AdaptiveConfig(target_rate=float(arg) if arg else 1e-3, adjust_period=250)
+    if name == "p2p":
+        if arg:
+            period, _, lead = arg.partition(",")
+            return P2PConfig(period=int(period), max_lead=int(lead or period))
+        return P2PConfig()
+    if name == "speculative":
+        return SpeculativeConfig(
+            base=AdaptiveConfig(target_rate=1e-3, adjust_period=250),
+            checkpoint=CheckpointConfig(interval=int(arg) if arg else 5000),
+        )
+    raise argparse.ArgumentTypeError(f"unknown scheme spec {spec!r}")
+
+
+def _print_report(report) -> None:
+    print(report.summary())
+    print(f"  instructions      : {report.instructions}")
+    print(f"  L1 miss rate      : {report.l1_miss_rate:.4f}")
+    print(f"  L2 miss rate      : {report.l2_miss_rate:.4f}")
+    print(f"  bus requests      : {report.bus_requests} "
+          f"({report.bus_conflict_cycles} conflict cycles)")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    workload = make_workload(args.benchmark, num_threads=args.threads, scale=args.scale)
+    simulation = Simulation(
+        workload,
+        scheme=args.scheme,
+        detection=not args.no_detection,
+        seed=args.seed,
+    )
+    report = simulation.run()
+    _print_report(report)
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    workload = make_workload(args.benchmark, num_threads=args.threads, scale=args.scale)
+    bounds = []
+    for token in args.bounds.split(","):
+        token = token.strip()
+        bounds.append(None if token.lower() in ("none", "su") else int(token))
+    gold: Optional[object] = None
+    print(f"{'scheme':>16} {'cycles':>9} {'sim time':>10} {'speedup':>8} "
+          f"{'error':>8} {'violations':>11}")
+    for bound in bounds:
+        report = Simulation(workload, scheme=SlackConfig(bound=bound), seed=args.seed).run()
+        if gold is None:
+            gold = report
+        print(
+            f"{report.scheme:>16} {report.target_cycles:>9} "
+            f"{report.sim_time_s:>9.3f}s {report.speedup_over(gold):>7.2f}x "
+            f"{report.execution_time_error(gold):>8.2%} "
+            f"{sum(report.violation_counts.values()):>11}"
+        )
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(seed=args.seed, verbose=args.verbose)
+    result = EXPERIMENTS[args.name](runner)
+    if args.format == "csv":
+        print(to_csv(result))
+    elif args.format == "json":
+        print(to_json(result))
+    else:
+        print(result.render())
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("workloads:")
+    for name in sorted(WORKLOADS):
+        print(f"  {name}")
+    print("experiments:")
+    for name in EXPERIMENTS:
+        print(f"  {name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SlackSim reproduction: slack simulations of CMPs on CMPs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="simulate one benchmark under one scheme")
+    run_parser.add_argument("benchmark", choices=sorted(WORKLOADS))
+    run_parser.add_argument("--scheme", type=parse_scheme, default=SlackConfig(bound=0),
+                            help="cc | slack:N | unbounded | quantum:N | "
+                                 "adaptive:RATE | p2p:P,L | speculative:I")
+    run_parser.add_argument("--scale", type=float, default=1.0)
+    run_parser.add_argument("--threads", type=int, default=8)
+    run_parser.add_argument("--seed", type=int, default=12345)
+    run_parser.add_argument("--no-detection", action="store_true",
+                            help="disable violation detection (ablation A1)")
+    run_parser.set_defaults(func=cmd_run)
+
+    compare_parser = sub.add_parser("compare", help="compare slack bounds vs CC")
+    compare_parser.add_argument("benchmark", choices=sorted(WORKLOADS))
+    compare_parser.add_argument("--bounds", default="0,1,4,16,None",
+                                help="comma-separated bounds; None = unbounded")
+    compare_parser.add_argument("--scale", type=float, default=1.0)
+    compare_parser.add_argument("--threads", type=int, default=8)
+    compare_parser.add_argument("--seed", type=int, default=12345)
+    compare_parser.set_defaults(func=cmd_compare)
+
+    experiment_parser = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    experiment_parser.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment_parser.add_argument("--format", choices=("text", "csv", "json"),
+                                   default="text")
+    experiment_parser.add_argument("--seed", type=int, default=2010)
+    experiment_parser.add_argument("--verbose", action="store_true")
+    experiment_parser.set_defaults(func=cmd_experiment)
+
+    list_parser = sub.add_parser("list", help="list workloads and experiments")
+    list_parser.set_defaults(func=cmd_list)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Configuration dataclasses for target CMP, host model, and slack schemes.
+
+Everything a simulation run depends on is an explicit, validated dataclass;
+``repro.config.presets`` builds the exact configurations used in the paper's
+evaluation (8-core CMP, Table 1 benchmarks, 8-context Xeon-like host).
+"""
+
+from repro.config.target import (
+    BusConfig,
+    CacheConfig,
+    CoreConfig,
+    L2Config,
+    MemoryConfig,
+    TargetConfig,
+)
+from repro.config.host import HostConfig, HostCostModel
+from repro.config.schemes import (
+    VIOLATION_TYPES,
+    AdaptiveConfig,
+    AdaptiveQuantumConfig,
+    CheckpointConfig,
+    P2PConfig,
+    QuantumConfig,
+    SchemeConfig,
+    SlackConfig,
+    SpeculativeConfig,
+)
+from repro.config.presets import (
+    paper_host_config,
+    paper_target_config,
+    quick_target_config,
+)
+
+__all__ = [
+    "BusConfig",
+    "CacheConfig",
+    "CoreConfig",
+    "L2Config",
+    "MemoryConfig",
+    "TargetConfig",
+    "HostConfig",
+    "HostCostModel",
+    "SchemeConfig",
+    "SlackConfig",
+    "QuantumConfig",
+    "AdaptiveConfig",
+    "AdaptiveQuantumConfig",
+    "CheckpointConfig",
+    "SpeculativeConfig",
+    "P2PConfig",
+    "VIOLATION_TYPES",
+    "paper_target_config",
+    "paper_host_config",
+    "quick_target_config",
+]

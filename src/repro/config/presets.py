@@ -1,0 +1,55 @@
+"""Preset configurations matching the paper's experimental setup.
+
+``paper_target_config()`` is the section-2.1 target: an 8-core CMP with
+16 KB I/D L1s, a 256 KB shared L2 at 8 clocks, 100-clock L2 misses, and MESI
+over a request/response bus.  ``paper_host_config()`` is the two-socket
+quad-core Xeon host (8 contexts) carrying 9 simulation threads.
+
+``quick_target_config()`` shrinks the caches further for fast unit tests.
+"""
+
+from __future__ import annotations
+
+from repro.config.host import HostConfig
+from repro.config.target import (
+    BusConfig,
+    CacheConfig,
+    CoreConfig,
+    L2Config,
+    TargetConfig,
+)
+
+
+def paper_target_config(num_cores: int = 8) -> TargetConfig:
+    """The target CMP of the paper's evaluation (section 2.1)."""
+    return TargetConfig(
+        num_cores=num_cores,
+        core=CoreConfig(issue_width=4, window_size=64, num_mshrs=8),
+        l1i=CacheConfig(size=16 * 1024, line_size=32, associativity=4, hit_latency=1),
+        l1d=CacheConfig(size=16 * 1024, line_size=32, associativity=4, hit_latency=1),
+        bus=BusConfig(request_cycles=1, response_cycles=2, arbitration_latency=1),
+        l2=L2Config(
+            cache=CacheConfig(size=256 * 1024, line_size=32, associativity=8, hit_latency=8),
+            num_banks=1,
+            miss_latency=100,
+        ),
+    )
+
+
+def paper_host_config(seed: int = 0xC0FFEE) -> HostConfig:
+    """The paper's host: 8 hardware contexts for 9 simulation threads."""
+    return HostConfig(num_contexts=8, seed=seed)
+
+
+def quick_target_config(num_cores: int = 4) -> TargetConfig:
+    """A deliberately tiny target for fast unit tests."""
+    return TargetConfig(
+        num_cores=num_cores,
+        core=CoreConfig(issue_width=2, window_size=16, num_mshrs=4),
+        l1i=CacheConfig(size=1024, line_size=32, associativity=2),
+        l1d=CacheConfig(size=1024, line_size=32, associativity=2),
+        l2=L2Config(
+            cache=CacheConfig(size=4096, line_size=32, associativity=4, hit_latency=8),
+            miss_latency=100,
+        ),
+    )

@@ -1,0 +1,222 @@
+"""Slack-scheme configurations.
+
+A scheme decides, at every point of the simulation, each core thread's
+``max_local_time`` — i.e. how far ahead of the global time it may run.  The
+paper's schemes:
+
+- :class:`SlackConfig` with ``bound=0`` — cycle-by-cycle (the gold standard);
+  with ``bound=b`` — bounded slack ``Sb``; with ``bound=None`` — unbounded
+  slack ``SU``.
+- :class:`QuantumConfig` — WWT-II-style barrier every ``quantum`` cycles
+  (for comparison; section 1 and 6).
+- :class:`AdaptiveConfig` — section 4's feedback loop (slack throttling).
+- :class:`SpeculativeConfig` — section 5's checkpoint/rollback scheme layered
+  on a base scheme.
+- :class:`P2PConfig` — Graphite-style Lax-P2P random pairwise synchronization
+  (section 6, flagged by the authors as worth exploring; implemented here as
+  an extension).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import ConfigError
+
+#: Violation-type names accepted by ``SpeculativeConfig.tracked`` and used
+#: throughout ``repro.core.violations``.
+VIOLATION_TYPES: Tuple[str, ...] = ("bus", "map")
+
+
+@dataclass(frozen=True)
+class SchemeConfig:
+    """Base class for all scheme configurations."""
+
+    @property
+    def kind(self) -> str:
+        """Short scheme identifier used in reports."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SlackConfig(SchemeConfig):
+    """Fixed-slack scheme: cycle-by-cycle, bounded, or unbounded.
+
+    ``bound=0`` reproduces cycle-by-cycle simulation, ``bound=b > 0`` keeps
+    every core thread within ``b`` cycles of the global time, and
+    ``bound=None`` removes synchronization entirely (unbounded slack).
+    """
+
+    bound: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if self.bound is not None and self.bound < 0:
+            raise ConfigError(f"slack bound must be >= 0 or None, got {self.bound}")
+
+    @property
+    def kind(self) -> str:
+        if self.bound is None:
+            return "unbounded"
+        return "cycle-by-cycle" if self.bound == 0 else f"slack-{self.bound}"
+
+    @property
+    def is_cycle_by_cycle(self) -> bool:
+        return self.bound == 0
+
+
+@dataclass(frozen=True)
+class QuantumConfig(SchemeConfig):
+    """Quantum simulation: all threads barrier every ``quantum`` cycles."""
+
+    quantum: int = 1
+
+    def __post_init__(self) -> None:
+        if self.quantum <= 0:
+            raise ConfigError(f"quantum must be positive, got {self.quantum}")
+
+    @property
+    def kind(self) -> str:
+        return f"quantum-{self.quantum}"
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig(SchemeConfig):
+    """Adaptive slack (paper section 4).
+
+    The manager keeps a windowed estimate of the simulation violation rate
+    (violations per simulated cycle).  Whenever the estimate leaves the
+    *violation band* ``[target_rate*(1-band), target_rate*(1+band)]`` the
+    slack bound is throttled: decreased multiplicatively when too many
+    violations occur, increased additively when too few do.
+    """
+
+    target_rate: float = 1e-4  # paper's baseline: 0.01% = one per 10k cycles
+    band: float = 0.05  # 5% violation band
+    initial_bound: int = 1
+    min_bound: int = 1
+    max_bound: int = 4096
+    adjust_period: int = 500  # global cycles between control decisions
+    increase_step: int = 2
+    decrease_factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.target_rate <= 0:
+            raise ConfigError("target_rate must be positive")
+        if self.band < 0:
+            raise ConfigError("band must be >= 0")
+        if not (1 <= self.min_bound <= self.initial_bound <= self.max_bound):
+            raise ConfigError(
+                "need 1 <= min_bound <= initial_bound <= max_bound, got "
+                f"{self.min_bound}/{self.initial_bound}/{self.max_bound}"
+            )
+        if self.adjust_period <= 0:
+            raise ConfigError("adjust_period must be positive")
+        if self.increase_step <= 0:
+            raise ConfigError("increase_step must be positive")
+        if not 0 < self.decrease_factor < 1:
+            raise ConfigError("decrease_factor must be in (0, 1)")
+
+    @property
+    def kind(self) -> str:
+        return f"adaptive-{self.target_rate:g}-band{self.band:g}"
+
+
+@dataclass(frozen=True)
+class AdaptiveQuantumConfig(SchemeConfig):
+    """Traffic-driven adaptive quantum (Falcon et al. [9], paper section 6).
+
+    The related-work baseline the paper contrasts with its violation-driven
+    adaptive slack: the barrier quantum grows while little traffic is
+    exchanged and shrinks as traffic increases, using the *event rate* —
+    an indirect proxy for error — instead of the violation rate.
+    """
+
+    initial_quantum: int = 8
+    min_quantum: int = 1
+    max_quantum: int = 512
+    low_traffic: float = 0.05  # events/cycle below which the quantum grows
+    high_traffic: float = 0.20  # events/cycle above which it shrinks
+    adjust_period: int = 250
+
+    def __post_init__(self) -> None:
+        if not (1 <= self.min_quantum <= self.initial_quantum <= self.max_quantum):
+            raise ConfigError(
+                "need 1 <= min_quantum <= initial_quantum <= max_quantum"
+            )
+        if not 0 <= self.low_traffic <= self.high_traffic:
+            raise ConfigError("need 0 <= low_traffic <= high_traffic")
+        if self.adjust_period <= 0:
+            raise ConfigError("adjust_period must be positive")
+
+    @property
+    def kind(self) -> str:
+        return f"adaptive-quantum-{self.initial_quantum}"
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Periodic global checkpointing (paper section 5.1).
+
+    ``interval`` is the checkpoint interval in simulated cycles.  When
+    attached to a non-speculative run it measures pure checkpointing
+    overhead, which is how the paper's Table 2 columns 5K-100K were produced.
+    """
+
+    interval: int = 50_000
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ConfigError("checkpoint interval must be positive")
+
+
+@dataclass(frozen=True)
+class SpeculativeConfig(SchemeConfig):
+    """Full speculative slack simulation (paper section 5).
+
+    Layered on a base scheme (the paper recommends, and defaults to, an
+    adaptive scheme with a 0.01% target rate).  Checkpoints are taken every
+    ``checkpoint.interval`` cycles; whenever a violation whose type is in
+    ``tracked`` is detected, the whole simulation rolls back to the previous
+    checkpoint and replays in cycle-by-cycle mode until the next checkpoint
+    boundary (forward progress), then resumes the base scheme.
+    """
+
+    base: SchemeConfig = field(default_factory=AdaptiveConfig)
+    checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
+    tracked: Tuple[str, ...] = VIOLATION_TYPES
+
+    def __post_init__(self) -> None:
+        if isinstance(self.base, SpeculativeConfig):
+            raise ConfigError("speculative schemes cannot be nested")
+        unknown = set(self.tracked) - set(VIOLATION_TYPES)
+        if unknown:
+            raise ConfigError(f"unknown violation types: {sorted(unknown)}")
+        if not self.tracked:
+            raise ConfigError("speculative scheme must track at least one violation type")
+
+    @property
+    def kind(self) -> str:
+        return f"speculative[{self.base.kind}]@{self.checkpoint.interval}"
+
+
+@dataclass(frozen=True)
+class P2PConfig(SchemeConfig):
+    """Lax-P2P: each core periodically syncs with a random peer (Graphite).
+
+    Every ``period`` cycles a core thread picks a random other core and, if
+    it is more than ``max_lead`` cycles ahead of that peer, waits for the
+    peer to catch up.  This is the section-6 scheme the authors planned to
+    explore; included as an extension experiment (E2 in DESIGN.md).
+    """
+
+    period: int = 100
+    max_lead: int = 100
+
+    def __post_init__(self) -> None:
+        if self.period <= 0 or self.max_lead <= 0:
+            raise ConfigError("P2P period and max_lead must be positive")
+
+    @property
+    def kind(self) -> str:
+        return f"p2p-{self.period}/{self.max_lead}"

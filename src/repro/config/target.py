@@ -1,0 +1,170 @@
+"""Target-CMP configuration (the machine being simulated).
+
+The defaults mirror the paper's section 2.1: an 8-core CMP, each core a
+4-way-issue out-of-order processor with up to 64 in-flight instructions,
+16 KB I/D L1 caches, a 256 KB shared L2 with an 8-clock access latency, a
+100-clock L2 miss latency, and MESI coherence over a request/response
+snooping bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.util import is_power_of_two
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing for one cache level.
+
+    Sizes are in bytes.  ``line_size`` must be a power of two; the number of
+    sets (``size / (line_size * associativity)``) must also be a power of two
+    so that set indexing is a simple shift/mask, as in real hardware.
+    """
+
+    size: int = 16 * 1024
+    line_size: int = 32
+    associativity: int = 4
+    hit_latency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or self.associativity <= 0 or self.hit_latency < 0:
+            raise ConfigError(f"invalid cache parameters: {self}")
+        if not is_power_of_two(self.line_size):
+            raise ConfigError(f"line_size must be a power of two, got {self.line_size}")
+        if self.size % (self.line_size * self.associativity) != 0:
+            raise ConfigError(
+                f"cache size {self.size} not divisible by "
+                f"line_size*associativity ({self.line_size}*{self.associativity})"
+            )
+        if not is_power_of_two(self.num_sets):
+            raise ConfigError(f"number of sets must be a power of two, got {self.num_sets}")
+
+    @property
+    def num_sets(self) -> int:
+        """Number of cache sets."""
+        return self.size // (self.line_size * self.associativity)
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of cache lines."""
+        return self.size // self.line_size
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Out-of-order core parameters (NetBurst-like per the paper).
+
+    ``model_icache=True`` adds an instruction-fetch model: the committed
+    stream walks a shared wrapping code region of ``code_footprint`` bytes
+    and fetch stalls on L1I misses (filled over the snooping bus like any
+    read-shared line).  Off by default: with the paper's 16 KB L1I and
+    loop-dominated kernels the steady-state I-miss rate is negligible, and
+    the flat model keeps the calibrated cost baselines unchanged.
+    """
+
+    issue_width: int = 4
+    window_size: int = 64  # max in-flight instructions (ROB entries)
+    num_mshrs: int = 8  # outstanding L1 misses (lock-up-free L1)
+    int_alu_latency: int = 1
+    mul_latency: int = 3
+    fp_latency: int = 4
+    fdiv_latency: int = 12
+    model_icache: bool = False
+    code_footprint: int = 8 * 1024  # static code size walked by fetch
+    instruction_bytes: int = 8  # SimpleScalar PISA encoding
+
+    def __post_init__(self) -> None:
+        if self.issue_width <= 0 or self.window_size <= 0 or self.num_mshrs <= 0:
+            raise ConfigError(f"invalid core parameters: {self}")
+        for name in ("int_alu_latency", "mul_latency", "fp_latency", "fdiv_latency"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        if self.code_footprint <= 0 or self.instruction_bytes <= 0:
+            raise ConfigError("code_footprint and instruction_bytes must be positive")
+
+
+@dataclass(frozen=True)
+class BusConfig:
+    """Request/response snooping bus.
+
+    ``request_cycles`` is the bus occupancy of one snoop request;
+    ``response_cycles`` is the occupancy of one data response (a cache line
+    transfer).  Conflicts (two cores wanting the bus in the same cycle) are
+    modeled, which is why the critical latency of a quantum simulation of
+    this target would be one clock (paper section 1).
+    """
+
+    request_cycles: int = 1
+    response_cycles: int = 2
+    arbitration_latency: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.request_cycles, self.response_cycles) <= 0:
+            raise ConfigError(f"bus occupancies must be positive: {self}")
+        if self.arbitration_latency < 0:
+            raise ConfigError("arbitration_latency must be >= 0")
+
+
+@dataclass(frozen=True)
+class L2Config:
+    """Shared L2 cache (simulated by the manager thread).
+
+    ``dram`` optionally replaces the flat 100-clock miss latency with an
+    open-row DRAM model (see ``repro.memory.dram``); None keeps the
+    paper's flat model.
+    """
+
+    cache: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size=256 * 1024, line_size=32, associativity=8, hit_latency=8)
+    )
+    num_banks: int = 1
+    miss_latency: int = 100  # paper: "The L2 miss latency is 100 clocks."
+    dram: "Optional[object]" = None  # Optional[DramConfig]; avoids an import cycle
+
+    def __post_init__(self) -> None:
+        if self.num_banks <= 0:
+            raise ConfigError("num_banks must be positive")
+        if self.miss_latency <= 0:
+            raise ConfigError("miss_latency must be positive")
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Off-chip memory behind the L2 (flat latency; bandwidth unmodeled)."""
+
+    page_size: int = 4096
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.page_size):
+            raise ConfigError("page_size must be a power of two")
+
+
+@dataclass(frozen=True)
+class TargetConfig:
+    """Complete target CMP: cores, L1s, bus, shared L2."""
+
+    num_cores: int = 8
+    core: CoreConfig = field(default_factory=CoreConfig)
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(size=16 * 1024))
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(size=16 * 1024))
+    bus: BusConfig = field(default_factory=BusConfig)
+    l2: L2Config = field(default_factory=L2Config)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0:
+            raise ConfigError("num_cores must be positive")
+        if self.l1d.line_size != self.l2.cache.line_size:
+            raise ConfigError(
+                "L1 and L2 line sizes must match "
+                f"({self.l1d.line_size} != {self.l2.cache.line_size})"
+            )
+
+    @property
+    def line_size(self) -> int:
+        """Coherence granule (L1/L2 line size)."""
+        return self.l1d.line_size

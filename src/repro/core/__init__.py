@@ -1,0 +1,21 @@
+"""SlackSim engine: the paper's primary contribution.
+
+This package implements the slack-simulation paradigm (paper section 2),
+violation detection (section 3), adaptive slack (section 4), and
+speculative slack with checkpoint/rollback plus the analytical performance
+model (section 5), all on top of a deterministic model of the parallel
+host (see DESIGN.md for the substitution rationale).
+
+Public entry point: :class:`repro.core.simulation.Simulation`.
+"""
+
+from repro.core.analytical import SpeculativeModelInputs, speculative_time
+from repro.core.report import SimulationReport
+from repro.core.simulation import Simulation
+
+__all__ = [
+    "Simulation",
+    "SimulationReport",
+    "speculative_time",
+    "SpeculativeModelInputs",
+]

@@ -1,0 +1,71 @@
+"""Analytical performance model of speculative slack simulation.
+
+Paper section 5.2::
+
+    T_s = (1 - F) * T_cpt  +  F * D_r * T_cpt / I  +  F * T_cc
+
+- ``T_s``   — estimated speculative-slack simulation time;
+- ``T_cpt`` — simulation time of the (adaptive) slack scheme *with*
+  periodic checkpointing;
+- ``T_cc``  — cycle-by-cycle simulation time;
+- ``F``     — fraction of checkpoint intervals with at least one violation;
+- ``D_r``   — average rollback distance in simulated cycles (interval
+  start to first violation);
+- ``I``     — checkpoint interval in simulated cycles.
+
+The first term is normal (violation-free) simulation, the second the
+simulation work wasted by rollbacks, and the third the cycle-by-cycle
+replay needed for forward progress.  The model omits the (secondary) cost
+of the rollback itself and therefore slightly underestimates, as the paper
+notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SpeculativeModelInputs:
+    """Inputs to the section-5.2 analytical model."""
+
+    t_cc: float  # cycle-by-cycle simulation time (any time unit)
+    t_cpt: float  # slack-with-checkpointing simulation time (same unit)
+    fraction_violating: float  # F, in [0, 1]
+    rollback_distance: float  # D_r, simulated cycles
+    interval: float  # I, simulated cycles
+
+    def __post_init__(self) -> None:
+        if self.t_cc < 0 or self.t_cpt < 0:
+            raise ConfigError("simulation times must be non-negative")
+        if not 0.0 <= self.fraction_violating <= 1.0:
+            raise ConfigError(f"F must be in [0, 1], got {self.fraction_violating}")
+        if self.interval <= 0:
+            raise ConfigError("checkpoint interval must be positive")
+        if not 0.0 <= self.rollback_distance <= self.interval:
+            raise ConfigError(
+                f"rollback distance {self.rollback_distance} outside [0, {self.interval}]"
+            )
+
+
+def speculative_time(inputs: SpeculativeModelInputs) -> float:
+    """Evaluate ``T_s`` for the given inputs (same unit as ``t_cc``)."""
+    f = inputs.fraction_violating
+    normal = (1.0 - f) * inputs.t_cpt
+    wasted = f * inputs.rollback_distance * inputs.t_cpt / inputs.interval
+    replay = f * inputs.t_cc
+    return normal + wasted + replay
+
+
+def speedup_over_cc(inputs: SpeculativeModelInputs) -> float:
+    """``T_cc / T_s``: > 1 means speculation beats cycle-by-cycle.
+
+    The paper's Table 5 found this to be < 1 throughout its measured
+    configurations — speculation only pays off when violations are rare.
+    """
+    t_s = speculative_time(inputs)
+    if t_s == 0:
+        raise ConfigError("estimated speculative time is zero")
+    return inputs.t_cc / t_s

@@ -1,0 +1,67 @@
+"""Checkpoint capture and restore (paper section 5.1).
+
+SlackSim checkpoints by ``fork()``: the parent process's frozen address
+space *is* the checkpoint, and copy-on-write makes its cost proportional to
+the pages the child subsequently writes.  The in-memory analogue here is a
+deep copy of the snapshot-able :class:`~repro.core.state.SimulationState`
+root, with a cost model::
+
+    cost = checkpoint_base_ns + pages_touched * checkpoint_per_page_ns
+
+where ``pages_touched`` counts distinct target pages written since the
+previous checkpoint — the same footprint-proportional shape as fork+COW.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Optional
+
+from repro.config import HostCostModel
+from repro.core.state import SimulationState
+from repro.errors import CheckpointError
+
+
+class Snapshot:
+    """One global checkpoint: a frozen copy of the simulation state."""
+
+    __slots__ = ("state", "boundary", "host_time", "pages")
+
+    def __init__(
+        self, state: SimulationState, boundary: int, host_time: float, pages: int
+    ) -> None:
+        self.state = state
+        self.boundary = boundary  # target time of the checkpoint
+        self.host_time = host_time  # modeled host time it was taken
+        self.pages = pages
+
+
+def take_snapshot(state: SimulationState, boundary: int, host_time: float) -> Snapshot:
+    """Capture a global checkpoint of ``state``.
+
+    Also counts and clears the per-core touched-page sets, so the *next*
+    checkpoint is charged only for pages written after this one.
+    """
+    pages = 0
+    for cs in state.cores:
+        pages += len(cs.model.pages_touched)
+        cs.model.pages_touched.clear()
+    frozen = copy.deepcopy(state)
+    return Snapshot(frozen, boundary, host_time, pages)
+
+
+def restore_snapshot(snapshot: Optional[Snapshot]) -> SimulationState:
+    """Materialize a fresh working state from a snapshot.
+
+    The snapshot itself stays pristine (a second rollback to the same
+    checkpoint is possible), so the restore is another deep copy — mirroring
+    how a forked parent can itself fork again after being awakened.
+    """
+    if snapshot is None:
+        raise CheckpointError("no checkpoint available to roll back to")
+    return copy.deepcopy(snapshot.state)
+
+
+def checkpoint_cost_ns(cost: HostCostModel, pages: int) -> float:
+    """Modeled host cost of taking one global checkpoint."""
+    return cost.checkpoint_base_ns + pages * cost.checkpoint_per_page_ns

@@ -1,0 +1,69 @@
+"""Event records flowing between core threads and the simulation manager.
+
+SlackSim's communication fabric (paper section 2): each core thread owns an
+outgoing queue (OutQ) and an incoming queue (InQ); the manager consolidates
+all OutQs into one global queue (GQ).  Every entry carries a *timestamp* in
+target time; OutQ entries additionally carry the modeled host time at which
+they were posted, which is what defines the manager's arrival order — the
+order whose divergence from timestamp order constitutes a simulation
+violation.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Optional
+
+from repro.cpu.core import CoreRequest
+from repro.memory.mesi import MesiState
+
+
+class OutMsg:
+    """One OutQ/GQ entry: a core's request to the manager."""
+
+    __slots__ = ("core_id", "ts", "host_time", "request")
+
+    def __init__(self, core_id: int, ts: int, host_time: float, request: CoreRequest) -> None:
+        self.core_id = core_id
+        self.ts = ts  # target time the request takes effect
+        self.host_time = host_time  # modeled host time it was posted
+        self.request = request
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OutMsg(core={self.core_id}, ts={self.ts}, {self.request!r})"
+
+
+class InMsgKind(IntEnum):
+    """Kinds of manager-to-core deliveries."""
+
+    FILL = 0  #: a bus transaction completed; install the line
+    SYNC_GRANT = 1  #: lock granted or barrier released
+    INVALIDATE = 2  #: remote GETX/UPGR snoop hit
+    DOWNGRADE = 3  #: remote GETS snoop hit on an exclusive copy
+    IFILL = 4  #: an instruction-line fetch completed (L1I install)
+
+
+class InMsg:
+    """One InQ entry: a manager notification to a core thread.
+
+    The core thread applies the entry when its local time reaches ``ts``
+    (or immediately when ``ts`` is already in its local past — the slack
+    time-distortion case).
+    """
+
+    __slots__ = ("kind", "ts", "line_addr", "state")
+
+    def __init__(
+        self,
+        kind: InMsgKind,
+        ts: int,
+        line_addr: int = 0,
+        state: Optional[MesiState] = None,
+    ) -> None:
+        self.kind = kind
+        self.ts = ts
+        self.line_addr = line_addr
+        self.state = state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"InMsg({self.kind.name}, ts={self.ts}, line={self.line_addr})"

@@ -1,0 +1,360 @@
+"""The simulation manager thread (paper section 2, Figure 1).
+
+The manager simulates the on-chip lower-level hierarchy — the snooping bus,
+the shared L2, and the global cache status map — and orchestrates the
+simulation: it consolidates every core thread's OutQ into the global queue
+(GQ), serves GQ events, maintains the global time, and sets each core
+thread's max local time according to the active slack scheme.
+
+Event service order is the crux of the whole paradigm:
+
+- *slack schemes* serve events in **host arrival order** while computing
+  latencies from **target timestamps** — fast, but the order divergence is
+  exactly what the violation monitors count (section 3);
+- *cycle-by-cycle and quantum* runs serve **conservatively**: only events
+  whose timestamp has been passed by the global time, sorted by timestamp
+  (core id breaking ties) — provably violation-free, at the cost of
+  per-cycle (or per-quantum) barrier synchronization.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.config import TargetConfig
+from repro.core.events import InMsg, InMsgKind, OutMsg
+from repro.core.state import CoreState, SimulationState
+from repro.core.violations import ViolationDetector, ViolationRecord
+from repro.cpu.core import RequestKind
+from repro.errors import SimulationError
+from repro.memory.bus import SnoopBus
+from repro.memory.cache_map import CacheStatusMap
+from repro.memory.l2 import L2Cache
+from repro.memory.mesi import BusOpKind, MesiState, fill_state_for
+from repro.sync.primitives import BarrierTable, LockTable, SyncTimingConfig
+
+
+class ServiceOutcome:
+    """What one manager service step did (drives host-cost charging)."""
+
+    __slots__ = (
+        "events_served",
+        "events_merged",
+        "adjusted",
+        "violations",
+        "global_time",
+        "idle",
+    )
+
+    def __init__(
+        self,
+        events_served: int,
+        adjusted: bool,
+        violations: List[ViolationRecord],
+        global_time: int,
+        idle: bool,
+        events_merged: int = 0,
+    ) -> None:
+        self.events_served = events_served
+        self.events_merged = events_merged
+        self.adjusted = adjusted
+        self.violations = violations
+        self.global_time = global_time
+        self.idle = idle
+
+
+class ManagerState:
+    """All manager-owned simulation state plus the service logic."""
+
+    def __init__(
+        self,
+        target: TargetConfig,
+        detector: ViolationDetector,
+        sync_timing: Optional[SyncTimingConfig] = None,
+    ) -> None:
+        timing = sync_timing or SyncTimingConfig()
+        self.bus = SnoopBus(target.bus)
+        self.l2 = L2Cache(target.l2)
+        self.cache_map = CacheStatusMap()
+        self.locks = LockTable(timing)
+        self.barriers = BarrierTable(timing)
+        self.detector = detector
+        self.gq: List[OutMsg] = []
+        self.global_time = 0
+        self.events_served = 0
+        # Conservative-service bookkeeping: the largest timestamp served so
+        # far.  Sync grants are floored at this value so a core resuming
+        # from a wait can never emit an event older than anything already
+        # served — the last piece of the cycle-by-cycle (and quantum)
+        # zero-violation guarantee.
+        self._grant_floor = -1
+        self._serving_conservative = False
+        self._batch_grant_min: Optional[int] = None
+        # Cache-to-cache supply latency (an owner's L1 answers a snoop in
+        # about the time an L2 hit takes on this target).
+        self.c2c_latency = target.l2.cache.hit_latency
+
+    # ------------------------------------------------------------------ #
+    # One service step
+    # ------------------------------------------------------------------ #
+
+    def service(
+        self,
+        sim: SimulationState,
+        conservative: Optional[bool] = None,
+        force_window: Optional[int] = None,
+        window_cap: Optional[int] = None,
+        control_enabled: bool = True,
+        drain_cores: Optional[List[int]] = None,
+    ) -> ServiceOutcome:
+        """Run one manager iteration.
+
+        ``conservative``/``force_window`` override the scheme (used for the
+        cycle-by-cycle replay after a speculative rollback); ``window_cap``
+        caps every max local time at an absolute target time (used to park
+        all cores at a checkpoint boundary).  ``drain_cores`` restricts
+        which cores' OutQs this step consolidates (hierarchical manager
+        mode: sub-managers forward the others); None drains every core.
+        """
+        scheme = sim.scheme
+        if conservative is None:
+            conservative = scheme.conservative_service
+
+        merged = self._merge_outqs(sim, drain_cores)
+        served = self._serve(sim, conservative)
+
+        new_global = sim.global_time()
+        advanced = new_global != self.global_time
+        self.global_time = new_global
+        scheme.on_global_advance(
+            [
+                (cs.core_id, cs.local_time, not cs.finished and not cs.model.waiting_sync)
+                for cs in sim.cores
+            ]
+        )
+
+        adjusted = False
+        if control_enabled and force_window is None:
+            adjusted = scheme.control_tick(
+                self.detector, new_global, events_served=self.events_served
+            )
+
+        self._update_max_locals(sim, force_window, window_cap)
+
+        violations = self.detector.drain_pending()
+        idle = served == 0 and not adjusted and not advanced
+        return ServiceOutcome(
+            served, adjusted, violations, new_global, idle, events_merged=merged
+        )
+
+    def _merge_outqs(
+        self, sim: SimulationState, core_ids: Optional[List[int]] = None
+    ) -> int:
+        """Consolidate OutQ entries into the GQ in host arrival order.
+
+        Returns the number of entries merged; ``core_ids`` restricts the
+        drain (hierarchical mode).
+        """
+        fresh: List[OutMsg] = []
+        cores = sim.cores if core_ids is None else [sim.cores[i] for i in core_ids]
+        for cs in cores:
+            while cs.outq:
+                fresh.append(cs.outq.popleft())
+        if not fresh:
+            return 0
+        fresh.sort(key=lambda m: (m.host_time, m.core_id))
+        self.gq.extend(fresh)
+        return len(fresh)
+
+    def _serve(self, sim: SimulationState, conservative: bool) -> int:
+        if not self.gq:
+            return 0
+        self._serving_conservative = conservative
+        if conservative:
+            # Serve only events *strictly* below the horizon, in timestamp
+            # order — the violation-free gold-standard discipline.  Strict:
+            # a core whose local time equals ``h`` is about to execute
+            # cycle ``h`` and may still post events stamped ``h``; serving
+            # at ``ts == h`` would split same-timestamp batches by host
+            # arrival, making cycle-by-cycle timing host-schedule
+            # dependent.  (The horizon accounts for frozen sync-blocked
+            # cores; see SimulationState.service_horizon.)
+            horizon = sim.service_horizon()
+            if horizon is None:
+                servable, self.gq = sorted(
+                    self.gq, key=lambda m: (m.ts, m.core_id, m.host_time)
+                ), []
+            else:
+                servable = [m for m in self.gq if m.ts < horizon]
+                if not servable:
+                    return 0
+                servable.sort(key=lambda m: (m.ts, m.core_id, m.host_time))
+                self.gq = [m for m in self.gq if m.ts >= horizon]
+        else:
+            # Optimistic service: drain everything that has arrived, but
+            # schedule the drained batch in timestamp order (the GQ exists
+            # "to efficiently manage and schedule all the GQ events" —
+            # paper section 2).  Nothing is held back, so violations still
+            # occur whenever an event arrives *after* a younger-stamped
+            # event was already served in an earlier batch — which is
+            # precisely what grows with the slack bound.
+            servable, self.gq = self.gq, []
+            servable.sort(key=lambda m: (m.ts, m.core_id, m.host_time))
+
+        served = 0
+        self._batch_grant_min: Optional[int] = None
+        for index, msg in enumerate(servable):
+            if (
+                conservative
+                and self._batch_grant_min is not None
+                and msg.ts >= self._batch_grant_min
+            ):
+                # A sync grant issued earlier in this batch lowered the
+                # horizon: a blocked core will resume below the remaining
+                # events' timestamps.  Requeue them — the next service
+                # round sees the pending grant through service_horizon().
+                self.gq = servable[index:] + self.gq
+                break
+            self._serve_one(sim, msg)
+            served += 1
+            if msg.ts > self._grant_floor:
+                self._grant_floor = msg.ts
+        self.events_served += served
+        return served
+
+    # ------------------------------------------------------------------ #
+    # Per-event service
+    # ------------------------------------------------------------------ #
+
+    def _serve_one(self, sim: SimulationState, msg: OutMsg) -> None:
+        kind = msg.request.kind
+        if kind == RequestKind.BUS:
+            self._serve_bus(sim, msg)
+        elif kind == RequestKind.IFETCH:
+            self._serve_ifetch(sim, msg)
+        elif kind == RequestKind.WRITEBACK:
+            self._serve_writeback(msg)
+        elif kind == RequestKind.LOCK_ACQUIRE:
+            grant_ts = self.locks.acquire(msg.request.sync_id, msg.core_id, msg.ts)
+            if grant_ts is not None:
+                self._push_grant(sim, msg.core_id, grant_ts)
+        elif kind == RequestKind.LOCK_RELEASE:
+            handoff = self.locks.release(msg.request.sync_id, msg.core_id, msg.ts)
+            if handoff is not None:
+                next_core, grant_ts = handoff
+                self._push_grant(sim, next_core, grant_ts)
+        elif kind == RequestKind.BARRIER_ARRIVE:
+            releases = self.barriers.arrive(
+                msg.request.sync_id, msg.core_id, msg.ts, msg.request.participants
+            )
+            if releases is not None:
+                for core_id, release_ts in releases:
+                    self._push_grant(sim, core_id, release_ts)
+        else:  # pragma: no cover - guarded by RequestKind
+            raise SimulationError(f"unknown request kind {kind}")
+
+    def _serve_bus(self, sim: SimulationState, msg: OutMsg) -> None:
+        core_id, ts, line = msg.core_id, msg.ts, msg.request.line_addr
+        bus_op = msg.request.bus_op
+        self.detector.check_bus(ts, self.global_time, core_id)
+        self.detector.check_map(line, ts, self.global_time, core_id)
+        grant = self.bus.grant_request(ts)
+        snoop_seen = grant + self.bus.config.request_cycles
+
+        if bus_op == BusOpKind.UPGR and core_id not in self.cache_map.sharers_of(line):
+            # The upgrader's copy was invalidated while the UPGR was in
+            # flight; the transaction degenerates to a full GETX.
+            bus_op = BusOpKind.GETX
+
+        if bus_op == BusOpKind.GETS:
+            others, downgrade_target = self.cache_map.apply_gets(line, core_id)
+            if downgrade_target is not None:
+                self._push(sim, downgrade_target, InMsg(InMsgKind.DOWNGRADE, snoop_seen, line))
+                # The dirty owner supplies the line; the L2 copy is
+                # refreshed as part of the transfer (standard MESI).
+                self.l2.writeback(line)
+                data_ready = grant + self.c2c_latency
+            else:
+                data_ready = grant + self.l2.access(line, at=grant)
+            _, done = self.bus.schedule_response(data_ready)
+            fill = fill_state_for(BusOpKind.GETS, others)
+            self._push(sim, core_id, InMsg(InMsgKind.FILL, done, line, fill))
+        elif bus_op == BusOpKind.GETX:
+            targets, source_owner = self.cache_map.apply_getx(line, core_id)
+            for target in targets:
+                self._push(sim, target, InMsg(InMsgKind.INVALIDATE, snoop_seen, line))
+            if source_owner is not None:
+                data_ready = grant + self.c2c_latency
+            else:
+                data_ready = grant + self.l2.access(line, at=grant)
+            _, done = self.bus.schedule_response(data_ready)
+            self._push(sim, core_id, InMsg(InMsgKind.FILL, done, line, MesiState.MODIFIED))
+        elif bus_op == BusOpKind.UPGR:
+            targets = self.cache_map.apply_upgr(line, core_id)
+            for target in targets:
+                self._push(sim, target, InMsg(InMsgKind.INVALIDATE, snoop_seen, line))
+            self._push(sim, core_id, InMsg(InMsgKind.FILL, snoop_seen, line, MesiState.MODIFIED))
+        else:  # pragma: no cover - guarded by BusOpKind
+            raise SimulationError(f"unexpected bus op {bus_op}")
+
+    def _serve_ifetch(self, sim: SimulationState, msg: OutMsg) -> None:
+        """An instruction-line fetch: a read-only GETS over the bus.
+
+        Code lines are never written, so no owner can exist and no
+        snoops are generated; the map still records the sharer (which is
+        why an I-fetch can raise map violations like any transaction).
+        """
+        core_id, ts, line = msg.core_id, msg.ts, msg.request.line_addr
+        self.detector.check_bus(ts, self.global_time, core_id)
+        self.detector.check_map(line, ts, self.global_time, core_id)
+        grant = self.bus.grant_request(ts)
+        self.cache_map.apply_gets(line, core_id)
+        data_ready = grant + self.l2.access(line, at=grant)
+        _, done = self.bus.schedule_response(data_ready)
+        self._push(sim, core_id, InMsg(InMsgKind.IFILL, done, line))
+
+    def _serve_writeback(self, msg: OutMsg) -> None:
+        line = msg.request.line_addr
+        self.detector.check_bus(msg.ts, self.global_time, msg.core_id)
+        self.detector.check_map(line, msg.ts, self.global_time, msg.core_id)
+        self.bus.grant_request(msg.ts)
+        self.cache_map.apply_writeback(line, msg.core_id)
+        self.l2.writeback(line)
+
+    def _push(self, sim: SimulationState, core_id: int, msg: InMsg) -> None:
+        sim.cores[core_id].inq.append(msg)
+
+    def _push_grant(self, sim: SimulationState, core_id: int, grant_ts: int) -> None:
+        """Deliver a sync grant; floored under conservative service so the
+        resuming core cannot travel into the already-served past."""
+        if self._serving_conservative and grant_ts < self._grant_floor:
+            grant_ts = self._grant_floor
+        if self._batch_grant_min is None or grant_ts < self._batch_grant_min:
+            self._batch_grant_min = grant_ts
+        self._push(sim, core_id, InMsg(InMsgKind.SYNC_GRANT, grant_ts))
+
+    # ------------------------------------------------------------------ #
+    # Pacing
+    # ------------------------------------------------------------------ #
+
+    def _update_max_locals(
+        self,
+        sim: SimulationState,
+        force_window: Optional[int],
+        window_cap: Optional[int],
+    ) -> None:
+        scheme = sim.scheme
+        for cs in sim.cores:
+            if cs.finished:
+                continue
+            if force_window is not None:
+                limit: Optional[int] = self.global_time + force_window
+            else:
+                limit = scheme.max_local_for(cs.core_id, cs.local_time, self.global_time)
+            if window_cap is not None:
+                limit = window_cap if limit is None else min(limit, window_cap)
+            cs.max_local_time = limit
+
+    def quiescent(self, sim: SimulationState) -> bool:
+        """True when no requests are in flight toward the manager."""
+        return not self.gq and all(not cs.outq for cs in sim.cores)

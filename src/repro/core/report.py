@@ -1,0 +1,156 @@
+"""Per-run simulation report.
+
+Collects every metric the paper's evaluation uses: target execution time
+and CPI (the accuracy metrics), modeled simulation time (the speed metric),
+violation counts and rates by type, plus scheme-specific data (adaptive
+bound trajectory summary, checkpoint/rollback accounting, per-interval
+violation records for Tables 3 and 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class IntervalSummary:
+    """One checkpoint interval's violation statistics (Tables 3/4)."""
+
+    index: int
+    start: int
+    end: int
+    violations: int
+    first_offset: Optional[int]
+    rolled_back: bool
+
+
+@dataclass
+class SimulationReport:
+    """Everything measured by one simulation run."""
+
+    # Identity
+    benchmark: str
+    scheme: str
+    num_cores: int
+    seed: int
+
+    # Target-side (accuracy) metrics
+    target_cycles: int = 0
+    instructions: int = 0
+    cpi: float = 0.0
+    per_core_cpi: List[float] = field(default_factory=list)
+    l1_miss_rate: float = 0.0
+    l2_miss_rate: float = 0.0
+    bus_requests: int = 0
+    bus_conflict_cycles: int = 0
+
+    # Violations (section 3)
+    violation_counts: Dict[str, int] = field(default_factory=dict)
+    violation_rate: float = 0.0  # total violations / simulated cycles
+    bus_violation_rate: float = 0.0
+    map_violation_rate: float = 0.0
+    detection_enabled: bool = True
+
+    # Host-side (speed) metrics
+    sim_time_s: float = 0.0  # modeled host seconds (the paper's "simulation time")
+    manager_steps: int = 0
+    core_steps: int = 0
+    manager_busy_s: float = 0.0  # top-manager host time (hierarchy studies)
+    submanager_busy_s: float = 0.0
+
+    # Pipeline-stall breakdown (aggregate over cores)
+    stall_cycles: int = 0
+    sync_stall_cycles: int = 0
+    ifetch_stall_cycles: int = 0
+
+    # Adaptive scheme (section 4)
+    final_bound: Optional[int] = None
+    average_bound: Optional[float] = None
+    bound_adjustments: Optional[int] = None
+    bound_history: List[tuple] = field(default_factory=list)
+
+    # Checkpointing / speculation (section 5)
+    checkpoints: int = 0
+    checkpoint_cost_s: float = 0.0
+    rollbacks: int = 0
+    rollback_cost_s: float = 0.0
+    wasted_target_cycles: int = 0
+    replay_target_cycles: int = 0
+    intervals: List[IntervalSummary] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # Derived metrics
+    # ------------------------------------------------------------------ #
+
+    def fraction_intervals_violating(self) -> float:
+        """F: fraction of *complete* checkpoint intervals with >= 1
+        violation (Table 3)."""
+        complete = [r for r in self.intervals if r.end - r.start > 0]
+        if not complete:
+            return 0.0
+        return sum(1 for r in complete if r.violations > 0) / len(complete)
+
+    def mean_first_violation_distance(self) -> Optional[float]:
+        """D_r: mean distance from interval start to the first violation,
+        over violating intervals (Table 4)."""
+        offsets = [r.first_offset for r in self.intervals if r.first_offset is not None]
+        if not offsets:
+            return None
+        return sum(offsets) / len(offsets)
+
+    def speedup_over(self, reference: "SimulationReport") -> float:
+        """Simulation-time speedup relative to another run (e.g. CC)."""
+        if self.sim_time_s == 0:
+            raise ZeroDivisionError("report has zero simulation time")
+        return reference.sim_time_s / self.sim_time_s
+
+    def execution_time_error(self, reference: "SimulationReport") -> float:
+        """Relative error of the target execution time vs a reference run
+        (the paper's accuracy definition, with CC as gold standard)."""
+        if reference.target_cycles == 0:
+            raise ZeroDivisionError("reference ran zero cycles")
+        return abs(self.target_cycles - reference.target_cycles) / reference.target_cycles
+
+    def cpi_error(self, reference: "SimulationReport") -> float:
+        """Relative CPI error vs a reference run."""
+        if reference.cpi == 0:
+            raise ZeroDivisionError("reference has zero CPI")
+        return abs(self.cpi - reference.cpi) / reference.cpi
+
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        """Plain-data view of the report (JSON-serializable)."""
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON rendering of the report."""
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent)
+
+    # ------------------------------------------------------------------ #
+
+    def summary(self) -> str:
+        """A short human-readable summary."""
+        lines = [
+            f"{self.benchmark} / {self.scheme}: "
+            f"{self.target_cycles} target cycles, CPI {self.cpi:.3f}, "
+            f"sim time {self.sim_time_s:.3f}s",
+            f"  violations: {self.violation_counts} "
+            f"(rate {self.violation_rate:.6f}/cycle)",
+        ]
+        if self.final_bound is not None:
+            lines.append(
+                f"  adaptive: final bound {self.final_bound}, "
+                f"avg {self.average_bound:.1f}, {self.bound_adjustments} adjustments"
+            )
+        if self.checkpoints:
+            lines.append(
+                f"  checkpoints: {self.checkpoints} "
+                f"(cost {self.checkpoint_cost_s:.3f}s), rollbacks {self.rollbacks}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,272 @@
+"""Deterministic discrete-event scheduler for the modeled host.
+
+This is the substitution at the heart of the reproduction (DESIGN.md
+section 2): instead of real POSIX threads — whose parallel speedup Python
+cannot exhibit — the scheduler executes simulation threads one step at a
+time on modeled host contexts, always picking the thread with the earliest
+possible dispatch time.  Everything the paper measures emerges from this
+schedule: barrier serialization makes cycle-by-cycle slow, slack absorbs
+load imbalance, host-time interleaving determines the manager's event
+arrival order (and therefore violations), and checkpoint costs pause every
+context.
+
+The run is bit-for-bit deterministic for a given host seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.config import HostConfig
+from repro.core.hostmodel import HostContext, HostThread, ThreadState
+from repro.core.threads import CoreRunner, ManagerRunner, StepResult, SubManagerRunner
+from repro.errors import DeadlockError
+from repro.util import SplitMix64
+
+#: Consecutive all-idle manager steps before declaring deadlock.
+_DEADLOCK_LIMIT = 200_000
+
+
+class HostStats:
+    """Host-side accounting accumulated over a run (never rolled back)."""
+
+    def __init__(self, num_contexts: int) -> None:
+        self.manager_steps = 0
+        self.core_steps = 0
+        self.wakeups = 0
+        self.context_busy_ns = [0.0] * num_contexts
+        self.manager_busy_ns = 0.0
+        self.submanager_busy_ns = 0.0
+        # Checkpoint/rollback accounting is filled in by the controller.
+        self.checkpoints = 0
+        self.checkpoint_cost_ns = 0.0
+        self.rollbacks = 0
+        self.rollback_cost_ns = 0.0
+        self.wasted_target_cycles = 0
+        self.replay_target_cycles = 0
+        self.violations_observed = 0  # includes violations later rolled back
+
+
+class Scheduler:
+    """Runs the whole parallel simulation on the modeled host."""
+
+    def __init__(self, sim, host: HostConfig) -> None:
+        self.sim = sim
+        self.host = host
+        self.contexts = [HostContext(i) for i in range(host.num_contexts)]
+        self.stats = HostStats(host.num_contexts)
+
+        seed_root = SplitMix64(host.seed)
+        self.threads: List[HostThread] = []
+        num_cores = len(sim.state.cores)
+        for index in range(num_cores):
+            runner = CoreRunner(index, sim, host)
+            context = self.contexts[index % host.num_contexts]
+            thread = HostThread(runner, context, seed_root.fork())
+            context.threads.append(thread)
+            self.threads.append(thread)
+
+        # Hierarchical manager (optional): sub-managers each consolidate a
+        # round-robin group of cores; the top manager serves the bus/L2.
+        direct_cores = None
+        next_slot = num_cores
+        if host.num_submanagers > 0:
+            groups: List[List[int]] = [[] for _ in range(host.num_submanagers)]
+            for index in range(num_cores):
+                groups[index % host.num_submanagers].append(index)
+            for gid, group in enumerate(groups):
+                context = self.contexts[next_slot % host.num_contexts]
+                thread = HostThread(
+                    SubManagerRunner(gid, sim, host, group), context, seed_root.fork()
+                )
+                context.threads.append(thread)
+                self.threads.append(thread)
+                next_slot += 1
+            direct_cores = []  # every core is covered by a sub-manager
+
+        manager_context = self.contexts[next_slot % host.num_contexts]
+        self.manager_thread = HostThread(
+            ManagerRunner(sim, host, direct_cores=direct_cores),
+            manager_context,
+            seed_root.fork(),
+        )
+        manager_context.threads.append(self.manager_thread)
+        self.threads.append(self.manager_thread)
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, max_target_cycles: Optional[int] = None) -> HostStats:
+        """Run to completion; return host statistics.
+
+        ``max_target_cycles`` is a safety net: the run aborts with
+        :class:`DeadlockError` if the target execution time exceeds it.
+        """
+        sim = self.sim
+        idle_manager_steps = 0
+        while True:
+            state = sim.state
+            if (
+                state.all_finished
+                and state.manager.quiescent(state)
+                and all(not cs.inq for cs in state.cores)
+            ):
+                break
+
+            thread, start = self._pick()
+            result: StepResult = thread.runner.step(start)
+            cost = result.cost_ns * thread.jitter(self.host.cost.jitter_frac)
+            context = thread.context
+            if context.shared and context.last_thread is not thread:
+                cost += self.host.cost.context_switch_ns
+            context.last_thread = thread
+            context.clock = start + cost
+            thread.ready_time = context.clock
+            thread.steps += 1
+            self.stats.context_busy_ns[context.index] += cost
+
+            if thread is self.manager_thread:
+                self.stats.manager_steps += 1
+                if not result.outcome.idle:
+                    self.stats.manager_busy_ns += cost
+                outcome = result.outcome
+                self.stats.violations_observed += len(outcome.violations)
+                if sim.controller is not None:
+                    sim.controller.after_manager_step(self, outcome, context.clock)
+                self._wake_cores(context.clock)
+                idle_manager_steps = idle_manager_steps + 1 if outcome.idle else 0
+                if idle_manager_steps > _DEADLOCK_LIMIT:
+                    raise DeadlockError(self._deadlock_report())
+                if max_target_cycles is not None and outcome.global_time > max_target_cycles:
+                    raise DeadlockError(
+                        f"target execution exceeded {max_target_cycles} cycles "
+                        "(runaway simulation; check the workload's barriers)"
+                    )
+            elif isinstance(thread.runner, CoreRunner):
+                self.stats.core_steps += 1
+                if result.done:
+                    thread.state = ThreadState.DONE
+                elif result.blocked:
+                    thread.state = ThreadState.BLOCKED
+            else:  # sub-manager
+                self.stats.submanager_busy_ns += cost
+
+        return self.stats
+
+    # ------------------------------------------------------------------ #
+
+    def _pick(self):
+        """Choose the READY thread with the earliest dispatch time.
+
+        Dispatch time is ``max(context clock, thread ready time)``; ties
+        break by context index then position, keeping runs deterministic.
+        """
+        best = None
+        best_dispatch = 0.0
+        best_ready = 0.0
+        for thread in self.threads:
+            if thread.state != ThreadState.READY:
+                continue
+            if thread is self.manager_thread and self.host.manager_migrates:
+                # The OS load-balances the odd thread out (9 simulation
+                # threads on 8 contexts): the manager migrates to the
+                # least-loaded context instead of starving one core thread
+                # into a permanent laggard.  (manager_migrates=False pins
+                # it — ablation A3.)
+                target = min(self.contexts, key=lambda c: c.clock)
+                if target is not thread.context:
+                    thread.context.threads.remove(thread)
+                    target.threads.append(thread)
+                    thread.context = target
+            dispatch = thread.context.clock
+            if thread.ready_time > dispatch:
+                dispatch = thread.ready_time
+            # Tie-break on ready time (least-recently-run first) so threads
+            # sharing a context interleave fairly instead of starving.
+            if (
+                best is None
+                or dispatch < best_dispatch
+                or (dispatch == best_dispatch and thread.ready_time < best_ready)
+            ):
+                best = thread
+                best_dispatch = dispatch
+                best_ready = thread.ready_time
+        if best is None:  # pragma: no cover - manager is always READY
+            raise DeadlockError("no runnable simulation thread")
+        return best, best_dispatch
+
+    def _wake_cores(self, manager_end: float) -> None:
+        """Wake core threads whose blocking condition cleared.
+
+        The manager raises max local times during its step; a woken thread
+        resumes after the modeled futex wake latency.
+        """
+        wake_at = manager_end + self.host.cost.wake_latency_ns
+        for thread in self.threads:
+            if thread is self.manager_thread or thread.state == ThreadState.READY:
+                continue
+            cs = self.sim.state.cores[thread.runner.index]
+            if thread.state == ThreadState.DONE:
+                # A finished core thread briefly revives to drain coherence
+                # messages still addressed to it.
+                if cs.inq:
+                    thread.state = ThreadState.READY
+                    if thread.ready_time < wake_at:
+                        thread.ready_time = wake_at
+                continue
+            if self._core_runnable(cs):
+                thread.state = ThreadState.READY
+                if thread.ready_time < wake_at:
+                    thread.ready_time = wake_at
+                self.stats.wakeups += 1
+
+    @staticmethod
+    def _core_runnable(cs) -> bool:
+        """True when a core thread can make progress right now."""
+        if cs.finished:
+            return True  # let its runner report done and retire
+        if cs.model.waiting_sync:
+            return bool(cs.inq)  # descheduled until something is delivered
+        if cs.inq and cs.inq[0].ts <= cs.local_time:
+            return True
+        return not cs.at_limit
+
+    def wake_all(self, at_time: float) -> None:
+        """Used by the speculative controller after checkpoint/rollback."""
+        for thread in self.threads:
+            if thread is self.manager_thread:
+                thread.ready_time = max(thread.ready_time, at_time)
+                continue
+            cs = self.sim.state.cores[thread.runner.index]
+            thread.state = ThreadState.DONE if cs.finished else ThreadState.READY
+            thread.ready_time = max(thread.ready_time, at_time)
+
+    def pause_all_contexts(self, cost_ns: float) -> float:
+        """Global pause: synchronize every context, charge ``cost_ns``.
+
+        Models "all threads must synchronize, establish a consistent
+        checkpoint, and then proceed" (paper section 5.1).  Returns the
+        post-pause host time.
+        """
+        barrier_time = max(context.clock for context in self.contexts)
+        resume = barrier_time + cost_ns
+        for context in self.contexts:
+            context.clock = resume
+        return resume
+
+    def simulation_time_ns(self) -> float:
+        """The run's modeled wall-clock: the largest context clock."""
+        return max(context.clock for context in self.contexts)
+
+    def _deadlock_report(self) -> str:
+        state = self.sim.state
+        lines = [
+            "simulation deadlock: manager idle with no core progress.",
+            f"global time: {state.manager.global_time}",
+        ]
+        for cs in state.cores:
+            lines.append(
+                f"  core {cs.core_id}: local={cs.local_time} "
+                f"max_local={cs.max_local_time} finished={cs.finished} "
+                f"waiting_sync={cs.model.waiting_sync} inq={len(cs.inq)}"
+            )
+        return "\n".join(lines)

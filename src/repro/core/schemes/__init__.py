@@ -1,0 +1,61 @@
+"""Slack-scheme policy objects.
+
+A :class:`~repro.core.schemes.base.SchemePolicy` is the *live* counterpart
+of a frozen ``SchemeConfig``: it holds whatever dynamic state the scheme
+needs (the adaptive controller's current bound, the P2P peer constraints)
+and therefore lives inside the snapshot-able simulation state.
+
+Use :func:`make_policy` to instantiate the right policy for a config.
+"""
+
+from repro.config.schemes import (
+    AdaptiveConfig,
+    AdaptiveQuantumConfig,
+    P2PConfig,
+    QuantumConfig,
+    SchemeConfig,
+    SlackConfig,
+    SpeculativeConfig,
+)
+from repro.core.schemes.base import SchemePolicy
+from repro.core.schemes.fixed import FixedSlackPolicy, QuantumPolicy
+from repro.core.schemes.adaptive import AdaptiveSlackPolicy
+from repro.core.schemes.adaptive_quantum import AdaptiveQuantumPolicy
+from repro.core.schemes.p2p import P2PPolicy
+from repro.errors import ConfigError
+
+
+def make_policy(config: SchemeConfig, num_cores: int, seed: int = 0) -> SchemePolicy:
+    """Build the policy object for a scheme configuration.
+
+    Speculative configs are *not* accepted here: speculation wraps a base
+    scheme at the simulation level (``repro.core.speculative``); pass its
+    ``base`` config instead.
+    """
+    if isinstance(config, SpeculativeConfig):
+        raise ConfigError(
+            "SpeculativeConfig wraps a base scheme; build the policy from "
+            "config.base and enable speculation on the Simulation"
+        )
+    if isinstance(config, SlackConfig):
+        return FixedSlackPolicy(config)
+    if isinstance(config, QuantumConfig):
+        return QuantumPolicy(config)
+    if isinstance(config, AdaptiveConfig):
+        return AdaptiveSlackPolicy(config)
+    if isinstance(config, AdaptiveQuantumConfig):
+        return AdaptiveQuantumPolicy(config)
+    if isinstance(config, P2PConfig):
+        return P2PPolicy(config, num_cores, seed)
+    raise ConfigError(f"unknown scheme config type {type(config).__name__}")
+
+
+__all__ = [
+    "SchemePolicy",
+    "FixedSlackPolicy",
+    "QuantumPolicy",
+    "AdaptiveSlackPolicy",
+    "AdaptiveQuantumPolicy",
+    "P2PPolicy",
+    "make_policy",
+]

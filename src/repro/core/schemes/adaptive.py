@@ -1,0 +1,98 @@
+"""Adaptive slack simulation (paper section 4).
+
+A feedback control loop ("slack throttling") keeps the measured simulation
+violation rate at a preset target: the slack bound is increased (additively)
+when violations are rare and decreased (multiplicatively) when they are
+frequent.  No adjustment is made while the rate stays inside the *violation
+band* around the target — the paper observes that wider bands yield shorter
+simulation times because adjustments themselves cost host time.
+
+The controlled variable is the cumulative violation rate — "the total
+number of violations divided by the number of cycles", the paper's exact
+definition.  Cumulative control self-stabilizes: after a burst at a raised
+bound pushes the rate above the band, the controller throttles down and
+waits for the cumulative rate to decay below the band before probing
+upward again, so the long-run rate converges to the target without limit
+cycling.  The violation rate is a convenient proxy for simulation error
+that correlates well with execution-time error (paper section 4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config.schemes import AdaptiveConfig
+from repro.core.schemes.base import SchemePolicy
+from repro.core.violations import ViolationDetector
+
+
+class AdaptiveSlackPolicy(SchemePolicy):
+    """Bounded slack with a dynamically throttled bound."""
+
+    barrier_sync = False
+    conservative_service = False
+
+    def __init__(self, config: AdaptiveConfig) -> None:
+        self.config = config
+        self.bound = config.initial_bound
+        self.rate_estimate = 0.0
+        self._last_control_time = 0
+        # Statistics (bound-weighted integral for the average bound).
+        self.adjustments = 0
+        self.increases = 0
+        self.decreases = 0
+        self._bound_integral = 0.0
+        self._integral_from = 0
+        #: (global time, new bound) at every adjustment — the controller's
+        #: trajectory, handy for plotting/debugging the feedback loop.
+        self.history = [(0, config.initial_bound)]
+
+    @property
+    def kind(self) -> str:
+        return self.config.kind
+
+    def window(self) -> Optional[int]:
+        return self.bound
+
+    def control_tick(
+        self, detector: ViolationDetector, global_time: int, events_served: int = 0
+    ) -> bool:
+        """Run one control decision if the adjust period has elapsed.
+
+        Returns True when the bound actually changed (the host cost model
+        charges ``adaptive_adjust_ns`` only then — the mechanism behind the
+        paper's observation that a 0% violation band is slower than a 5%
+        band).
+        """
+        config = self.config
+        elapsed = global_time - self._last_control_time
+        if elapsed < config.adjust_period:
+            return False
+        self._last_control_time = global_time
+        detector.reset_window()
+        rate = detector.rate(global_time)
+        self.rate_estimate = rate
+        lo = config.target_rate * (1.0 - config.band)
+        hi = config.target_rate * (1.0 + config.band)
+        new_bound = self.bound
+        if rate > hi:
+            new_bound = max(config.min_bound, int(self.bound * config.decrease_factor))
+        elif rate < lo:
+            new_bound = min(config.max_bound, self.bound + config.increase_step)
+        if new_bound == self.bound:
+            return False
+        self._bound_integral += self.bound * (global_time - self._integral_from)
+        self._integral_from = global_time
+        if new_bound > self.bound:
+            self.increases += 1
+        else:
+            self.decreases += 1
+        self.adjustments += 1
+        self.bound = new_bound
+        self.history.append((global_time, new_bound))
+        return True
+
+    def average_bound(self, global_time: int) -> float:
+        """Time-weighted average of the slack bound over the run."""
+        integral = self._bound_integral + self.bound * (global_time - self._integral_from)
+        return integral / global_time if global_time > 0 else float(self.bound)

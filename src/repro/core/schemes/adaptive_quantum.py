@@ -1,0 +1,67 @@
+"""Traffic-driven adaptive quantum (Falcon et al.; paper section 6).
+
+The related-work baseline: a quantum (barrier) simulation whose quantum
+size adapts to the amount of traffic in the target system — "the quantum
+is increased when packets are not exchanged, and it is shortened as the
+packet traffic increases".  Unlike the paper's adaptive *slack*, the
+feedback signal is the event rate, an indirect proxy for error; the paper
+argues (and experiment E5 measures) that the violation rate is the more
+direct measure.
+
+Service stays conservative (violation-free); the accuracy cost of a large
+quantum is late delivery of coherence and synchronization effects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config.schemes import AdaptiveQuantumConfig
+from repro.core.schemes.base import SchemePolicy
+from repro.core.violations import ViolationDetector
+
+
+class AdaptiveQuantumPolicy(SchemePolicy):
+    """Quantum simulation with a traffic-throttled quantum size."""
+
+    barrier_sync = True
+    conservative_service = True
+
+    def __init__(self, config: AdaptiveQuantumConfig) -> None:
+        self.config = config
+        self.quantum = config.initial_quantum
+        self._last_control_time = 0
+        self._last_events = 0
+        # Statistics
+        self.adjustments = 0
+        self.history = [(0, config.initial_quantum)]
+
+    @property
+    def kind(self) -> str:
+        return self.config.kind
+
+    def window(self) -> Optional[int]:
+        return self.quantum
+
+    def control_tick(
+        self, detector: ViolationDetector, global_time: int, events_served: int = 0
+    ) -> bool:
+        config = self.config
+        elapsed = global_time - self._last_control_time
+        if elapsed < config.adjust_period:
+            return False
+        traffic = (events_served - self._last_events) / elapsed
+        self._last_control_time = global_time
+        self._last_events = events_served
+
+        new_quantum = self.quantum
+        if traffic < config.low_traffic:
+            new_quantum = min(config.max_quantum, self.quantum * 2)
+        elif traffic > config.high_traffic:
+            new_quantum = max(config.min_quantum, self.quantum // 2)
+        if new_quantum == self.quantum:
+            return False
+        self.quantum = new_quantum
+        self.adjustments += 1
+        self.history.append((global_time, new_quantum))
+        return True

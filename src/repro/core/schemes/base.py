@@ -1,0 +1,74 @@
+"""Base interface shared by all slack-scheme policies."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.violations import ViolationDetector
+
+
+class SchemePolicy:
+    """Decides how far ahead of global time each core thread may simulate.
+
+    Subclass contract:
+
+    - :meth:`window` — the current slack window in cycles, or None for
+      unbounded.  ``max_local_time = global_time + window``.
+    - :attr:`barrier_sync` — True when threads sleep at window edges with a
+      heavyweight barrier (cycle-by-cycle and quantum simulation); False
+      when the window is enforced through cheap shared-variable checks
+      (all slack schemes).
+    - :attr:`conservative_service` — True when the manager must serve GQ
+      events in timestamp order, holding back events stamped beyond the
+      global time.  This is what makes cycle-by-cycle and quantum runs
+      violation-free; slack schemes serve in arrival order.
+    - :meth:`control_tick` — periodic hook for feedback control (adaptive
+      slack).  Returns True when the hook actually adjusted anything, so
+      the host cost model can charge for the adjustment.
+    - :meth:`max_local_for` — per-core override hook (used by Lax-P2P,
+      where constraints are pairwise rather than global).
+    """
+
+    barrier_sync: bool = False
+    conservative_service: bool = False
+
+    @property
+    def kind(self) -> str:
+        """Short identifier for reports."""
+        raise NotImplementedError
+
+    def window(self) -> Optional[int]:
+        """Current slack window in cycles; None means unbounded."""
+        raise NotImplementedError
+
+    def max_local_for(
+        self, core_id: int, local_time: int, global_time: int
+    ) -> Optional[int]:
+        """Max local time for one core; None means unlimited.
+
+        The default derives it from :meth:`window`; schemes with per-core
+        constraints override this.
+        """
+        window = self.window()
+        if window is None:
+            return None
+        return global_time + window
+
+    def control_tick(
+        self, detector: ViolationDetector, global_time: int, events_served: int = 0
+    ) -> bool:
+        """Periodic feedback-control hook; return True if an adjustment
+        was made (charged by the host cost model).
+
+        ``events_served`` is the manager's cumulative GQ event count —
+        the traffic signal used by the adaptive-quantum baseline.
+        """
+        return False
+
+    def on_global_advance(self, core_clocks) -> None:
+        """Hook invoked when the manager recomputes local times.
+
+        ``core_clocks`` is a list of ``(core_id, local_time, active)``
+        where ``active`` is False for finished or sync-blocked (frozen)
+        cores.  Used by per-core schemes such as Lax-P2P.
+        """

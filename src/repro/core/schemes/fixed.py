@@ -1,0 +1,60 @@
+"""Fixed-window schemes: cycle-by-cycle, bounded slack, unbounded, quantum."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config.schemes import QuantumConfig, SlackConfig
+from repro.core.schemes.base import SchemePolicy
+
+
+class FixedSlackPolicy(SchemePolicy):
+    """Cycle-by-cycle (bound 0), bounded slack ``Sb``, or unbounded ``SU``.
+
+    Cycle-by-cycle runs use a window of one cycle *with barrier semantics
+    and conservative event service* — the gold standard.  Bounded slack
+    with the same numeric window (``S1``) differs exactly as in the paper:
+    synchronization is a cheap shared-variable check and the manager serves
+    events in arrival order, trading violations for speed.
+    """
+
+    def __init__(self, config: SlackConfig) -> None:
+        self.config = config
+        if config.bound == 0:  # cycle-by-cycle: the gold standard
+            self.barrier_sync = True
+            self.conservative_service = True
+        else:
+            self.barrier_sync = False
+            self.conservative_service = False
+
+    @property
+    def kind(self) -> str:
+        return self.config.kind
+
+    def window(self) -> Optional[int]:
+        if self.config.bound is None:
+            return None
+        return max(1, self.config.bound)
+
+
+class QuantumPolicy(SchemePolicy):
+    """WWT-II-style quantum simulation: barrier every ``quantum`` cycles.
+
+    Conservative service keeps quantum runs violation-free; accuracy
+    nevertheless degrades for quanta above the critical latency (one clock
+    for this target, since bus conflicts are modeled) because coherence
+    events are *applied* late at the receiving cores.
+    """
+
+    barrier_sync = True
+    conservative_service = True
+
+    def __init__(self, config: QuantumConfig) -> None:
+        self.config = config
+
+    @property
+    def kind(self) -> str:
+        return self.config.kind
+
+    def window(self) -> Optional[int]:
+        return self.config.quantum

@@ -1,0 +1,81 @@
+"""Lax-P2P synchronization (Graphite-style; paper section 6 extension).
+
+Each core periodically picks a random other core and, if it is running more
+than ``max_lead`` cycles ahead of that peer, waits for the peer to catch
+up.  There is no global window: synchronization is pairwise and random,
+which bounds *pairwise* drift probabilistically while avoiding any global
+barrier or global-time dependency.
+
+The paper's authors flag this scheme ("an interesting approach, which we
+plan to explore further"); it is implemented here as extension experiment
+E2 (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.config.schemes import P2PConfig
+from repro.core.schemes.base import SchemePolicy
+from repro.util import XorShift64
+
+
+class P2PPolicy(SchemePolicy):
+    """Random pairwise synchronization with per-core lead constraints."""
+
+    barrier_sync = False
+    conservative_service = False
+
+    def __init__(self, config: P2PConfig, num_cores: int, seed: int) -> None:
+        self.config = config
+        self.num_cores = num_cores
+        self.rng = XorShift64(seed ^ 0x9E3779B97F4A7C15)
+        self._next_check: List[int] = [config.period] * num_cores
+        self._peer: List[Optional[int]] = [None] * num_cores
+        self._locals: List[int] = [0] * num_cores
+        self._active: List[bool] = [True] * num_cores
+        # Statistics
+        self.checks = 0
+        self.waits = 0
+
+    @property
+    def kind(self) -> str:
+        return self.config.kind
+
+    def window(self) -> Optional[int]:
+        return None  # no global window; constraints are per-core
+
+    def on_global_advance(self, core_clocks) -> None:
+        """Record the latest local times (peer constraints read them)."""
+        for core_id, local, active in core_clocks:
+            self._locals[core_id] = local
+            self._active[core_id] = active
+
+    def max_local_for(
+        self, core_id: int, local_time: int, global_time: int
+    ) -> Optional[int]:
+        config = self.config
+        if local_time >= self._next_check[core_id]:
+            self.checks += 1
+            self._next_check[core_id] = local_time + config.period
+            if self.num_cores > 1:
+                peer = self.rng.next_below(self.num_cores - 1)
+                if peer >= core_id:
+                    peer += 1
+                self._peer[core_id] = peer
+        peer = self._peer[core_id]
+        if peer is None:
+            return None
+        if not self._active[peer]:
+            # A finished or sync-blocked (descheduled) peer has a frozen
+            # clock; waiting on it would deadlock.  Waive the constraint —
+            # Graphite's LaxP2P likewise skips sleeping threads.
+            self._peer[core_id] = None
+            return None
+        limit = self._locals[peer] + config.max_lead
+        if limit > local_time:
+            # Constraint satisfied; drop it until the next periodic check.
+            self._peer[core_id] = None
+            return None
+        self.waits += 1
+        return limit

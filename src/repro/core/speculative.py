@@ -1,0 +1,205 @@
+"""Checkpointing and speculative-rollback control (paper section 5).
+
+The controller implements two modes on the same machinery:
+
+- **checkpoint-only** (``speculate=False``): periodic global checkpoints
+  are taken and charged, and per-interval violation statistics are
+  recorded.  This is exactly how the paper produced Table 2's 5K-100K
+  columns and the F / D_r measurements of Tables 3 and 4.
+- **full speculation** (``speculate=True``): additionally, whenever a
+  *tracked* violation is detected, the simulation rolls back to the last
+  checkpoint and replays in cycle-by-cycle mode until the next boundary
+  (the forward-progress guarantee), then resumes the base scheme.  The
+  paper modeled this analytically (section 5.2); here it is implemented in
+  full, as extension E1.
+
+The four critical mechanisms (section 5): 1) checkpointing, 2) violation
+detection, 3) rollback, 4) forward progress.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import CheckpointConfig, HostCostModel
+from repro.core.checkpoint import (
+    Snapshot,
+    checkpoint_cost_ns,
+    restore_snapshot,
+    take_snapshot,
+)
+from repro.core.manager import ServiceOutcome
+
+
+class IntervalRecord:
+    """Violation statistics for one checkpoint interval."""
+
+    __slots__ = ("index", "start", "end", "violations", "first_offset", "rolled_back")
+
+    def __init__(self, index: int, start: int, end: int) -> None:
+        self.index = index
+        self.start = start
+        self.end = end
+        self.violations = 0
+        self.first_offset: Optional[int] = None  # target cycles into interval
+        self.rolled_back = False
+
+    @property
+    def violated(self) -> bool:
+        return self.violations > 0
+
+
+class CheckpointController:
+    """Coordinates periodic checkpoints and (optionally) rollback."""
+
+    def __init__(
+        self,
+        sim,
+        config: CheckpointConfig,
+        cost: HostCostModel,
+        speculate: bool = False,
+        tracked: Tuple[str, ...] = ("bus", "map"),
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.cost = cost
+        self.speculate = speculate
+        self.tracked = frozenset(tracked)
+        self.snapshot: Optional[Snapshot] = None
+        self.next_boundary = config.interval
+        self.replaying = False
+        self.records: List[IntervalRecord] = []
+        self._current = IntervalRecord(0, 0, config.interval)
+
+    # ------------------------------------------------------------------ #
+    # Scheduler integration
+    # ------------------------------------------------------------------ #
+
+    def on_run_start(self, scheduler) -> None:
+        """Take the initial (time-zero) checkpoint before simulation."""
+        pages = 0  # nothing written yet; cost is the bare fork
+        cost = checkpoint_cost_ns(self.cost, pages)
+        resume = scheduler.pause_all_contexts(cost)
+        self.snapshot = take_snapshot(self.sim.state, 0, resume)
+        scheduler.stats.checkpoints += 1
+        scheduler.stats.checkpoint_cost_ns += cost
+        scheduler.wake_all(resume)
+
+    def overrides(self) -> Dict[str, object]:
+        """Manager-service overrides for the current mode."""
+        overrides: Dict[str, object] = {"window_cap": self.next_boundary}
+        if self.replaying:
+            overrides["force_window"] = 1
+            overrides["conservative"] = True
+            overrides["control_enabled"] = False
+        return overrides
+
+    def after_manager_step(
+        self, scheduler, outcome: ServiceOutcome, host_end: float
+    ) -> None:
+        """React to violations and boundary arrivals."""
+        for violation in outcome.violations:
+            self._note_violation(violation)
+
+        if self.speculate and not self.replaying:
+            if any(v.vtype in self.tracked for v in outcome.violations):
+                self._rollback(scheduler, outcome, host_end)
+                return
+
+        state = self.sim.state
+        if state.all_finished:
+            return
+        if self._parked(state) and state.manager.quiescent(state):
+            self._take_checkpoint(scheduler)
+
+    def finalize(self) -> List[IntervalRecord]:
+        """Close the trailing partial interval and return all records."""
+        state = self.sim.state
+        if state.execution_time() > self._current.start:
+            self._current.end = min(self._current.end, state.execution_time())
+            self.records.append(self._current)
+            self._current = IntervalRecord(
+                self._current.index + 1, self._current.end, self._current.end
+            )
+        return self.records
+
+    # ------------------------------------------------------------------ #
+
+    def _parked(self, state) -> bool:
+        """True when no core can move before the boundary.
+
+        A core blocked on workload synchronization with an empty InQ (and a
+        quiescent manager, checked by the caller) is legitimately frozen
+        below the boundary: in the target execution that barrier/lock wait
+        simply spans the checkpoint time.
+        """
+        for cs in state.cores:
+            if cs.finished or cs.local_time >= self.next_boundary:
+                continue
+            if cs.model.waiting_sync and not cs.inq:
+                continue
+            return False
+        return True
+
+    def _note_violation(self, violation) -> None:
+        record = self._current
+        record.violations += 1
+        offset = violation.ts - record.start
+        if offset < 0:
+            offset = 0
+        elif offset > self.config.interval:
+            offset = self.config.interval
+        if record.first_offset is None:
+            record.first_offset = offset
+
+    def _take_checkpoint(self, scheduler) -> None:
+        pages = sum(len(cs.model.pages_touched) for cs in self.sim.state.cores)
+        cost = checkpoint_cost_ns(self.cost, pages)
+        resume = scheduler.pause_all_contexts(cost)
+        if self.replaying:
+            scheduler.stats.replay_target_cycles += self.config.interval
+            self.replaying = False
+        self.snapshot = take_snapshot(self.sim.state, self.next_boundary, resume)
+        scheduler.stats.checkpoints += 1
+        scheduler.stats.checkpoint_cost_ns += cost
+
+        self.records.append(self._current)
+        start = self.next_boundary
+        self.next_boundary += self.config.interval
+        self._current = IntervalRecord(self._current.index + 1, start, self.next_boundary)
+        scheduler.wake_all(resume)
+
+    def _rollback(self, scheduler, outcome: ServiceOutcome, host_end: float) -> None:
+        """Restore the last checkpoint; replay conservatively to the next
+        boundary (forward progress)."""
+        self._current.rolled_back = True
+        interval_start = self.next_boundary - self.config.interval
+        wasted = outcome.global_time - interval_start
+        if wasted < 0:
+            wasted = 0
+        scheduler.stats.rollbacks += 1
+        scheduler.stats.wasted_target_cycles += wasted
+        scheduler.stats.rollback_cost_ns += self.cost.rollback_ns
+
+        self.sim.state = restore_snapshot(self.snapshot)
+        self._throttle_after_rollback()
+        resume = scheduler.pause_all_contexts(self.cost.rollback_ns)
+        self.replaying = True
+        scheduler.wake_all(resume)
+
+    def _throttle_after_rollback(self) -> None:
+        """Clamp an adaptive base scheme to its minimum bound.
+
+        Rolling back restores the checkpointed controller state, erasing
+        the violations that *caused* the rollback; without this clamp the
+        controller would charge straight back into the same aggressive
+        bound, and the erased history would make speculation look
+        spuriously cheap.  Throttling on rollback is the section-4 "slack
+        throttling" response applied to the strongest possible violation
+        signal.
+        """
+        from repro.core.schemes.adaptive import AdaptiveSlackPolicy
+
+        scheme = self.sim.state.scheme
+        if isinstance(scheme, AdaptiveSlackPolicy):
+            scheme.bound = scheme.config.min_bound

@@ -1,0 +1,131 @@
+"""Snapshot-able simulation state.
+
+Everything that defines the *simulation* (target machine state, workload
+progress, event queues, clocks, scheme dynamics, violation monitors) hangs
+off one :class:`SimulationState` root with no references to host-side
+objects (scheduler, contexts, statistics).  Checkpointing (paper section
+5.1) is then a single ``copy.deepcopy`` of the root — the in-memory
+analogue of SlackSim's ``fork()`` snapshot — and rollback replaces the
+root, leaving host clocks (wasted time included) untouched, exactly as a
+real rollback wastes real wall-clock time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.config import TargetConfig
+from repro.core.events import InMsg, InMsgKind, OutMsg
+from repro.core.schemes.base import SchemePolicy
+from repro.cpu.core import CoreModel
+from repro.errors import SimulationError
+
+
+class CoreState:
+    """One core thread's simulation state: model, clocks, queues."""
+
+    __slots__ = ("core_id", "model", "local_time", "max_local_time", "outq", "inq")
+
+    def __init__(self, core_id: int, model: CoreModel) -> None:
+        self.core_id = core_id
+        self.model = model
+        self.local_time = 0  # completed target cycles
+        self.max_local_time: Optional[int] = 1  # None = unbounded
+        self.outq: Deque[OutMsg] = deque()
+        self.inq: Deque[InMsg] = deque()
+
+    @property
+    def finished(self) -> bool:
+        """True once the workload thread on this core has ended."""
+        return self.model.finished
+
+    @property
+    def at_limit(self) -> bool:
+        """True when the slack window forbids simulating another cycle."""
+        return self.max_local_time is not None and self.local_time >= self.max_local_time
+
+
+class SimulationState:
+    """Root of the snapshot-able object graph."""
+
+    def __init__(
+        self,
+        target: TargetConfig,
+        cores: List[CoreState],
+        manager: "ManagerState",  # noqa: F821 - circular import avoided
+        scheme: SchemePolicy,
+    ) -> None:
+        self.target = target
+        self.cores = cores
+        self.manager = manager
+        self.scheme = scheme
+
+    @property
+    def all_finished(self) -> bool:
+        """True when every workload thread has ended."""
+        return all(cs.finished for cs in self.cores)
+
+    def global_time(self) -> int:
+        """Smallest local time over *running* cores (paper's global time).
+
+        Cores blocked on workload synchronization are descheduled — their
+        clocks are frozen and they will warp forward to the grant timestamp
+        — so they are excluded from the minimum (otherwise a barrier would
+        freeze the global time and deadlock the window).  When every
+        unfinished core is sync-blocked, the minimum over those is used;
+        when every core has finished, the *largest* local time is returned:
+        that is the target execution time of the run.
+        """
+        if not self.cores:
+            raise SimulationError("simulation has no cores")
+        running = [
+            cs.local_time
+            for cs in self.cores
+            if not cs.finished and not cs.model.waiting_sync
+        ]
+        if running:
+            return min(running)
+        unfinished = [cs.local_time for cs in self.cores if not cs.finished]
+        if unfinished:
+            return min(unfinished)
+        return max(cs.local_time for cs in self.cores)
+
+    def service_horizon(self) -> Optional[int]:
+        """Timestamp horizon for conservative event service.
+
+        A *running* core cannot post an event stamped below its local time,
+        so it contributes its local time.  A sync-blocked core is frozen:
+        it contributes the timestamp of a grant already delivered to its
+        InQ (it will resume exactly there), or nothing at all when no grant
+        is pending — its eventual grant is floored at the largest
+        already-served timestamp by the manager (see
+        ``ManagerState._grant_floor``), so no smaller-stamped event can
+        ever emerge from it.  Excluding frozen cores is what lets the
+        horizon advance past a barrier wait instead of deadlocking.
+        Returns None (unbounded) when no core constrains the horizon.
+        """
+        horizon: Optional[int] = None
+        for cs in self.cores:
+            if cs.finished:
+                continue
+            if cs.model.waiting_sync:
+                pending = [
+                    msg.ts for msg in cs.inq if msg.kind == InMsgKind.SYNC_GRANT
+                ]
+                if not pending:
+                    continue
+                bound = min(pending)
+            else:
+                bound = cs.local_time
+            if horizon is None or bound < horizon:
+                horizon = bound
+        return horizon
+
+    def execution_time(self) -> int:
+        """Target execution time: the largest local time reached."""
+        return max(cs.local_time for cs in self.cores)
+
+    def total_instructions(self) -> int:
+        """Committed instructions across all cores."""
+        return sum(cs.model.instructions for cs in self.cores)

@@ -1,0 +1,249 @@
+"""Host-side simulation-thread runners.
+
+A runner is the modeled equivalent of one POSIX thread of SlackSim: it
+executes simulation work against the (snapshot-able) simulation state and
+reports the modeled host-time cost of each scheduling step.  Runners hold
+no simulation state of their own — after a speculative rollback replaces
+the state root, the same runners continue against the restored state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import HostConfig, HostCostModel
+from repro.core.events import InMsg, InMsgKind, OutMsg
+from repro.core.manager import ServiceOutcome
+from repro.core.state import CoreState
+from repro.errors import SimulationError
+
+
+class StepResult:
+    """Outcome of one runner scheduling step."""
+
+    __slots__ = ("cost_ns", "blocked", "done", "outcome")
+
+    def __init__(
+        self,
+        cost_ns: float,
+        blocked: bool = False,
+        done: bool = False,
+        outcome: Optional[ServiceOutcome] = None,
+    ) -> None:
+        self.cost_ns = cost_ns
+        self.blocked = blocked
+        self.done = done
+        self.outcome = outcome  # manager steps only
+
+
+class CoreRunner:
+    """Simulates one target core, driving its CoreState/CoreModel.
+
+    Each step simulates up to ``max_batch_cycles`` target cycles (plus
+    bulk-skipped stall cycles), delivering due InQ entries before every
+    cycle and posting OutQ entries stamped with both target and host time.
+    """
+
+    name_prefix = "core"
+
+    def __init__(self, index: int, sim, host: HostConfig) -> None:
+        self.index = index
+        self.sim = sim  # Simulation facade; state accessed via sim.state
+        self.host = host
+        self.cost = host.cost
+
+    @property
+    def name(self) -> str:
+        return f"{self.name_prefix}{self.index}"
+
+    def _core_state(self) -> CoreState:
+        return self.sim.state.cores[self.index]
+
+    def step(self, host_now: float) -> StepResult:
+        cost_model: HostCostModel = self.cost
+        cs = self._core_state()
+        model = cs.model
+        cost = 0.0
+        cycles = 0
+        batch = self.host.max_batch_cycles
+
+        if model.finished:
+            # The workload thread has exited; drain any coherence traffic
+            # still addressed to this core so its L1 state stays coherent
+            # with the rest of the machine.
+            while cs.inq:
+                self._apply(cs, cs.inq.popleft())
+                cost += cost_model.per_mem_event_ns
+            return StepResult(max(cost, cost_model.slack_check_ns), done=True)
+
+        while cycles < batch:
+            # Deliver every InQ entry whose timestamp has been reached (or
+            # passed: the slack time-distortion case).
+            while cs.inq and cs.inq[0].ts <= cs.local_time:
+                self._apply(cs, cs.inq.popleft())
+                cost += cost_model.per_mem_event_ns
+            if model.waiting_sync:
+                # A thread blocked on workload synchronization is
+                # descheduled (MP_Simplesim executes sync inside the
+                # simulator): its clock does not tick.  Drain the InQ —
+                # the grant warps the local clock to the grant timestamp.
+                cost += self._drain_while_sync_blocked(cs)
+                if model.waiting_sync:
+                    break  # wait for the manager's grant delivery
+                continue
+            if model.finished:
+                break
+            if cs.at_limit:
+                break
+
+            committed = model.cycle(cs.local_time)
+            emitted = bool(model.outbox)
+            if emitted:
+                for request in model.outbox:
+                    cs.outq.append(OutMsg(self.index, cs.local_time, host_now + cost, request))
+                    cost += cost_model.per_mem_event_ns
+                model.outbox.clear()
+            cs.local_time += 1
+            cycles += 1
+            if committed:
+                cost += cost_model.core_cycle_ns + committed * cost_model.per_instruction_ns
+            else:
+                cost += cost_model.stall_cycle_ns
+            cost += cost_model.slack_check_ns
+
+            if committed == 0 and not emitted and not model.finished:
+                # The pipeline can only resume after an InQ delivery;
+                # fast-forward stall cycles in bulk (charged per cycle).
+                cost += self._skip_stalls(cs)
+                break
+
+        if cost <= 0.0:
+            cost = cost_model.slack_check_ns  # every step consumes host time
+        if model.finished:
+            return StepResult(cost, done=True)
+        blocked = cs.at_limit or (model.waiting_sync and not cs.inq)
+        if blocked and cs.at_limit and self._barrier_mode():
+            cost += cost_model.barrier_ns  # futex sleep at the barrier
+        return StepResult(cost, blocked=blocked)
+
+    def _barrier_mode(self) -> bool:
+        """True when window edges synchronize with a heavyweight barrier:
+        cycle-by-cycle/quantum schemes, and the forced cycle-by-cycle
+        replay after a speculative rollback."""
+        if self.sim.state.scheme.barrier_sync:
+            return True
+        controller = self.sim.controller
+        return controller is not None and controller.replaying
+
+    def _drain_while_sync_blocked(self, cs: CoreState) -> float:
+        """Apply all InQ entries while descheduled on a sync wait.
+
+        A SYNC_GRANT warps the local clock forward to the grant timestamp
+        (the blocked target core resumes exactly then); the skipped cycles
+        are idle-time bookkeeping only — no host cost accrues for them
+        because the host thread was asleep, not simulating.
+        """
+        cost = 0.0
+        while cs.inq and cs.model.waiting_sync:
+            msg = cs.inq.popleft()
+            if msg.kind == InMsgKind.SYNC_GRANT and msg.ts > cs.local_time:
+                cs.model.skip_stall_cycles(msg.ts - cs.local_time)
+                cs.local_time = msg.ts
+            self._apply(cs, msg)
+            cost += self.cost.per_mem_event_ns
+        return cost
+
+    def _skip_stalls(self, cs: CoreState) -> float:
+        """Bulk-advance known-stalled cycles; return the host cost."""
+        target = cs.local_time + self.host.max_stall_batch
+        if cs.max_local_time is not None:
+            target = min(target, cs.max_local_time)
+        if cs.inq:
+            target = min(target, cs.inq[0].ts)
+        skip = target - cs.local_time
+        if skip <= 0:
+            return 0.0
+        cs.model.skip_stall_cycles(skip)
+        cs.local_time += skip
+        per_cycle = self.cost.stall_cycle_ns + self.cost.slack_check_ns
+        return skip * per_cycle
+
+    @staticmethod
+    def _apply(cs: CoreState, msg: InMsg) -> None:
+        model = cs.model
+        if msg.kind == InMsgKind.FILL:
+            model.complete_fill(msg.line_addr, msg.state)
+        elif msg.kind == InMsgKind.SYNC_GRANT:
+            model.complete_sync()
+        elif msg.kind == InMsgKind.INVALIDATE:
+            model.snoop_invalidate(msg.line_addr)
+        elif msg.kind == InMsgKind.DOWNGRADE:
+            model.snoop_downgrade(msg.line_addr)
+        elif msg.kind == InMsgKind.IFILL:
+            model.complete_ifill(msg.line_addr)
+        else:  # pragma: no cover - guarded by InMsgKind
+            raise SimulationError(f"unknown InQ message kind {msg.kind}")
+
+
+class ManagerRunner:
+    """Drives the simulation manager; never blocks (it polls for work).
+
+    ``direct_cores`` restricts whose OutQs this manager consolidates
+    itself; in hierarchical mode (paper section 2's "organized
+    hierarchically" remedy for a bottlenecked manager) sub-managers
+    forward the rest and absorb the per-event consolidation cost.
+    """
+
+    name = "manager"
+
+    def __init__(self, sim, host: HostConfig, direct_cores=None) -> None:
+        self.sim = sim
+        self.host = host
+        self.cost = host.cost
+        self.direct_cores = direct_cores  # None = drain every core
+
+    def step(self, host_now: float) -> StepResult:
+        sim = self.sim
+        controller = sim.controller
+        overrides = controller.overrides() if controller is not None else {}
+        detection = sim.state.manager.detector.enabled
+
+        outcome = sim.state.manager.service(
+            sim.state, drain_cores=self.direct_cores, **overrides
+        )
+
+        cost = self.cost.manager_cycle_ns
+        cost += outcome.events_served * self.cost.per_gq_event_ns
+        cost += outcome.events_merged * self.cost.per_mem_event_ns
+        if detection:
+            cost += outcome.events_served * self.cost.violation_tracking_ns
+        if outcome.adjusted:
+            cost += self.cost.adaptive_adjust_ns
+        if outcome.idle:
+            cost += self.host.manager_poll_ns
+        return StepResult(cost, outcome=outcome)
+
+
+class SubManagerRunner:
+    """One node of a hierarchical manager: consolidates a core group's
+    OutQs into the top manager's GQ, absorbing the per-event handling
+    cost that would otherwise serialize on the top manager."""
+
+    def __init__(self, index: int, sim, host: HostConfig, core_ids) -> None:
+        self.index = index
+        self.sim = sim
+        self.host = host
+        self.cost = host.cost
+        self.core_ids = list(core_ids)
+
+    @property
+    def name(self) -> str:
+        return f"submanager{self.index}"
+
+    def step(self, host_now: float) -> StepResult:
+        manager = self.sim.state.manager
+        forwarded = manager._merge_outqs(self.sim.state, self.core_ids)
+        cost = self.cost.manager_cycle_ns + forwarded * self.cost.per_mem_event_ns
+        if forwarded == 0:
+            cost += self.host.manager_poll_ns
+        return StepResult(cost)

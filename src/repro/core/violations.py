@@ -1,0 +1,158 @@
+"""Simulation-violation detection (paper section 3).
+
+A violation occurs when a resource is accessed in a different order in the
+simulation (host arrival order) than in the target (timestamp order).  The
+detection mechanism is the paper's: a *monitoring variable* per resource
+records the largest timestamp of any operation applied so far; an incoming
+operation with a *smaller* timestamp is a violation (equal timestamps are
+legitimate same-cycle concurrency and never count).
+
+Two monitored resources:
+
+- the snooping bus — one monitor for the shared arbitration state
+  ("bus violations", Figure 3a), and
+- the global cache status map — one monitor per line
+  ("map violations", Figure 3b); per-line state is touched far less often
+  than the bus, which is why map violations need much larger slack to
+  appear and stay at least an order of magnitude rarer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+#: Canonical violation-type names (must match config.schemes.VIOLATION_TYPES).
+BUS = "bus"
+MAP = "map"
+
+
+class TimestampMonitor:
+    """One monitoring variable guarding one resource."""
+
+    __slots__ = ("last_ts",)
+
+    def __init__(self) -> None:
+        self.last_ts = -1
+
+    def check_and_update(self, ts: int) -> bool:
+        """Apply an operation stamped ``ts``; return True on violation."""
+        if ts < self.last_ts:
+            return True
+        self.last_ts = ts
+        return False
+
+    def reset(self) -> None:
+        self.last_ts = -1
+
+
+class MapMonitorTable:
+    """Per-line monitoring variables for the cache status map."""
+
+    __slots__ = ("_monitors",)
+
+    def __init__(self) -> None:
+        self._monitors: Dict[int, int] = {}
+
+    def check_and_update(self, line_addr: int, ts: int) -> bool:
+        """Apply a map operation on ``line_addr``; return True on violation."""
+        last = self._monitors.get(line_addr, -1)
+        if ts < last:
+            return True
+        self._monitors[line_addr] = ts
+        return False
+
+    def __len__(self) -> int:
+        return len(self._monitors)
+
+
+class ViolationRecord:
+    """One detected violation (kept lightweight; produced in bulk)."""
+
+    __slots__ = ("vtype", "ts", "global_time", "core_id")
+
+    def __init__(self, vtype: str, ts: int, global_time: int, core_id: int) -> None:
+        self.vtype = vtype
+        self.ts = ts  # the violating operation's target timestamp
+        self.global_time = global_time  # global time at detection
+        self.core_id = core_id
+
+
+class ViolationDetector:
+    """Detects, counts, and reports violations at the manager.
+
+    ``enabled=False`` turns detection off entirely (the paper notes that
+    detection itself disturbs the simulation; the host cost model charges
+    for it only when enabled — ablation A1).
+
+    Counts are split into cumulative totals and a resettable window used by
+    the adaptive controller.  Records of new violations accumulate in a
+    pending list the manager drains each service step, so host-side
+    consumers (the speculative controller, interval trackers) observe them
+    without the detector holding references to host objects — a requirement
+    for checkpointing the detector by deep copy.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.counts: Dict[str, int] = {BUS: 0, MAP: 0}
+        self.window_counts: Dict[str, int] = {BUS: 0, MAP: 0}
+        self._bus_monitor = TimestampMonitor()
+        self._map_monitors = MapMonitorTable()
+        self._pending: List[ViolationRecord] = []
+        self.last_violation: Optional[ViolationRecord] = None
+
+    # ------------------------------------------------------------------ #
+
+    def check_bus(self, ts: int, global_time: int, core_id: int) -> bool:
+        """Monitor one bus grant; count and report a violation if any."""
+        if not self.enabled:
+            return False
+        if self._bus_monitor.check_and_update(ts):
+            self._record(BUS, ts, global_time, core_id)
+            return True
+        return False
+
+    def check_map(self, line_addr: int, ts: int, global_time: int, core_id: int) -> bool:
+        """Monitor one cache-map operation; count a violation if any."""
+        if not self.enabled:
+            return False
+        if self._map_monitors.check_and_update(line_addr, ts):
+            self._record(MAP, ts, global_time, core_id)
+            return True
+        return False
+
+    def _record(self, vtype: str, ts: int, global_time: int, core_id: int) -> None:
+        self.counts[vtype] += 1
+        self.window_counts[vtype] += 1
+        record = ViolationRecord(vtype, ts, global_time, core_id)
+        self.last_violation = record
+        self._pending.append(record)
+
+    def drain_pending(self) -> List[ViolationRecord]:
+        """Return and clear violations recorded since the last drain."""
+        pending, self._pending = self._pending, []
+        return pending
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total(self) -> int:
+        """Cumulative violation count across all types."""
+        return sum(self.counts.values())
+
+    def window_total(self) -> int:
+        """Violations since the last :meth:`reset_window`."""
+        return sum(self.window_counts.values())
+
+    def reset_window(self) -> None:
+        """Start a new adaptive-control window."""
+        for key in self.window_counts:
+            self.window_counts[key] = 0
+
+    def rate(self, cycles: int) -> float:
+        """Cumulative violation rate: violations per simulated cycle."""
+        return self.total / cycles if cycles > 0 else 0.0
+
+    def rate_of(self, vtype: str, cycles: int) -> float:
+        """Cumulative rate of one violation type."""
+        return self.counts[vtype] / cycles if cycles > 0 else 0.0

@@ -1,0 +1,5 @@
+"""Out-of-order core timing models (one per target core)."""
+
+from repro.cpu.core import CoreModel, CoreRequest, RequestKind
+
+__all__ = ["CoreModel", "CoreRequest", "RequestKind"]

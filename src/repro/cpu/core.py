@@ -1,0 +1,348 @@
+"""Out-of-order core timing model.
+
+Models the paper's 4-way-issue, 64-in-flight NetBurst-like core with a
+window-occupancy pipeline model:
+
+- each cycle offers ``issue_width`` issue slots;
+- compute bursts are throttled by their ILP class (dependence-chained code
+  issues ~1/cycle; unrolled numeric code fills the width);
+- loads and stores access the lock-up-free L1 in the execution stage (as in
+  SlackSim, which executes instructions at the execution units rather than
+  at dispatch);
+- a load miss does not stop issue: execution proceeds until the reorder
+  window fills (``window_size`` instructions issued past the oldest
+  outstanding load miss), capturing memory-level parallelism;
+- stores retire through a store buffer and never stall the window (only
+  MSHR exhaustion stalls them);
+- workload synchronization ops (lock/barrier) serialize the pipeline and
+  are executed by the manager (MP_Simplesim-style).
+
+The instruction cache is modeled as ideal; the paper's scaled-down 16 KB
+L1I sees negligible miss rates on the small SPLASH-2 kernels, and no
+coherence traffic flows through it (see DESIGN.md substitutions).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from enum import IntEnum
+from typing import Deque, List, Optional, Tuple
+
+from repro.config import CoreConfig, TargetConfig
+from repro.errors import SimulationError
+from repro.isa.operations import ILP_HIGH, ILP_LOW, ILP_MED, Op, OpKind
+from repro.isa.program import ProgramInterpreter
+from repro.memory.cache import CacheArray
+from repro.memory.l1 import L1Cache, L1Outcome
+from repro.memory.mesi import BusOpKind, MesiState
+
+
+class RequestKind(IntEnum):
+    """Kinds of requests a core thread posts to its OutQ."""
+
+    BUS = 0  #: coherence transaction (GETS/GETX/UPGR), carries a line
+    WRITEBACK = 1  #: dirty eviction toward the L2
+    LOCK_ACQUIRE = 2
+    LOCK_RELEASE = 3
+    BARRIER_ARRIVE = 4
+    IFETCH = 5  #: instruction-line fetch (read-only GETS)
+
+
+class CoreRequest:
+    """One outgoing request produced by the core model."""
+
+    __slots__ = ("kind", "line_addr", "bus_op", "sync_id", "participants")
+
+    def __init__(
+        self,
+        kind: RequestKind,
+        line_addr: int = 0,
+        bus_op: Optional[BusOpKind] = None,
+        sync_id: int = 0,
+        participants: int = 0,
+    ) -> None:
+        self.kind = kind
+        self.line_addr = line_addr
+        self.bus_op = bus_op
+        self.sync_id = sync_id
+        self.participants = participants
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CoreRequest({self.kind.name}, line={self.line_addr}, bus={self.bus_op})"
+
+
+_ILP_RATE = {ILP_LOW: 1, ILP_MED: 2, ILP_HIGH: 64}
+
+#: Base byte address of the shared code region (all threads run one
+#: binary, as the SPLASH programs do).
+_CODE_BASE = 0x0800_0000
+
+
+class CoreModel:
+    """One target core plus its private L1 (the unit one core thread owns)."""
+
+    def __init__(
+        self,
+        core_id: int,
+        target: TargetConfig,
+        program: ProgramInterpreter,
+    ) -> None:
+        self.core_id = core_id
+        self.config: CoreConfig = target.core
+        self.l1 = L1Cache(core_id, target.l1d, target.core)
+        self.program = program
+        self.outbox: List[CoreRequest] = []  # drained by the core thread
+
+        # Optional instruction-fetch model: the committed stream walks a
+        # *shared* wrapping code region (SPLASH threads run one binary);
+        # fetch stalls on L1I misses, filled over the bus like any
+        # read-shared line.
+        self._icache = CacheArray(target.l1i) if target.core.model_icache else None
+        self._code_lines = max(
+            1, target.core.code_footprint // target.l1i.line_size
+        )
+        self._code_base_line = _CODE_BASE // target.l1i.line_size
+        self._fetch_seq = 0  # instructions fetched (drives the fetch PC)
+        self._instrs_per_line = max(
+            1, target.l1i.line_size // target.core.instruction_bytes
+        )
+        self._fetch_line = -1  # line currently feeding the pipeline
+        self._ifetch_pending: Optional[int] = None
+        self.ifetch_stall_cycles = 0
+
+        self._current_op: Optional[Op] = None
+        self._compute_remaining = 0
+        self._compute_rate = 1
+        self._issue_seq = 0  # total instructions issued
+        # Outstanding load misses as (issue_seq at issue, line_addr); the
+        # window is full when issue_seq outruns the oldest by window_size.
+        self._pending_loads: Deque[Tuple[int, int]] = deque()
+        self.waiting_sync = False
+        self.finished = False
+        # Pages written since the last checkpoint (drives the COW cost of
+        # the fork()-style checkpoint model; cleared by the controller).
+        self._page_shift = target.memory.page_size.bit_length() - 1
+        self.pages_touched: set = set()
+
+        # Statistics
+        self.cycles = 0
+        self.stall_cycles = 0
+        self.sync_stall_cycles = 0
+        self.instructions = 0
+
+    # ------------------------------------------------------------------ #
+    # Pipeline
+    # ------------------------------------------------------------------ #
+
+    def cycle(self, now: int) -> int:
+        """Simulate one core cycle at core-local time ``now``.
+
+        Returns the number of instructions committed this cycle.  Requests
+        generated during the cycle are appended to :attr:`outbox`.
+        """
+        self.cycles += 1
+        if self.finished or self.waiting_sync:
+            self.sync_stall_cycles += self.waiting_sync
+            self.stall_cycles += 1
+            return 0
+        if self._icache is not None and not self._fetch_ready():
+            self.ifetch_stall_cycles += 1
+            self.stall_cycles += 1
+            return 0
+
+        committed = 0
+        slots = self.config.issue_width
+        while slots > 0:
+            if self._window_full():
+                break
+            if self._compute_remaining > 0:
+                take = min(slots, self._compute_rate, self._compute_remaining)
+                self._compute_remaining -= take
+                self._issue_seq += take
+                committed += take
+                slots -= take
+                if self._compute_remaining > 0:
+                    # The burst's dependence chain caps this cycle's issue;
+                    # later program-order ops cannot bypass it either.
+                    break
+                continue
+            op = self._fetch_op()
+            if op is None:
+                break
+            if op.kind == OpKind.COMPUTE:
+                # Burst setup: record the burst; its instructions issue via
+                # the branch above (no slot is charged for the setup itself).
+                self._compute_remaining = op.arg1
+                self._compute_rate = _ILP_RATE[op.arg2]
+                self._consume_op()
+                continue
+            if not self._issue_op(op, now):
+                break  # structural stall
+            committed += 1
+            slots -= 1
+            if self.waiting_sync or self.finished:
+                break
+
+        self.instructions += committed
+        self._fetch_seq += committed
+        if committed == 0:
+            self.stall_cycles += 1
+        return committed
+
+    def _fetch_ready(self) -> bool:
+        """True when the fetch line feeding the pipeline is resident.
+
+        On an L1I miss, posts an IFETCH bus request and stalls fetch until
+        :meth:`complete_ifill` delivers the line.
+        """
+        if self._ifetch_pending is not None:
+            return False
+        line = (
+            self._code_base_line
+            + (self._fetch_seq // self._instrs_per_line) % self._code_lines
+        )
+        if line == self._fetch_line:
+            return True
+        if self._icache.lookup(line) is not None:
+            self._fetch_line = line
+            return True
+        self.outbox.append(CoreRequest(RequestKind.IFETCH, line_addr=line))
+        self._ifetch_pending = line
+        return False
+
+    def _fetch_op(self) -> Optional[Op]:
+        if self._current_op is None:
+            self._current_op = self.program.next_op()
+        return self._current_op
+
+    def _consume_op(self) -> None:
+        self._current_op = None
+
+    def _issue_op(self, op: Op, now: int) -> bool:
+        """Issue one non-compute op; return False to stop issuing."""
+        kind = op.kind
+        if kind in (OpKind.LOAD, OpKind.STORE):
+            return self._issue_memory(op, now)
+        if kind == OpKind.LOCK:
+            self.outbox.append(CoreRequest(RequestKind.LOCK_ACQUIRE, sync_id=op.arg1))
+            self.waiting_sync = True
+            self._issue_seq += 1
+            self._consume_op()
+            return True
+        if kind == OpKind.UNLOCK:
+            self.outbox.append(CoreRequest(RequestKind.LOCK_RELEASE, sync_id=op.arg1))
+            self._issue_seq += 1
+            self._consume_op()
+            return True
+        if kind == OpKind.BARRIER:
+            self.outbox.append(
+                CoreRequest(RequestKind.BARRIER_ARRIVE, sync_id=op.arg1, participants=op.arg2)
+            )
+            self.waiting_sync = True
+            self._issue_seq += 1
+            self._consume_op()
+            return True
+        if kind == OpKind.THREAD_END:
+            self.finished = True
+            self._issue_seq += 1
+            self._consume_op()
+            return True
+        raise SimulationError(f"core {self.core_id}: unknown op kind {kind}")
+
+    def _issue_memory(self, op: Op, now: int) -> bool:
+        is_store = op.kind == OpKind.STORE
+        if is_store:
+            self.pages_touched.add(op.arg1 >> self._page_shift)
+        result = self.l1.access(op.arg1, is_store, now)
+        outcome = result.outcome
+        if outcome == L1Outcome.HIT:
+            self._issue_seq += 1
+            self._consume_op()
+            return True
+        if outcome in (L1Outcome.MISS, L1Outcome.MERGED):
+            if outcome == L1Outcome.MISS:
+                self.outbox.append(
+                    CoreRequest(RequestKind.BUS, line_addr=result.line_addr, bus_op=result.bus_op)
+                )
+            if not is_store:
+                self._pending_loads.append((self._issue_seq, result.line_addr))
+            self._issue_seq += 1
+            self._consume_op()
+            return True
+        # BLOCKED or MSHR_FULL: leave the op in place and stall this cycle.
+        return False
+
+    def _window_full(self) -> bool:
+        if not self._pending_loads:
+            return False
+        oldest_seq = self._pending_loads[0][0]
+        return self._issue_seq - oldest_seq >= self.config.window_size
+
+    def skip_stall_cycles(self, count: int) -> None:
+        """Account for ``count`` cycles in which the pipeline is known to be
+        fully stalled (the core thread fast-forwards them in bulk; the host
+        cost model still charges per cycle, so host-time behaviour is
+        unchanged)."""
+        self.cycles += count
+        self.stall_cycles += count
+        if self.waiting_sync:
+            self.sync_stall_cycles += count
+
+    # ------------------------------------------------------------------ #
+    # External completions (driven by InQ deliveries)
+    # ------------------------------------------------------------------ #
+
+    def complete_fill(self, line_addr: int, state: MesiState) -> None:
+        """A bus transaction for ``line_addr`` completed; fill the L1."""
+        victim_addr, victim_dirty = self.l1.fill(line_addr, state)
+        if victim_dirty and victim_addr is not None:
+            self.outbox.append(CoreRequest(RequestKind.WRITEBACK, line_addr=victim_addr))
+        if self._pending_loads:
+            self._pending_loads = deque(
+                entry for entry in self._pending_loads if entry[1] != line_addr
+            )
+
+    def complete_sync(self) -> None:
+        """A lock grant or barrier release arrived; resume the pipeline."""
+        self.waiting_sync = False
+
+    def complete_ifill(self, line_addr: int) -> None:
+        """An instruction-line fetch completed; resume instruction fetch."""
+        if self._icache is None:  # pragma: no cover - defensive
+            return
+        self._icache.fill(line_addr, MesiState.SHARED)
+        if self._ifetch_pending == line_addr:
+            self._ifetch_pending = None
+            self._fetch_line = line_addr
+
+    def snoop_invalidate(self, line_addr: int) -> None:
+        """Apply a remote invalidation to the L1."""
+        self.l1.snoop_invalidate(line_addr)
+
+    def snoop_downgrade(self, line_addr: int) -> None:
+        """Apply a remote downgrade (M/E -> S) to the L1."""
+        victim = self.l1.snoop_downgrade(line_addr)
+        if victim == MesiState.MODIFIED:
+            # Supplying dirty data to a GETS also updates the L2 copy; the
+            # manager models that as part of the cache-to-cache transfer.
+            pass
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def blocked(self) -> bool:
+        """True when no forward progress is possible without an InQ event.
+
+        Compute never blocks; only an unfilled window-full condition, an
+        MSHR conflict, or a pending sync grant can stall the core, and all
+        of those clear via InQ deliveries.
+        """
+        if self.finished:
+            return True
+        if self.waiting_sync:
+            return True
+        return False
+
+    def cpi(self) -> float:
+        """Cycles per committed instruction so far."""
+        return self.cycles / self.instructions if self.instructions else 0.0

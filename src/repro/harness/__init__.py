@@ -1,0 +1,48 @@
+"""Experiment harness: one entry point per paper table/figure.
+
+Each function in :mod:`repro.harness.experiments` regenerates one table or
+figure of the paper's evaluation section on the reproduction's scaled-down
+workloads (see EXPERIMENTS.md for the scale mapping), returning structured
+rows and printing the same series the paper reports.  ``benchmarks/`` wraps
+these in pytest-benchmark targets.
+"""
+
+from repro.harness.runner import ExperimentRunner
+from repro.harness.experiments import (
+    ablation_detection,
+    adaptive_quantum_comparison,
+    ablation_manager_placement,
+    ablation_tracked,
+    figure3,
+    figure4,
+    hierarchy,
+    p2p_comparison,
+    scaling,
+    speculative_full,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from repro.harness.tables import format_table
+
+__all__ = [
+    "ExperimentRunner",
+    "table1",
+    "figure3",
+    "figure4",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "speculative_full",
+    "p2p_comparison",
+    "scaling",
+    "hierarchy",
+    "adaptive_quantum_comparison",
+    "ablation_detection",
+    "ablation_manager_placement",
+    "ablation_tracked",
+    "format_table",
+]

@@ -1,0 +1,83 @@
+"""Cached experiment runner.
+
+Experiments across tables and figures share many base runs (every table
+needs the cycle-by-cycle reference, Table 5 reuses Tables 2-4's runs...),
+so the runner memoizes completed reports by their full configuration key.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.config import (
+    CheckpointConfig,
+    HostConfig,
+    SchemeConfig,
+    TargetConfig,
+    paper_host_config,
+    paper_target_config,
+)
+from repro.core.report import SimulationReport
+from repro.core.simulation import Simulation
+from repro.workloads import make_workload
+
+
+class ExperimentRunner:
+    """Builds, runs, and memoizes paper-configuration simulations."""
+
+    def __init__(
+        self,
+        target: Optional[TargetConfig] = None,
+        host: Optional[HostConfig] = None,
+        num_threads: int = 8,
+        seed: int = 2010,
+        verbose: bool = False,
+    ) -> None:
+        self.target = target or paper_target_config()
+        self.host = host or paper_host_config()
+        self.num_threads = num_threads
+        self.seed = seed
+        self.verbose = verbose
+        self._cache: Dict[Tuple, SimulationReport] = {}
+
+    def run(
+        self,
+        benchmark: str,
+        scheme: SchemeConfig,
+        scale: float = 1.0,
+        checkpoint: Optional[CheckpointConfig] = None,
+        detection: bool = True,
+    ) -> SimulationReport:
+        """Run (or fetch from cache) one configuration."""
+        key = (
+            benchmark,
+            scale,
+            scheme,
+            checkpoint.interval if checkpoint else None,
+            detection,
+            self.seed,
+        )
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        workload = make_workload(benchmark, num_threads=self.num_threads, scale=scale)
+        simulation = Simulation(
+            workload,
+            scheme=scheme,
+            target=self.target,
+            host=self.host,
+            checkpoint=checkpoint,
+            detection=detection,
+            seed=self.seed,
+        )
+        report = simulation.run()
+        self._cache[key] = report
+        if self.verbose:
+            print(f"  ran {benchmark}/{scheme.kind}: {report.sim_time_s:.3f}s modeled")
+        return report
+
+    def reference(self, benchmark: str, scale: float = 1.0) -> SimulationReport:
+        """The cycle-by-cycle gold-standard run for a benchmark."""
+        from repro.config import SlackConfig
+
+        return self.run(benchmark, SlackConfig(bound=0), scale=scale)

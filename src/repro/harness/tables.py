@@ -1,0 +1,36 @@
+"""Plain-text table formatting for experiment output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def _render(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Format rows as an aligned plain-text table (first column left-
+    aligned, the rest right-aligned)."""
+    rendered: List[List[str]] = [[_render(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = [cells[0].ljust(widths[0])]
+        parts += [cell.rjust(widths[i + 1]) for i, cell in enumerate(cells[1:])]
+        return "  ".join(parts)
+
+    lines = [fmt_row(list(headers)), fmt_row(["-" * w for w in widths])]
+    lines += [fmt_row(row) for row in rendered]
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Architectural operation vocabulary and program representation.
+
+Workload kernels (``repro.workloads``) emit :class:`~repro.isa.operations.Op`
+records — compute bursts, loads, stores, and synchronization operations —
+which the out-of-order timing cores (``repro.cpu``) consume.  This is
+direct-execution-style simulation (as in WWT-II, cited by the paper): the
+workload's *architectural effects* drive a detailed timing model without
+modeling instruction decode.
+"""
+
+from repro.isa.operations import (
+    Op,
+    OpKind,
+    barrier,
+    compute,
+    load,
+    lock,
+    store,
+    thread_end,
+    unlock,
+)
+from repro.isa.program import Emit, If, Loop, ProgramContext, ProgramInterpreter, Stmt
+
+__all__ = [
+    "Op",
+    "OpKind",
+    "compute",
+    "load",
+    "store",
+    "lock",
+    "unlock",
+    "barrier",
+    "thread_end",
+    "Stmt",
+    "Emit",
+    "Loop",
+    "If",
+    "ProgramContext",
+    "ProgramInterpreter",
+]

@@ -1,0 +1,134 @@
+"""Architectural operations consumed by the timing cores.
+
+An :class:`Op` is deliberately tiny (``__slots__``, two integer payload
+fields) because the simulator materializes millions of them.  Use the module
+factory functions (:func:`compute`, :func:`load`, ...) rather than the raw
+constructor; they document which payload field means what for each kind.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+from repro.errors import WorkloadError
+
+
+class OpKind(IntEnum):
+    """Operation kinds in a workload's architectural stream."""
+
+    COMPUTE = 0  #: a burst of non-memory instructions
+    LOAD = 1  #: read one word at an address
+    STORE = 2  #: write one word at an address
+    LOCK = 3  #: acquire a workload mutex (executed by the manager)
+    UNLOCK = 4  #: release a workload mutex
+    BARRIER = 5  #: wait at a workload barrier
+    THREAD_END = 6  #: this workload thread has finished
+
+
+#: Compute bursts carry an ILP class in ``arg2``; the core model converts it
+#: to an issue throughput.  ILP_LOW models dependence-chained code (~1 IPC),
+#: ILP_MED typical scalar code, ILP_HIGH unrolled numeric loops.
+ILP_LOW, ILP_MED, ILP_HIGH = 1, 2, 3
+
+
+class Op:
+    """One architectural operation.
+
+    ``arg1``/``arg2`` meaning by kind:
+
+    =========  ==========================  =======================
+    kind       arg1                        arg2
+    =========  ==========================  =======================
+    COMPUTE    instruction count           ILP class (1..3)
+    LOAD       byte address                0
+    STORE      byte address                0
+    LOCK       lock id                     0
+    UNLOCK     lock id                     0
+    BARRIER    barrier id                  participant count
+    THREAD_END 0                           0
+    =========  ==========================  =======================
+    """
+
+    __slots__ = ("kind", "arg1", "arg2")
+
+    def __init__(self, kind: OpKind, arg1: int = 0, arg2: int = 0) -> None:
+        self.kind = kind
+        self.arg1 = arg1
+        self.arg2 = arg2
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Op({self.kind.name}, {self.arg1}, {self.arg2})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Op):
+            return NotImplemented
+        return (self.kind, self.arg1, self.arg2) == (other.kind, other.arg1, other.arg2)
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.arg1, self.arg2))
+
+    @property
+    def is_memory(self) -> bool:
+        """True for loads and stores."""
+        return self.kind in (OpKind.LOAD, OpKind.STORE)
+
+    @property
+    def is_sync(self) -> bool:
+        """True for lock/unlock/barrier operations."""
+        return self.kind in (OpKind.LOCK, OpKind.UNLOCK, OpKind.BARRIER)
+
+
+def compute(count: int, ilp: int = ILP_MED) -> Op:
+    """A burst of ``count`` non-memory instructions with the given ILP class."""
+    if count <= 0:
+        raise WorkloadError(f"compute burst must be positive, got {count}")
+    if ilp not in (ILP_LOW, ILP_MED, ILP_HIGH):
+        raise WorkloadError(f"unknown ILP class {ilp}")
+    return Op(OpKind.COMPUTE, count, ilp)
+
+
+def load(addr: int) -> Op:
+    """Load one word from byte address ``addr``."""
+    if addr < 0:
+        raise WorkloadError(f"negative address {addr}")
+    return Op(OpKind.LOAD, addr)
+
+
+def store(addr: int) -> Op:
+    """Store one word to byte address ``addr``."""
+    if addr < 0:
+        raise WorkloadError(f"negative address {addr}")
+    return Op(OpKind.STORE, addr)
+
+
+def lock(lock_id: int) -> Op:
+    """Acquire workload mutex ``lock_id``.
+
+    Synchronization executes reliably inside the simulator (MP_Simplesim
+    style, paper section 3), which is why simulated-workload-state
+    violations cannot occur in SlackSim or in this reproduction.
+    """
+    if lock_id < 0:
+        raise WorkloadError(f"negative lock id {lock_id}")
+    return Op(OpKind.LOCK, lock_id)
+
+
+def unlock(lock_id: int) -> Op:
+    """Release workload mutex ``lock_id``."""
+    if lock_id < 0:
+        raise WorkloadError(f"negative lock id {lock_id}")
+    return Op(OpKind.UNLOCK, lock_id)
+
+
+def barrier(barrier_id: int, participants: int) -> Op:
+    """Wait at barrier ``barrier_id`` until ``participants`` threads arrive."""
+    if barrier_id < 0:
+        raise WorkloadError(f"negative barrier id {barrier_id}")
+    if participants <= 0:
+        raise WorkloadError(f"barrier needs at least one participant")
+    return Op(OpKind.BARRIER, barrier_id, participants)
+
+
+def thread_end() -> Op:
+    """Mark the end of a workload thread's architectural stream."""
+    return Op(OpKind.THREAD_END)

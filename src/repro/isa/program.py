@@ -1,0 +1,228 @@
+"""Structured program representation with a snapshot-able interpreter.
+
+Workload kernels cannot be Python generators: speculative slack simulation
+(paper section 5) checkpoints the entire simulation by deep copy, and
+generator frames are not copyable.  Instead, a kernel is a small immutable
+tree of statements (:class:`Emit`, :class:`Loop`, :class:`If`) interpreted
+by :class:`ProgramInterpreter`, whose complete execution state is a plain
+frame stack of integers — trivially deep-copyable and bit-for-bit
+replayable.
+
+Statement callables must be *pure*: their only inputs are the
+:class:`ProgramContext` (thread id, loop variables, the interpreter's own
+PRNG) and immutable captured parameters.  The deep copy shares the callables
+and copies the context, which is exactly right for pure functions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.errors import WorkloadError
+from repro.isa.operations import Op, thread_end
+from repro.util import XorShift64
+
+#: An Emit callback may return one op, an iterable of ops, or None.
+EmitResult = Union[Op, Iterable[Op], None]
+
+
+class ProgramContext:
+    """Mutable per-thread interpreter context.
+
+    Attributes
+    ----------
+    tid:
+        Workload thread id (0-based).
+    vars:
+        Current loop-variable bindings, by name.
+    rng:
+        A deterministic per-thread PRNG for data-dependent behaviour
+        (e.g. Barnes' irregular tree walks).  Lives here so checkpoints
+        capture it.
+    """
+
+    __slots__ = ("tid", "vars", "rng")
+
+    def __init__(self, tid: int, seed: int) -> None:
+        self.tid = tid
+        self.vars: Dict[str, int] = {}
+        self.rng = XorShift64(seed)
+
+    def __getitem__(self, name: str) -> int:
+        """Return the value of loop variable ``name``."""
+        try:
+            return self.vars[name]
+        except KeyError:
+            raise WorkloadError(f"loop variable {name!r} is not in scope") from None
+
+
+class Stmt:
+    """Base class of all program statements."""
+
+    __slots__ = ()
+
+
+class Emit(Stmt):
+    """Emit zero or more operations computed from the context."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[ProgramContext], EmitResult]) -> None:
+        self.fn = fn
+
+
+class Loop(Stmt):
+    """Run ``body`` ``count`` times, binding the index to ``var``.
+
+    ``count`` may be an int or a callable evaluated on loop entry, enabling
+    thread-dependent trip counts (e.g. block distributions).
+    """
+
+    __slots__ = ("var", "count", "body")
+
+    def __init__(
+        self,
+        var: str,
+        count: Union[int, Callable[[ProgramContext], int]],
+        body: Sequence[Stmt],
+    ) -> None:
+        if not var:
+            raise WorkloadError("loop variable name must be non-empty")
+        self.var = var
+        self.count = count
+        self.body = tuple(body)
+
+
+class If(Stmt):
+    """Run ``then_body`` when ``pred(ctx)`` is true, else ``else_body``."""
+
+    __slots__ = ("pred", "then_body", "else_body")
+
+    def __init__(
+        self,
+        pred: Callable[[ProgramContext], bool],
+        then_body: Sequence[Stmt],
+        else_body: Sequence[Stmt] = (),
+    ) -> None:
+        self.pred = pred
+        self.then_body = tuple(then_body)
+        self.else_body = tuple(else_body)
+
+
+class _Frame:
+    """One interpreter activation record (a statement list in progress)."""
+
+    __slots__ = ("stmts", "idx", "var", "remaining", "trip")
+
+    def __init__(
+        self,
+        stmts: Sequence[Stmt],
+        var: Optional[str] = None,
+        remaining: int = 0,
+        trip: int = 0,
+    ) -> None:
+        self.stmts = stmts
+        self.idx = 0
+        self.var = var  # loop variable bound by this frame, if any
+        self.remaining = remaining  # loop iterations left (incl. current)
+        self.trip = trip  # current iteration index
+
+
+class ProgramInterpreter:
+    """Steps a statement tree, producing the thread's operation stream.
+
+    The interpreter is exhausted after producing a single
+    :func:`~repro.isa.operations.thread_end` op; further calls return None.
+    """
+
+    def __init__(self, program: Sequence[Stmt], tid: int, seed: int) -> None:
+        self._program = tuple(program)
+        self.ctx = ProgramContext(tid, seed)
+        self._frames: List[_Frame] = [_Frame(self._program)]
+        self._buffer: deque = deque()
+        self._ended = False
+
+    @property
+    def finished(self) -> bool:
+        """True once the THREAD_END op has been produced."""
+        return self._ended and not self._buffer
+
+    def next_op(self) -> Optional[Op]:
+        """Return the next operation, or None when the thread is done."""
+        while not self._buffer:
+            if self._ended:
+                return None
+            self._step()
+        return self._buffer.popleft()
+
+    def peek_op(self) -> Optional[Op]:
+        """Return the next operation without consuming it."""
+        op = self.next_op()
+        if op is not None:
+            self._buffer.appendleft(op)
+        return op
+
+    # ------------------------------------------------------------------ #
+
+    def _step(self) -> None:
+        """Execute statements until at least one op is buffered or the
+        program ends."""
+        while True:
+            if not self._frames:
+                self._buffer.append(thread_end())
+                self._ended = True
+                return
+            frame = self._frames[-1]
+            if frame.idx >= len(frame.stmts):
+                self._pop_frame(frame)
+                continue
+            stmt = frame.stmts[frame.idx]
+            frame.idx += 1
+            if isinstance(stmt, Emit):
+                if self._run_emit(stmt):
+                    return
+            elif isinstance(stmt, Loop):
+                self._enter_loop(stmt)
+            elif isinstance(stmt, If):
+                body = stmt.then_body if stmt.pred(self.ctx) else stmt.else_body
+                if body:
+                    self._frames.append(_Frame(body))
+            else:  # pragma: no cover - guarded by construction
+                raise WorkloadError(f"unknown statement type {type(stmt).__name__}")
+
+    def _run_emit(self, stmt: Emit) -> bool:
+        """Evaluate an Emit; return True if anything was buffered."""
+        result = stmt.fn(self.ctx)
+        if result is None:
+            return False
+        if isinstance(result, Op):
+            self._buffer.append(result)
+            return True
+        produced = False
+        for op in result:
+            if not isinstance(op, Op):
+                raise WorkloadError(f"Emit produced a non-Op value: {op!r}")
+            self._buffer.append(op)
+            produced = True
+        return produced
+
+    def _enter_loop(self, stmt: Loop) -> None:
+        count = stmt.count(self.ctx) if callable(stmt.count) else stmt.count
+        if count < 0:
+            raise WorkloadError(f"negative loop count {count} for {stmt.var!r}")
+        if count == 0:
+            return
+        self.ctx.vars[stmt.var] = 0
+        self._frames.append(_Frame(stmt.body, var=stmt.var, remaining=count, trip=0))
+
+    def _pop_frame(self, frame: _Frame) -> None:
+        if frame.var is not None and frame.remaining > 1:
+            frame.remaining -= 1
+            frame.trip += 1
+            frame.idx = 0
+            self.ctx.vars[frame.var] = frame.trip
+        else:
+            if frame.var is not None:
+                self.ctx.vars.pop(frame.var, None)
+            self._frames.pop()

@@ -1,0 +1,167 @@
+"""Architectural-trace capture and replay.
+
+SlackSim-style simulators are often driven from traces when the workload
+itself cannot be rerun (proprietary binaries, one-off captures).  This
+module records a workload's per-thread operation streams into a compact
+text format and replays them as a drop-in :class:`~repro.workloads.base.
+Workload` — a trace-driven run is bit-for-bit identical to the original
+execution-driven one (tested), because the op stream *is* the workload's
+entire architectural behaviour.
+
+Format (one file per workload)::
+
+    #slacksim-trace v1 threads=<N> name=<name>
+    T <tid>
+    C <count> <ilp>     compute burst
+    L <addr>            load
+    S <addr>            store
+    K <lock>            lock acquire
+    U <lock>            lock release
+    B <barrier> <n>     barrier
+    E                   thread end
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Sequence, TextIO, Union
+
+from repro.errors import WorkloadError
+from repro.isa.operations import (
+    Op,
+    OpKind,
+    barrier,
+    compute,
+    load,
+    lock,
+    store,
+    thread_end,
+    unlock,
+)
+
+_HEADER_PREFIX = "#slacksim-trace v1"
+
+_EMITTERS = {
+    OpKind.COMPUTE: lambda op: f"C {op.arg1} {op.arg2}",
+    OpKind.LOAD: lambda op: f"L {op.arg1}",
+    OpKind.STORE: lambda op: f"S {op.arg1}",
+    OpKind.LOCK: lambda op: f"K {op.arg1}",
+    OpKind.UNLOCK: lambda op: f"U {op.arg1}",
+    OpKind.BARRIER: lambda op: f"B {op.arg1} {op.arg2}",
+    OpKind.THREAD_END: lambda op: "E",
+}
+
+
+def dump_trace(streams: Sequence[Sequence[Op]], name: str = "trace") -> str:
+    """Serialize per-thread op streams to the trace text format."""
+    out = io.StringIO()
+    out.write(f"{_HEADER_PREFIX} threads={len(streams)} name={name}\n")
+    for tid, stream in enumerate(streams):
+        out.write(f"T {tid}\n")
+        for op in stream:
+            try:
+                out.write(_EMITTERS[op.kind](op) + "\n")
+            except KeyError:  # pragma: no cover - all kinds covered
+                raise WorkloadError(f"cannot serialize op kind {op.kind}")
+    return out.getvalue()
+
+
+def _parse_line(line: str) -> Op:
+    parts = line.split()
+    tag = parts[0]
+    if tag == "C":
+        return compute(int(parts[1]), int(parts[2]))
+    if tag == "L":
+        return load(int(parts[1]))
+    if tag == "S":
+        return store(int(parts[1]))
+    if tag == "K":
+        return lock(int(parts[1]))
+    if tag == "U":
+        return unlock(int(parts[1]))
+    if tag == "B":
+        return barrier(int(parts[1]), int(parts[2]))
+    if tag == "E":
+        return thread_end()
+    raise WorkloadError(f"unknown trace record {line!r}")
+
+
+def parse_trace(text: str) -> Dict[str, Union[str, List[List[Op]]]]:
+    """Parse trace text; return ``{"name": ..., "streams": [...]}``."""
+    lines = text.splitlines()
+    if not lines or not lines[0].startswith(_HEADER_PREFIX):
+        raise WorkloadError("not a slacksim trace (bad header)")
+    header = dict(
+        field.split("=", 1) for field in lines[0][len(_HEADER_PREFIX):].split() if "=" in field
+    )
+    threads = int(header.get("threads", 0))
+    name = header.get("name", "trace")
+    streams: List[List[Op]] = [[] for _ in range(threads)]
+    current: List[Op] = []
+    for line in lines[1:]:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("T "):
+            tid = int(line.split()[1])
+            if not 0 <= tid < threads:
+                raise WorkloadError(f"trace thread id {tid} out of range")
+            current = streams[tid]
+            continue
+        current.append(_parse_line(line))
+    for tid, stream in enumerate(streams):
+        if not stream or stream[-1].kind != OpKind.THREAD_END:
+            raise WorkloadError(f"thread {tid} stream missing THREAD_END")
+    return {"name": name, "streams": streams}
+
+
+def record_workload(workload, seed: int, limit_per_thread: int = 5_000_000) -> str:
+    """Execute a workload's interpreters and capture the full trace."""
+    streams: List[List[Op]] = []
+    for interpreter in workload.programs(seed):
+        ops: List[Op] = []
+        while True:
+            op = interpreter.next_op()
+            if op is None:
+                break
+            ops.append(op)
+            if len(ops) > limit_per_thread:
+                raise WorkloadError("trace capture exceeded the per-thread limit")
+        streams.append(ops)
+    return dump_trace(streams, name=workload.name)
+
+
+def write_trace(workload, seed: int, fileobj: TextIO) -> None:
+    """Record a workload and write the trace to an open text file."""
+    fileobj.write(record_workload(workload, seed))
+
+
+def trace_workload(text: str):
+    """Build a replay Workload from trace text.
+
+    The replayed workload ignores the seed passed to ``programs`` — the
+    trace already fixes every data-dependent choice.
+    """
+    from repro.isa.program import Emit, Loop
+    from repro.workloads.base import Workload
+
+    parsed = parse_trace(text)
+    streams: List[List[Op]] = parsed["streams"]
+
+    def builder(tid: int):
+        ops = streams[tid][:-1]  # the interpreter re-appends THREAD_END
+        if not ops:
+            return []
+        return [Loop("i", len(ops), [Emit(lambda ctx, ops=ops: ops[ctx["i"]])])]
+
+    return Workload(
+        f"{parsed['name']}-replay",
+        len(streams),
+        builder,
+        params={"replayed": True},
+    )
+
+
+def read_trace_workload(fileobj: TextIO):
+    """Build a replay Workload from an open trace file."""
+    return trace_workload(fileobj.read())

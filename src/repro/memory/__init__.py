@@ -1,0 +1,36 @@
+"""Memory-hierarchy substrate: caches, MESI coherence, bus, L2, cache map.
+
+The split follows SlackSim's architecture (paper Figure 1): each core thread
+owns its private L1 (``repro.memory.l1``) while the simulation manager owns
+the request/response snooping bus (``repro.memory.bus``), the shared L2
+(``repro.memory.l2``), and the global cache status map
+(``repro.memory.cache_map``) whose monitoring variables detect the paper's
+"map violations".
+"""
+
+from repro.memory.address import AddressMapper
+from repro.memory.cache import CacheArray, CacheLine
+from repro.memory.mesi import BusOpKind, MesiState
+from repro.memory.mshr import MshrFile
+from repro.memory.l1 import L1AccessResult, L1Cache, L1Outcome
+from repro.memory.bus import SnoopBus
+from repro.memory.l2 import L2Cache
+from repro.memory.cache_map import CacheStatusMap
+from repro.memory.dram import DramConfig, DramModel
+
+__all__ = [
+    "AddressMapper",
+    "CacheArray",
+    "CacheLine",
+    "MesiState",
+    "BusOpKind",
+    "MshrFile",
+    "L1Cache",
+    "L1AccessResult",
+    "L1Outcome",
+    "SnoopBus",
+    "L2Cache",
+    "CacheStatusMap",
+    "DramConfig",
+    "DramModel",
+]

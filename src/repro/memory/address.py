@@ -1,0 +1,51 @@
+"""Address arithmetic: line addresses, set indices, tags, pages."""
+
+from __future__ import annotations
+
+from repro.config import CacheConfig
+from repro.util import log2_int
+
+
+class AddressMapper:
+    """Decomposes byte addresses for one cache geometry.
+
+    Precomputes the shift/mask values so the hot-path methods are single
+    arithmetic operations.
+    """
+
+    __slots__ = ("line_bits", "set_bits", "num_sets", "_set_mask")
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.line_bits = log2_int(config.line_size)
+        self.num_sets = config.num_sets
+        self.set_bits = log2_int(config.num_sets)
+        self._set_mask = config.num_sets - 1
+
+    def line_addr(self, addr: int) -> int:
+        """Line-granular address (byte address with offset bits dropped)."""
+        return addr >> self.line_bits
+
+    def set_index(self, addr: int) -> int:
+        """Cache set index for a byte address."""
+        return (addr >> self.line_bits) & self._set_mask
+
+    def set_index_of_line(self, line: int) -> int:
+        """Cache set index for a line address."""
+        return line & self._set_mask
+
+    def tag(self, addr: int) -> int:
+        """Tag bits for a byte address."""
+        return addr >> (self.line_bits + self.set_bits)
+
+    def tag_of_line(self, line: int) -> int:
+        """Tag bits for a line address."""
+        return line >> self.set_bits
+
+    def line_of(self, set_index: int, tag: int) -> int:
+        """Reconstruct a line address from set index and tag."""
+        return (tag << self.set_bits) | set_index
+
+
+def page_of(addr: int, page_size: int) -> int:
+    """Page number of a byte address (used by the COW checkpoint model)."""
+    return addr // page_size

@@ -1,0 +1,110 @@
+"""Generic set-associative cache array with LRU replacement.
+
+Used for both the private L1s and the shared L2.  The array stores MESI
+states but no data values: the simulator is timing-directed (workloads are
+synthetic operation streams, so there are no functional values to track —
+and the paper notes workload-state violations cannot occur anyway because
+synchronization executes inside the simulator).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import CacheConfig
+from repro.memory.address import AddressMapper
+from repro.memory.mesi import MesiState
+
+
+class CacheLine:
+    """One cache line: tag, MESI state, LRU stamp."""
+
+    __slots__ = ("tag", "state", "lru")
+
+    def __init__(self) -> None:
+        self.tag = -1
+        self.state = MesiState.INVALID
+        self.lru = 0
+
+    @property
+    def valid(self) -> bool:
+        return self.state != MesiState.INVALID
+
+
+class CacheArray:
+    """Set-associative tag/state array with true-LRU replacement."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.mapper = AddressMapper(config)
+        self._sets: List[List[CacheLine]] = [
+            [CacheLine() for _ in range(config.associativity)]
+            for _ in range(config.num_sets)
+        ]
+        self._clock = 0  # LRU stamp source
+        # Statistics
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def lookup(self, line_addr: int, touch: bool = True) -> Optional[CacheLine]:
+        """Return the resident line for ``line_addr``, or None on miss.
+
+        ``touch=False`` performs a snoop-style probe that does not perturb
+        LRU state.
+        """
+        set_index = self.mapper.set_index_of_line(line_addr)
+        tag = self.mapper.tag_of_line(line_addr)
+        for line in self._sets[set_index]:
+            if line.valid and line.tag == tag:
+                if touch:
+                    self._clock += 1
+                    line.lru = self._clock
+                return line
+        return None
+
+    def fill(self, line_addr: int, state: MesiState) -> Tuple[Optional[int], MesiState]:
+        """Insert ``line_addr`` with ``state``; return the victim.
+
+        Returns ``(victim_line_addr, victim_state)``; the victim address is
+        None when an invalid way was used.  The caller is responsible for
+        writing back Modified victims.
+        """
+        set_index = self.mapper.set_index_of_line(line_addr)
+        ways = self._sets[set_index]
+        victim = min(ways, key=lambda ln: (ln.valid, ln.lru))
+        victim_addr: Optional[int] = None
+        victim_state = MesiState.INVALID
+        if victim.valid:
+            victim_addr = self.mapper.line_of(set_index, victim.tag)
+            victim_state = victim.state
+            self.evictions += 1
+        victim.tag = self.mapper.tag_of_line(line_addr)
+        victim.state = state
+        self._clock += 1
+        victim.lru = self._clock
+        return victim_addr, victim_state
+
+    def invalidate(self, line_addr: int) -> MesiState:
+        """Invalidate ``line_addr`` if resident; return its prior state."""
+        line = self.lookup(line_addr, touch=False)
+        if line is None:
+            return MesiState.INVALID
+        prior = line.state
+        line.state = MesiState.INVALID
+        return prior
+
+    def set_state(self, line_addr: int, state: MesiState) -> None:
+        """Set the MESI state of a resident line (no-op if absent)."""
+        line = self.lookup(line_addr, touch=False)
+        if line is not None:
+            line.state = state
+
+    def resident_lines(self) -> Dict[int, MesiState]:
+        """Map of all valid line addresses to states (tests/invariants)."""
+        result: Dict[int, MesiState] = {}
+        for set_index, ways in enumerate(self._sets):
+            for line in ways:
+                if line.valid:
+                    result[self.mapper.line_of(set_index, line.tag)] = line.state
+        return result

@@ -1,0 +1,129 @@
+"""Global cache status map (manager side).
+
+The manager tracks, for every line it has seen, which L1s hold it and
+which (if any) holds it exclusively.  This is the paper's "cache status
+map": the simulated-system state whose out-of-order updates are counted as
+*map violations* (section 3; Figure 3b).  The map itself is pure protocol
+bookkeeping — violation monitoring wraps it in
+``repro.core.violations``.
+
+The map may over-approximate sharers (clean L1 evictions are silent, as on
+a real snooping bus), which is harmless: an invalidation sent to a core
+that no longer holds the line is a no-op.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+
+class MapEntry:
+    """Sharers and exclusive owner for one line."""
+
+    __slots__ = ("sharers", "owner")
+
+    def __init__(self) -> None:
+        self.sharers: Set[int] = set()
+        self.owner: Optional[int] = None  # core holding the line in E/M
+
+
+class CacheStatusMap:
+    """Line-granular global view of all L1 contents."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, MapEntry] = {}
+        # Statistics
+        self.gets_served = 0
+        self.getx_served = 0
+        self.upgr_served = 0
+        self.writebacks = 0
+        self.cache_to_cache = 0
+
+    def entry(self, line_addr: int) -> Optional[MapEntry]:
+        """The map entry for a line, or None if never seen."""
+        return self._entries.get(line_addr)
+
+    def _get_or_create(self, line_addr: int) -> MapEntry:
+        entry = self._entries.get(line_addr)
+        if entry is None:
+            entry = MapEntry()
+            self._entries[line_addr] = entry
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # Transactions (called by the manager in host arrival order)
+    # ------------------------------------------------------------------ #
+
+    def apply_gets(self, line_addr: int, requester: int) -> Tuple[bool, Optional[int]]:
+        """Read miss: add ``requester`` as a sharer.
+
+        Returns ``(others_have_copy, downgrade_target)``: whether any other
+        L1 holds the line (decides E vs S fill), and the previous exclusive
+        owner that must be downgraded and supply the data (cache-to-cache
+        transfer), if any.
+        """
+        self.gets_served += 1
+        entry = self._get_or_create(line_addr)
+        others = entry.sharers - {requester}
+        downgrade_target: Optional[int] = None
+        if entry.owner is not None and entry.owner != requester:
+            downgrade_target = entry.owner
+            self.cache_to_cache += 1
+        entry.owner = None if others else requester
+        entry.sharers.add(requester)
+        if downgrade_target is not None:
+            entry.owner = None
+        return bool(others), downgrade_target
+
+    def apply_getx(self, line_addr: int, requester: int) -> Tuple[List[int], Optional[int]]:
+        """Write miss: grant ``requester`` exclusive ownership.
+
+        Returns ``(invalidate_targets, data_source_owner)``: the cores that
+        must invalidate their copies, and the previous M/E owner supplying
+        the data cache-to-cache (None means the L2/memory supplies it).
+        """
+        self.getx_served += 1
+        entry = self._get_or_create(line_addr)
+        targets = sorted(entry.sharers - {requester})
+        source = entry.owner if entry.owner not in (None, requester) else None
+        if source is not None:
+            self.cache_to_cache += 1
+        entry.sharers = {requester}
+        entry.owner = requester
+        return targets, source
+
+    def apply_upgr(self, line_addr: int, requester: int) -> List[int]:
+        """Store to a Shared line: invalidate all other sharers, no data."""
+        self.upgr_served += 1
+        entry = self._get_or_create(line_addr)
+        targets = sorted(entry.sharers - {requester})
+        entry.sharers = {requester}
+        entry.owner = requester
+        return targets
+
+    def apply_writeback(self, line_addr: int, core: int) -> None:
+        """A dirty line left core ``core``'s L1."""
+        self.writebacks += 1
+        entry = self._entries.get(line_addr)
+        if entry is None:
+            return
+        entry.sharers.discard(core)
+        if entry.owner == core:
+            entry.owner = None
+        if not entry.sharers:
+            del self._entries[line_addr]
+
+    # ------------------------------------------------------------------ #
+
+    def sharers_of(self, line_addr: int) -> Set[int]:
+        """Cores the map believes hold the line (may over-approximate)."""
+        entry = self._entries.get(line_addr)
+        return set(entry.sharers) if entry else set()
+
+    def owner_of(self, line_addr: int) -> Optional[int]:
+        """The exclusive owner the map believes holds the line, if any."""
+        entry = self._entries.get(line_addr)
+        return entry.owner if entry else None
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,79 @@
+"""Open-row DRAM model behind the shared L2 (optional extension).
+
+The paper models L2 misses as a flat 100-clock latency; that remains the
+default.  For studies of how memory-system detail interacts with slack
+(more simulator state to misorder -> more timing sensitivity), an optional
+open-row DRAM can replace the flat latency: banks keep their last-opened
+row, a row hit pays column access only, a row miss pays
+precharge+activate+column, and bank occupancy follows the same monotone
+arrival-order semantics as the snooping bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.util import is_power_of_two
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """Open-row DRAM timing (latencies in target cycles)."""
+
+    num_banks: int = 4
+    row_bytes: int = 2048
+    row_hit_latency: int = 60  # column access on an open row
+    row_miss_latency: int = 140  # precharge + activate + column
+    bank_busy_cycles: int = 4
+
+    def __post_init__(self) -> None:
+        if self.num_banks <= 0:
+            raise ConfigError("num_banks must be positive")
+        if not is_power_of_two(self.row_bytes):
+            raise ConfigError("row_bytes must be a power of two")
+        if not (0 < self.row_hit_latency <= self.row_miss_latency):
+            raise ConfigError("need 0 < row_hit_latency <= row_miss_latency")
+        if self.bank_busy_cycles <= 0:
+            raise ConfigError("bank_busy_cycles must be positive")
+
+
+class DramModel:
+    """Per-bank open-row state plus occupancy."""
+
+    def __init__(self, config: DramConfig, line_size: int) -> None:
+        self.config = config
+        self._lines_per_row = max(1, config.row_bytes // line_size)
+        self._open_row = [-1] * config.num_banks
+        self._bank_free_at = [0] * config.num_banks
+        # Statistics
+        self.accesses = 0
+        self.row_hits = 0
+        self.row_misses = 0
+        self.bank_conflict_cycles = 0
+
+    def _locate(self, line_addr: int):
+        row = line_addr // self._lines_per_row
+        bank = row % self.config.num_banks
+        return bank, row
+
+    def access(self, line_addr: int, at: int = 0) -> int:
+        """Fetch one line starting at target time ``at``; return latency."""
+        self.accesses += 1
+        bank, row = self._locate(line_addr)
+        start = max(at, self._bank_free_at[bank])
+        wait = start - at
+        self.bank_conflict_cycles += wait
+        if self._open_row[bank] == row:
+            self.row_hits += 1
+            latency = self.config.row_hit_latency
+        else:
+            self.row_misses += 1
+            latency = self.config.row_miss_latency
+            self._open_row[bank] = row
+        self._bank_free_at[bank] = start + self.config.bank_busy_cycles
+        return wait + latency
+
+    def row_hit_rate(self) -> float:
+        """Fraction of accesses that hit an open row."""
+        return self.row_hits / self.accesses if self.accesses else 0.0

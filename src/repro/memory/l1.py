@@ -1,0 +1,182 @@
+"""Core-side private L1 data cache controller (lock-up free).
+
+Each SlackSim core thread simulates its target core *and its L1 caches*
+(paper Figure 1).  The L1 resolves hits locally in one cycle; misses
+allocate an MSHR and surface a bus-transaction request that the core thread
+posts to its OutQ for the manager to service.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import List, Optional, Tuple
+
+from repro.config import CacheConfig, CoreConfig
+from repro.memory.cache import CacheArray
+from repro.memory.mesi import BusOpKind, MesiState, store_transition
+from repro.memory.mshr import MshrEntry, MshrFile
+
+
+class L1Outcome(IntEnum):
+    """Result category of one L1 access attempt."""
+
+    HIT = 0  #: satisfied locally this cycle
+    MISS = 1  #: new miss; a bus transaction must be issued
+    MERGED = 2  #: merged into an outstanding MSHR for the same line
+    BLOCKED = 3  #: conflicts with an incompatible outstanding miss; retry
+    MSHR_FULL = 4  #: structural stall; retry when an MSHR frees up
+
+
+class L1AccessResult:
+    """Outcome of an access, with the bus op to issue for new misses."""
+
+    __slots__ = ("outcome", "line_addr", "bus_op")
+
+    def __init__(
+        self,
+        outcome: L1Outcome,
+        line_addr: int,
+        bus_op: Optional[BusOpKind] = None,
+    ) -> None:
+        self.outcome = outcome
+        self.line_addr = line_addr
+        self.bus_op = bus_op
+
+
+class L1Cache:
+    """Private L1D with MSHRs, driven by one core's memory operations."""
+
+    def __init__(self, core_id: int, config: CacheConfig, core_config: CoreConfig) -> None:
+        self.core_id = core_id
+        self.array = CacheArray(config)
+        self.mshrs = MshrFile(core_config.num_mshrs)
+        self.hit_latency = config.hit_latency
+        # Statistics
+        self.loads = 0
+        self.stores = 0
+        self.load_misses = 0
+        self.store_misses = 0
+        self.upgrades = 0
+        self.writebacks = 0
+        self.snoop_invalidations = 0
+        self.snoop_downgrades = 0
+
+    # ------------------------------------------------------------------ #
+    # Access path (called by the core model)
+    # ------------------------------------------------------------------ #
+
+    def access(self, addr: int, is_store: bool, now: int) -> L1AccessResult:
+        """Attempt one load/store at core-local time ``now``.
+
+        Returns the outcome; for :attr:`L1Outcome.MISS` the caller must
+        allocate the bus transaction (the MSHR has already been charged).
+        """
+        line_addr = self.array.mapper.line_addr(addr)
+        if is_store:
+            self.stores += 1
+        else:
+            self.loads += 1
+
+        line = self.array.lookup(line_addr)
+        if line is not None:
+            if not is_store:
+                self.array.hits += 1
+                return L1AccessResult(L1Outcome.HIT, line_addr)
+            if line.state.writable:
+                line.state = store_transition(line.state)
+                self.array.hits += 1
+                return L1AccessResult(L1Outcome.HIT, line_addr)
+            # Store to a Shared line: needs an upgrade transaction.
+            return self._miss(line_addr, BusOpKind.UPGR, now, is_store=True)
+
+        kind = BusOpKind.GETX if is_store else BusOpKind.GETS
+        return self._miss(line_addr, kind, now, is_store)
+
+    def _miss(
+        self, line_addr: int, kind: BusOpKind, now: int, is_store: bool
+    ) -> L1AccessResult:
+        outstanding = self.mshrs.get(line_addr)
+        if outstanding is not None:
+            # Loads merge into any outstanding miss; stores only into a
+            # transaction that will grant write permission.
+            if not is_store or outstanding.kind in (BusOpKind.GETX, BusOpKind.UPGR):
+                self.mshrs.merge(line_addr, 0)
+                return L1AccessResult(L1Outcome.MERGED, line_addr)
+            return L1AccessResult(L1Outcome.BLOCKED, line_addr)
+        if self.mshrs.full:
+            self.mshrs.full_stalls += 1
+            return L1AccessResult(L1Outcome.MSHR_FULL, line_addr)
+        self.mshrs.allocate(line_addr, kind, now)
+        self.array.misses += 1
+        if is_store:
+            if kind == BusOpKind.UPGR:
+                self.upgrades += 1
+            else:
+                self.store_misses += 1
+        else:
+            self.load_misses += 1
+        return L1AccessResult(L1Outcome.MISS, line_addr, kind)
+
+    # ------------------------------------------------------------------ #
+    # Fill path (called when the manager's response arrives)
+    # ------------------------------------------------------------------ #
+
+    def fill(self, line_addr: int, state: MesiState) -> Tuple[Optional[int], bool]:
+        """Complete an outstanding miss; install the line.
+
+        Returns ``(victim_line_addr, victim_dirty)`` so the core thread can
+        post a writeback for a Modified victim.  Upgrade completions mutate
+        the resident line in place (no victim).
+        """
+        entry = self.mshrs.release(line_addr)
+        if entry.kind == BusOpKind.UPGR:
+            resident = self.array.lookup(line_addr, touch=False)
+            if resident is not None:
+                resident.state = state
+                return None, False
+            # The line was invalidated by a remote GETX while the upgrade
+            # was in flight; fall through and install it fresh.
+        victim_addr, victim_state = self.array.fill(line_addr, state)
+        victim_dirty = victim_state == MesiState.MODIFIED
+        if victim_dirty:
+            self.writebacks += 1
+        return victim_addr, victim_dirty
+
+    def pending(self, line_addr: int) -> Optional[MshrEntry]:
+        """The outstanding MSHR entry for a line, if any."""
+        return self.mshrs.get(line_addr)
+
+    # ------------------------------------------------------------------ #
+    # Snoop path (coherence events pushed by the manager)
+    # ------------------------------------------------------------------ #
+
+    def snoop_invalidate(self, line_addr: int) -> MesiState:
+        """Remote GETX/UPGR: drop our copy; return the prior state."""
+        prior = self.array.invalidate(line_addr)
+        if prior != MesiState.INVALID:
+            self.snoop_invalidations += 1
+        return prior
+
+    def snoop_downgrade(self, line_addr: int) -> MesiState:
+        """Remote GETS: demote M/E to Shared; return the prior state."""
+        line = self.array.lookup(line_addr, touch=False)
+        if line is None:
+            return MesiState.INVALID
+        prior = line.state
+        if prior in (MesiState.MODIFIED, MesiState.EXCLUSIVE):
+            line.state = MesiState.SHARED
+            self.snoop_downgrades += 1
+        return prior
+
+    # ------------------------------------------------------------------ #
+
+    def resident_lines(self):
+        """Valid lines and states (used by coherence-invariant tests)."""
+        return self.array.resident_lines()
+
+    def miss_rate(self) -> float:
+        """Combined load+store miss rate."""
+        accesses = self.loads + self.stores
+        if accesses == 0:
+            return 0.0
+        return (self.load_misses + self.store_misses + self.upgrades) / accesses

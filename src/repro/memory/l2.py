@@ -1,0 +1,84 @@
+"""Shared L2 cache, simulated by the manager thread (paper Figure 1)."""
+
+from __future__ import annotations
+
+from repro.config import L2Config
+from repro.memory.cache import CacheArray
+from repro.memory.mesi import MesiState
+
+
+class L2Cache:
+    """Shared, optionally banked L2: tag array plus hit/miss latencies.
+
+    The L2 is non-inclusive; L1 writebacks allocate.  Dirty L2 victims
+    drain to memory off the critical path (their latency is folded into the
+    100-clock miss penalty, as in the paper's flat L2-miss model).
+
+    With ``num_banks > 1``, lines interleave across banks and each bank is
+    a serially-occupied resource: two requests hitting the same bank
+    back-to-back serialize (``access`` accounts the conflict), requests to
+    different banks proceed in parallel — the "L2 cache banks and their
+    interconnection to cores" of the paper's manager thread.
+    """
+
+    #: Bank occupancy per request, in target cycles.
+    BANK_BUSY_CYCLES = 2
+
+    def __init__(self, config: L2Config) -> None:
+        self.config = config
+        self.array = CacheArray(config.cache)
+        self._bank_free_at = [0] * config.num_banks
+        self.dram = None
+        if config.dram is not None:
+            from repro.memory.dram import DramModel
+
+            self.dram = DramModel(config.dram, config.cache.line_size)
+        # Statistics
+        self.accesses = 0
+        self.misses = 0
+        self.writebacks_received = 0
+        self.bank_conflict_cycles = 0
+
+    def bank_of(self, line_addr: int) -> int:
+        """Bank index serving a line (low-order interleaving)."""
+        return line_addr % self.config.num_banks
+
+    def access(self, line_addr: int, at: int = 0) -> int:
+        """Look up a line for a fill request starting at target time ``at``;
+        return the access latency including any bank conflict.
+
+        A hit costs ``hit_latency`` (8 clocks in the paper's target); a miss
+        costs ``miss_latency`` (100 clocks) and installs the line.  Bank
+        occupancy follows the same monotone arrival-order semantics as the
+        snooping bus, so banked configurations expose additional ordering
+        sensitivity to slack.
+        """
+        self.accesses += 1
+        wait = 0
+        if self.config.num_banks > 1:
+            bank = self.bank_of(line_addr)
+            start = max(at, self._bank_free_at[bank])
+            wait = start - at
+            self.bank_conflict_cycles += wait
+            self._bank_free_at[bank] = start + self.BANK_BUSY_CYCLES
+        line = self.array.lookup(line_addr)
+        if line is not None:
+            return wait + self.config.cache.hit_latency
+        self.misses += 1
+        self.array.fill(line_addr, MesiState.EXCLUSIVE)
+        if self.dram is not None:
+            return wait + self.dram.access(line_addr, at=at + wait)
+        return wait + self.config.miss_latency
+
+    def writeback(self, line_addr: int) -> None:
+        """Absorb a dirty line evicted from an L1."""
+        self.writebacks_received += 1
+        line = self.array.lookup(line_addr, touch=False)
+        if line is None:
+            self.array.fill(line_addr, MesiState.MODIFIED)
+        else:
+            line.state = MesiState.MODIFIED
+
+    def miss_rate(self) -> float:
+        """L2 miss rate over fill requests."""
+        return self.misses / self.accesses if self.accesses else 0.0

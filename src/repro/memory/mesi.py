@@ -1,0 +1,62 @@
+"""MESI coherence states and bus transaction kinds.
+
+The protocol is the textbook MESI over a split request/response snooping
+bus: read misses issue GETS, write misses GETX, stores to Shared lines
+UPGR, and dirty evictions WB.  The manager resolves each transaction
+against the global cache status map and the L2 (paper section 2/3).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+from repro.errors import ProtocolError
+
+
+class MesiState(IntEnum):
+    """Per-line MESI state."""
+
+    INVALID = 0
+    SHARED = 1
+    EXCLUSIVE = 2
+    MODIFIED = 3
+
+    @property
+    def readable(self) -> bool:
+        """True if a load hits in this state."""
+        return self != MesiState.INVALID
+
+    @property
+    def writable(self) -> bool:
+        """True if a store hits in this state without a bus transaction."""
+        return self in (MesiState.EXCLUSIVE, MesiState.MODIFIED)
+
+
+class BusOpKind(IntEnum):
+    """Snooping-bus transaction kinds."""
+
+    GETS = 0  #: read miss - request line in Shared/Exclusive
+    GETX = 1  #: write miss - request line in Modified, invalidate others
+    UPGR = 2  #: store to a Shared line - invalidate others, no data
+    WB = 3  #: writeback of a Modified line on eviction
+
+
+def store_transition(state: MesiState) -> MesiState:
+    """L1 state after a store completes locally."""
+    if state == MesiState.INVALID:
+        raise ProtocolError("store cannot complete on an INVALID line")
+    return MesiState.MODIFIED
+
+
+def fill_state_for(kind: BusOpKind, others_have_copy: bool) -> MesiState:
+    """L1 fill state granted by the manager for a completed transaction.
+
+    GETS fills Exclusive when no other cache holds the line (the standard
+    MESI E-state optimization), Shared otherwise; GETX and UPGR always
+    grant Modified.
+    """
+    if kind == BusOpKind.GETS:
+        return MesiState.SHARED if others_have_copy else MesiState.EXCLUSIVE
+    if kind in (BusOpKind.GETX, BusOpKind.UPGR):
+        return MesiState.MODIFIED
+    raise ProtocolError(f"{kind.name} does not fill a line")

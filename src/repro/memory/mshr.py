@@ -1,0 +1,71 @@
+"""Miss Status Holding Registers for the lock-up-free L1s.
+
+The paper's L1 caches are lock-up free: the core keeps executing past a
+miss, and further accesses to a line that already has an outstanding miss
+merge into its MSHR instead of issuing duplicate bus transactions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.memory.mesi import BusOpKind
+
+
+class MshrEntry:
+    """One outstanding miss: the line, the bus op issued, merged op ids."""
+
+    __slots__ = ("line_addr", "kind", "issue_time", "merged_rob_ids")
+
+    def __init__(self, line_addr: int, kind: BusOpKind, issue_time: int) -> None:
+        self.line_addr = line_addr
+        self.kind = kind
+        self.issue_time = issue_time
+        self.merged_rob_ids: List[int] = []
+
+
+class MshrFile:
+    """Fixed-capacity MSHR file keyed by line address."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: Dict[int, MshrEntry] = {}
+        # Statistics
+        self.allocations = 0
+        self.merges = 0
+        self.full_stalls = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def get(self, line_addr: int) -> Optional[MshrEntry]:
+        """Return the outstanding entry for a line, if any."""
+        return self._entries.get(line_addr)
+
+    def allocate(self, line_addr: int, kind: BusOpKind, issue_time: int) -> MshrEntry:
+        """Allocate an entry; caller must check :attr:`full` first."""
+        assert line_addr not in self._entries, "line already has an MSHR"
+        assert not self.full, "MSHR file is full"
+        entry = MshrEntry(line_addr, kind, issue_time)
+        self._entries[line_addr] = entry
+        self.allocations += 1
+        return entry
+
+    def merge(self, line_addr: int, rob_id: int) -> MshrEntry:
+        """Merge a secondary miss into the existing entry for the line."""
+        entry = self._entries[line_addr]
+        entry.merged_rob_ids.append(rob_id)
+        self.merges += 1
+        return entry
+
+    def release(self, line_addr: int) -> MshrEntry:
+        """Remove and return the entry for a completed miss."""
+        return self._entries.pop(line_addr)
+
+    def outstanding_lines(self) -> List[int]:
+        """Line addresses with in-flight misses (deterministic order)."""
+        return sorted(self._entries)

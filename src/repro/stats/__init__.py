@@ -1,0 +1,13 @@
+"""Cross-run statistics: aggregate accuracy/speed over report sets."""
+
+from repro.stats.aggregate import geomean, mean, median
+from repro.stats.accuracy import AccuracySummary, SchemeSummary, summarize_scheme
+
+__all__ = [
+    "geomean",
+    "mean",
+    "median",
+    "AccuracySummary",
+    "SchemeSummary",
+    "summarize_scheme",
+]

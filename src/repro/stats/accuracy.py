@@ -1,0 +1,77 @@
+"""Accuracy/speed summaries of a slack scheme across benchmarks.
+
+The paper evaluates every scheme on all four benchmarks; these helpers
+collapse per-benchmark reports into the aggregate a results section would
+quote: geometric-mean speedup, worst-case and mean execution-time error,
+and total violation counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.report import SimulationReport
+from repro.stats.aggregate import geomean, mean
+
+
+@dataclass(frozen=True)
+class AccuracySummary:
+    """Error statistics of one scheme relative to the gold standard."""
+
+    mean_exec_error: float
+    max_exec_error: float
+    mean_cpi_error: float
+    max_cpi_error: float
+
+
+@dataclass(frozen=True)
+class SchemeSummary:
+    """Aggregate speed and accuracy of one scheme across benchmarks."""
+
+    scheme: str
+    benchmarks: Tuple[str, ...]
+    geomean_speedup: float
+    accuracy: AccuracySummary
+    total_violations: int
+    mean_violation_rate: float
+
+
+def summarize_scheme(
+    pairs: Sequence[Tuple[SimulationReport, SimulationReport]],
+) -> SchemeSummary:
+    """Summarize ``(report, reference)`` pairs, one per benchmark.
+
+    Every pair's reference must be the cycle-by-cycle run of the same
+    benchmark; all reports must come from the same scheme.
+    """
+    if not pairs:
+        raise ValueError("no report pairs to summarize")
+    schemes = {report.scheme for report, _ in pairs}
+    if len(schemes) != 1:
+        raise ValueError(f"mixed schemes in summary: {sorted(schemes)}")
+    for report, reference in pairs:
+        if report.benchmark != reference.benchmark:
+            raise ValueError(
+                f"report/reference benchmark mismatch: "
+                f"{report.benchmark} vs {reference.benchmark}"
+            )
+
+    speedups = [report.speedup_over(reference) for report, reference in pairs]
+    exec_errors = [report.execution_time_error(reference) for report, reference in pairs]
+    cpi_errors = [report.cpi_error(reference) for report, reference in pairs]
+    return SchemeSummary(
+        scheme=next(iter(schemes)),
+        benchmarks=tuple(report.benchmark for report, _ in pairs),
+        geomean_speedup=geomean(speedups),
+        accuracy=AccuracySummary(
+            mean_exec_error=mean(exec_errors),
+            max_exec_error=max(exec_errors),
+            mean_cpi_error=mean(cpi_errors),
+            max_cpi_error=max(cpi_errors),
+        ),
+        total_violations=sum(
+            sum(report.violation_counts.values()) for report, _ in pairs
+        ),
+        mean_violation_rate=mean([report.violation_rate for report, _ in pairs]),
+    )

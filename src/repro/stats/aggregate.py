@@ -1,0 +1,34 @@
+"""Small aggregation helpers (no numpy dependency in the core library)."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean — the standard aggregate for speedups; all values
+    must be positive."""
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def median(values: Sequence[float]) -> float:
+    """Median; raises on empty input."""
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0

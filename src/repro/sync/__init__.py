@@ -1,0 +1,13 @@
+"""Workload synchronization, executed inside the simulator.
+
+As in SlackSim (which uses the parallel-programming APIs from
+MP_Simplesim), workload locks and barriers are executed reliably by the
+simulation manager rather than through simulated memory operations.  This
+is why simulated-workload-state violations cannot occur (paper section 3):
+the synchronization outcome is always functionally correct; only its
+*timing* is subject to slack distortion.
+"""
+
+from repro.sync.primitives import BarrierTable, LockTable, SyncTimingConfig
+
+__all__ = ["LockTable", "BarrierTable", "SyncTimingConfig"]

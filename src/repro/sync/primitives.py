@@ -1,0 +1,148 @@
+"""Manager-side lock and barrier tables.
+
+Grant decisions are made in *host arrival order* (the order the manager
+dequeues requests), while grant timestamps are computed in target time —
+the same duality that drives every other slack-simulation distortion.  The
+functional outcome (mutual exclusion, barrier completeness) is always
+correct.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError, SimulationError
+
+
+@dataclass(frozen=True)
+class SyncTimingConfig:
+    """Target-time latencies of manager-executed synchronization."""
+
+    lock_latency: int = 6  # uncontended acquire round-trip
+    lock_handoff: int = 4  # release-to-next-grant delay
+    barrier_latency: int = 12  # last-arrival to release delay
+
+    def __post_init__(self) -> None:
+        for name in ("lock_latency", "lock_handoff", "barrier_latency"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be >= 0")
+
+
+class _LockState:
+    __slots__ = ("holder", "waiters")
+
+    def __init__(self) -> None:
+        self.holder: Optional[int] = None
+        self.waiters: Deque[Tuple[int, int]] = deque()  # (core_id, request ts)
+
+
+class LockTable:
+    """All workload mutexes, granted FIFO in arrival order."""
+
+    def __init__(self, timing: SyncTimingConfig) -> None:
+        self.timing = timing
+        self._locks: Dict[int, _LockState] = {}
+        # Statistics
+        self.acquires = 0
+        self.contended_acquires = 0
+
+    def _state(self, lock_id: int) -> _LockState:
+        state = self._locks.get(lock_id)
+        if state is None:
+            state = _LockState()
+            self._locks[lock_id] = state
+        return state
+
+    def acquire(self, lock_id: int, core_id: int, ts: int) -> Optional[int]:
+        """Request the lock at target time ``ts``.
+
+        Returns the grant timestamp if the lock was free, else None (the
+        requester is queued and granted on a future release).
+        """
+        self.acquires += 1
+        state = self._state(lock_id)
+        if state.holder is None:
+            state.holder = core_id
+            return ts + self.timing.lock_latency
+        if state.holder == core_id:
+            raise SimulationError(f"core {core_id} re-acquired lock {lock_id}")
+        self.contended_acquires += 1
+        state.waiters.append((core_id, ts))
+        return None
+
+    def release(self, lock_id: int, core_id: int, ts: int) -> Optional[Tuple[int, int]]:
+        """Release the lock at target time ``ts``.
+
+        Returns ``(next_core, grant_ts)`` when a waiter takes over, else
+        None.  The handoff grant time is target-causal: it cannot precede
+        either the release or the waiter's own request.
+        """
+        state = self._locks.get(lock_id)
+        if state is None or state.holder != core_id:
+            raise SimulationError(
+                f"core {core_id} released lock {lock_id} it does not hold"
+            )
+        if not state.waiters:
+            state.holder = None
+            return None
+        next_core, req_ts = state.waiters.popleft()
+        state.holder = next_core
+        grant_ts = max(ts, req_ts) + self.timing.lock_handoff
+        return next_core, grant_ts
+
+    def holder_of(self, lock_id: int) -> Optional[int]:
+        """Current holder of a lock (None when free or never used)."""
+        state = self._locks.get(lock_id)
+        return state.holder if state else None
+
+
+class _BarrierState:
+    __slots__ = ("arrived",)
+
+    def __init__(self) -> None:
+        self.arrived: List[Tuple[int, int]] = []  # (core_id, arrival ts)
+
+
+class BarrierTable:
+    """All workload barriers; reusable across phases (generational)."""
+
+    def __init__(self, timing: SyncTimingConfig) -> None:
+        self.timing = timing
+        self._barriers: Dict[int, _BarrierState] = {}
+        # Statistics
+        self.episodes = 0
+
+    def arrive(
+        self, barrier_id: int, core_id: int, ts: int, participants: int
+    ) -> Optional[List[Tuple[int, int]]]:
+        """Register an arrival at target time ``ts``.
+
+        When the arrival completes the barrier, returns
+        ``[(core_id, release_ts), ...]`` for every participant (release is
+        the max arrival time plus the barrier latency) and resets the
+        barrier for its next generation.  Otherwise returns None.
+        """
+        state = self._barriers.get(barrier_id)
+        if state is None:
+            state = _BarrierState()
+            self._barriers[barrier_id] = state
+        for waiting_core, _ in state.arrived:
+            if waiting_core == core_id:
+                raise SimulationError(
+                    f"core {core_id} arrived twice at barrier {barrier_id}"
+                )
+        state.arrived.append((core_id, ts))
+        if len(state.arrived) < participants:
+            return None
+        release_ts = max(arrival for _, arrival in state.arrived) + self.timing.barrier_latency
+        releases = [(waiting_core, release_ts) for waiting_core, _ in state.arrived]
+        state.arrived.clear()
+        self.episodes += 1
+        return releases
+
+    def waiting_at(self, barrier_id: int) -> List[int]:
+        """Cores currently waiting at a barrier (deterministic order)."""
+        state = self._barriers.get(barrier_id)
+        return [core for core, _ in state.arrived] if state else []

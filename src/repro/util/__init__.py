@@ -1,0 +1,13 @@
+"""Small shared utilities: deterministic PRNG streams and helpers."""
+
+from repro.util.rng import SplitMix64, XorShift64
+from repro.util.misc import ceil_div, clamp, is_power_of_two, log2_int
+
+__all__ = [
+    "SplitMix64",
+    "XorShift64",
+    "ceil_div",
+    "clamp",
+    "is_power_of_two",
+    "log2_int",
+]

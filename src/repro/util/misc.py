@@ -1,0 +1,29 @@
+"""Arithmetic helpers used across the library."""
+
+from __future__ import annotations
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Return ``ceil(a / b)`` for non-negative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    return -(-a // b)
+
+
+def clamp(value: float, lo: float, hi: float) -> float:
+    """Clamp ``value`` to the inclusive range ``[lo, hi]``."""
+    if lo > hi:
+        raise ValueError(f"empty range [{lo}, {hi}]")
+    return lo if value < lo else hi if value > hi else value
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return True if ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def log2_int(n: int) -> int:
+    """Return ``log2(n)`` for a positive power of two ``n``."""
+    if not is_power_of_two(n):
+        raise ValueError(f"{n} is not a positive power of two")
+    return n.bit_length() - 1

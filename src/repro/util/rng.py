@@ -1,0 +1,80 @@
+"""Deterministic, snapshot-friendly pseudo-random number generators.
+
+The engine cannot use :mod:`random` because speculative slack simulation
+(checkpoint/rollback, see ``repro.core.checkpoint``) deep-copies the entire
+simulation state: every source of randomness must live in plain attributes
+so a copied simulation replays bit-for-bit.  These tiny generators hold all
+of their state in a single integer.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+
+class SplitMix64:
+    """SplitMix64 generator (Steele, Lea & Flood).
+
+    Used for seeding and for low-volume jitter streams.  State is one
+    64-bit integer; :meth:`fork` derives an independent child stream, which
+    is how per-thread and per-component streams are created from one root
+    seed.
+    """
+
+    __slots__ = ("state",)
+
+    def __init__(self, seed: int) -> None:
+        self.state = seed & _MASK64
+
+    def next_u64(self) -> int:
+        """Return the next 64-bit unsigned integer."""
+        self.state = (self.state + 0x9E3779B97F4A7C15) & _MASK64
+        z = self.state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+        return z ^ (z >> 31)
+
+    def next_below(self, bound: int) -> int:
+        """Return a uniform integer in ``[0, bound)``; ``bound`` must be > 0."""
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        return self.next_u64() % bound
+
+    def next_float(self) -> float:
+        """Return a uniform float in ``[0.0, 1.0)``."""
+        return (self.next_u64() >> 11) * (1.0 / (1 << 53))
+
+    def fork(self) -> "SplitMix64":
+        """Derive an independent child generator."""
+        return SplitMix64(self.next_u64())
+
+    def snapshot(self) -> int:
+        """Return the internal state (for explicit state capture)."""
+        return self.state
+
+    def restore(self, state: int) -> None:
+        """Restore a state previously returned by :meth:`snapshot`."""
+        self.state = state & _MASK64
+
+
+class XorShift64(SplitMix64):
+    """xorshift64* generator; cheaper per draw, used in hot loops.
+
+    Inherits the :class:`SplitMix64` convenience methods; only the core
+    transition differs.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, seed: int) -> None:
+        super().__init__(seed)
+        if self.state == 0:  # xorshift must not start at zero
+            self.state = 0x9E3779B97F4A7C15
+
+    def next_u64(self) -> int:
+        x = self.state
+        x ^= (x << 13) & _MASK64
+        x ^= x >> 7
+        x ^= (x << 17) & _MASK64
+        self.state = x
+        return (x * 0x2545F4914F6CDD1D) & _MASK64

@@ -1,0 +1,31 @@
+"""Workload kernels: synthetic SPLASH-2-like benchmarks.
+
+The paper evaluates four SPLASH-2 programs — Barnes, FFT, LU, and
+Water-Nsquared (Table 1) — compiled to PISA and run under SimpleScalar.
+This reproduction replaces the binaries with deterministic kernels that
+reproduce each program's *communication skeleton* (see DESIGN.md):
+
+- :mod:`repro.workloads.barnes` — irregular tree walks over shared nodes
+  with lock-protected updates (violations spread uniformly; highest F);
+- :mod:`repro.workloads.fft` — bulk-synchronous all-to-all transpose
+  phases between barriers;
+- :mod:`repro.workloads.lu` — blocked factorization, producer->consumer
+  pivot-block sharing, long quiet private phases (lowest F);
+- :mod:`repro.workloads.water` — compute-heavy private force loops with
+  shared read sweeps and hot lock-protected global reductions.
+
+Use :func:`make_workload` (or ``WORKLOADS`` for the registry).
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.registry import WORKLOADS, make_workload, paper_benchmarks
+from repro.workloads.synthetic import compute_only_workload, synthetic_workload
+
+__all__ = [
+    "Workload",
+    "make_workload",
+    "paper_benchmarks",
+    "WORKLOADS",
+    "synthetic_workload",
+    "compute_only_workload",
+]

@@ -1,0 +1,101 @@
+"""Barnes kernel: irregular tree walks with lock-protected shared updates.
+
+Reproduces the communication skeleton of SPLASH-2 Barnes-Hut (paper input:
+1024 bodies, scaled down): each thread owns a slice of bodies; for every
+body it walks a pseudo-random path through a *shared* tree-node array
+(read sharing of hot interior nodes), then updates its body, and
+periodically updates a shared node under a lock (write sharing with
+contention).  Iterations are separated by a barrier.
+
+The walks are data-dependent (driven by the thread's deterministic PRNG,
+which lives in the interpreter context and is therefore checkpointed), so
+bus traffic is continuous and irregular — Barnes shows the paper's highest
+fraction of violating checkpoint intervals (Table 3: 83-94%).
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.isa.operations import ILP_MED, barrier, compute, load, lock, store, unlock
+from repro.isa.program import Emit, If, Loop
+from repro.workloads.base import LINE, AddressSpace, Workload, scaled
+
+
+def barnes_workload(
+    num_threads: int = 8,
+    bodies: int = 256,
+    nodes: int = 128,
+    iterations: int = 4,
+    walk_depth: int = 12,
+    locks: int = 32,
+    update_every: int = 8,
+    scale: float = 1.0,
+) -> Workload:
+    """Build the Barnes kernel (one tree node and one body per line)."""
+    bodies = scaled(bodies, scale, multiple=num_threads)
+    nodes = max(locks, scaled(nodes, scale, multiple=locks))
+    if bodies % num_threads:
+        raise WorkloadError("bodies must divide evenly among threads")
+    bodies_per = bodies // num_threads
+    nodes_per_lock = nodes // locks
+
+    space = AddressSpace()
+    tree_base = space.alloc("tree", nodes * LINE)
+    body_base = space.alloc("bodies", bodies * LINE)
+
+    def builder(tid: int):
+        my_bodies = body_base + tid * bodies_per * LINE
+
+        def walk(ctx):
+            """Load our body, walk `walk_depth` random shared nodes, store
+            the body back."""
+            body_addr = my_bodies + ctx["b"] * LINE
+            ops = [load(body_addr)]
+            rng = ctx.rng
+            for _ in range(walk_depth):
+                node = rng.next_below(nodes)
+                ops.append(load(tree_base + node * LINE))
+                ops.append(compute(6, ILP_MED))
+            ops.append(store(body_addr))
+            return ops
+
+        def locked_update(ctx):
+            """Update a random shared tree node under its lock."""
+            rng = ctx.rng
+            lock_id = rng.next_below(locks)
+            node = lock_id * nodes_per_lock + rng.next_below(nodes_per_lock)
+            addr = tree_base + node * LINE
+            return [
+                lock(lock_id),
+                load(addr),
+                compute(4, ILP_MED),
+                store(addr),
+                unlock(lock_id),
+            ]
+
+        iteration_body = [
+            Loop(
+                "b",
+                bodies_per,
+                [
+                    Emit(walk),
+                    If(lambda ctx: ctx["b"] % update_every == 0, [Emit(locked_update)]),
+                ],
+            ),
+            Emit(lambda ctx: barrier(0, num_threads)),
+        ]
+        return [Loop("it", iterations, iteration_body)]
+
+    return Workload(
+        "barnes",
+        num_threads,
+        builder,
+        params={
+            "bodies": bodies,
+            "nodes": nodes,
+            "iterations": iterations,
+            "walk_depth": walk_depth,
+            "locks": locks,
+            "scale": scale,
+        },
+    )

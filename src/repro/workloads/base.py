@@ -1,0 +1,85 @@
+"""Workload base class and address-space helpers."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.errors import WorkloadError
+from repro.isa.program import ProgramInterpreter, Stmt
+from repro.util import SplitMix64
+
+#: Word size of the target ISA, in bytes (SimpleScalar PISA is 32-bit).
+WORD = 4
+#: Coherence line size used by the kernels' layout math.
+LINE = 32
+
+
+class Workload:
+    """A named multi-threaded workload.
+
+    ``builder(tid)`` returns the statement tree for thread ``tid``; builders
+    must be pure (capturing only immutable parameters) so that two calls to
+    :meth:`programs` with the same seed produce identical runs — and so
+    that interpreters can be checkpointed by deep copy.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        num_threads: int,
+        builder: Callable[[int], Sequence[Stmt]],
+        params: Dict[str, object] = None,
+    ) -> None:
+        if num_threads <= 0:
+            raise WorkloadError("workload needs at least one thread")
+        self.name = name
+        self.num_threads = num_threads
+        self._builder = builder
+        self.params: Dict[str, object] = dict(params or {})
+
+    def programs(self, seed: int) -> List[ProgramInterpreter]:
+        """Instantiate one interpreter per workload thread."""
+        seeds = SplitMix64(seed)
+        return [
+            ProgramInterpreter(self._builder(tid), tid, seeds.next_u64())
+            for tid in range(self.num_threads)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Workload({self.name!r}, threads={self.num_threads}, {self.params})"
+
+
+class AddressSpace:
+    """Deterministic bump allocator for workload memory layout.
+
+    Regions are line-aligned so that distinct regions never false-share a
+    coherence line.
+    """
+
+    def __init__(self, base: int = 0x0010_0000) -> None:
+        self._next = base
+        self.regions: Dict[str, int] = {}
+
+    def alloc(self, name: str, nbytes: int) -> int:
+        """Reserve ``nbytes`` (line-aligned); return the base address."""
+        if nbytes <= 0:
+            raise WorkloadError(f"region {name!r} must have positive size")
+        if name in self.regions:
+            raise WorkloadError(f"region {name!r} allocated twice")
+        base = self._next
+        self.regions[name] = base
+        rounded = (nbytes + LINE - 1) // LINE * LINE
+        self._next = base + rounded
+        return base
+
+
+def scaled(value: int, scale: float, minimum: int = 1, multiple: int = 1) -> int:
+    """Scale an integer workload parameter, keeping it a positive multiple.
+
+    Used so ``make_workload(..., scale=0.25)`` shrinks every kernel
+    coherently for quick tests.
+    """
+    result = int(round(value * scale))
+    if multiple > 1:
+        result = (result // multiple) * multiple
+    return max(minimum * multiple if multiple > 1 else minimum, result)

@@ -1,0 +1,92 @@
+"""FFT kernel: bulk-synchronous butterfly + all-to-all transpose.
+
+Reproduces the communication skeleton of SPLASH-2 FFT (paper input: 64K
+points, scaled down with the caches as the paper scaled its own inputs):
+each thread owns a contiguous slice of complex points; every round it
+updates its slice locally (high-ILP numeric code), barriers, then reads a
+stripe of every other thread's slice into private scratch (the transpose —
+an all-to-all burst of remote reads), and barriers again.
+
+The resulting traffic is *bursty*: bus activity concentrates around the
+transpose phases, so violations cluster there — FFT's fraction of
+violating checkpoint intervals sits between Barnes (uniform traffic) and
+LU (long quiet phases), as in the paper's Table 3.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.isa.operations import ILP_HIGH, ILP_MED, barrier, compute, load, store
+from repro.isa.program import Emit, Loop
+from repro.workloads.base import AddressSpace, Workload, scaled
+
+#: Bytes per complex point (two 4-byte words).
+_POINT_BYTES = 8
+
+
+def fft_workload(
+    num_threads: int = 8,
+    points: int = 4096,
+    rounds: int = 3,
+    scale: float = 1.0,
+) -> Workload:
+    """Build the FFT kernel.
+
+    ``points`` is scaled by ``scale`` and rounded to a multiple of
+    ``num_threads**2`` so every thread reads an equal stripe from every
+    peer during the transpose.
+    """
+    points = scaled(points, scale, multiple=num_threads * num_threads)
+    if rounds <= 0:
+        raise WorkloadError("rounds must be positive")
+    n_local = points // num_threads
+    stripe = n_local // num_threads
+
+    space = AddressSpace()
+    data_base = space.alloc("data", points * _POINT_BYTES)
+    scratch_base = space.alloc("scratch", points * _POINT_BYTES)
+
+    def builder(tid: int):
+        my_data = data_base + tid * n_local * _POINT_BYTES
+        my_scratch = scratch_base + tid * n_local * _POINT_BYTES
+
+        def butterfly(ctx):
+            addr = my_data + ctx["p"] * _POINT_BYTES
+            return [
+                load(addr),
+                load(addr + 4),
+                compute(6, ILP_HIGH),
+                store(addr),
+                store(addr + 4),
+            ]
+
+        def transpose(ctx):
+            peer = (tid + 1 + ctx["c"]) % num_threads
+            src = (
+                data_base
+                + peer * n_local * _POINT_BYTES
+                + (tid * stripe + ctx["q"]) * _POINT_BYTES
+            )
+            dst = my_scratch + (ctx["c"] * stripe + ctx["q"]) * _POINT_BYTES
+            return [
+                load(src),
+                load(src + 4),
+                compute(2, ILP_MED),
+                store(dst),
+                store(dst + 4),
+            ]
+
+        round_body = [
+            Loop("p", n_local, [Emit(butterfly)]),
+            Emit(lambda ctx: barrier(0, num_threads)),
+            Loop("c", num_threads, [Loop("q", stripe, [Emit(transpose)])]),
+            Emit(lambda ctx: barrier(1, num_threads)),
+        ]
+        return [Loop("r", rounds, round_body)]
+
+    return Workload(
+        "fft",
+        num_threads,
+        builder,
+        params={"points": points, "rounds": rounds, "scale": scale},
+    )

@@ -1,0 +1,70 @@
+"""Ocean kernel: red-black stencil sweeps with nearest-neighbor sharing.
+
+An extension benchmark (the paper's section 7 plans to "expand the pool of
+our benchmark programs"); modeled on SPLASH-2 Ocean's grid solver: the
+grid is partitioned into horizontal bands, one per thread, and each sweep
+updates every interior point from its four neighbors.  Only the band
+*boundary* rows are shared (read by the adjacent thread after it wrote
+them), so communication is nearest-neighbor and sparse — the opposite
+corner of the sharing spectrum from FFT's all-to-all transpose and
+Barnes' irregular walks.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.isa.operations import ILP_HIGH, barrier, compute, load, store
+from repro.isa.program import Emit, Loop
+from repro.workloads.base import LINE, WORD, AddressSpace, Workload, scaled
+
+
+def ocean_workload(
+    num_threads: int = 8,
+    grid: int = 64,
+    iterations: int = 3,
+    scale: float = 1.0,
+) -> Workload:
+    """Build the Ocean kernel (``grid x grid`` words, row-banded)."""
+    grid = scaled(grid, scale, multiple=num_threads * (LINE // WORD))
+    if iterations <= 0:
+        raise WorkloadError("iterations must be positive")
+    rows_per = grid // num_threads
+    row_bytes = grid * WORD
+    lines_per_row = max(1, row_bytes // LINE)
+
+    space = AddressSpace()
+    grid_base = space.alloc("grid", grid * row_bytes)
+
+    def row_addr(row: int) -> int:
+        return grid_base + row * row_bytes
+
+    def builder(tid: int):
+        first_row = tid * rows_per
+
+        def stencil_line(ctx):
+            """Update one cache line of one row from its neighbors."""
+            row = first_row + ctx["r"]
+            offset = ctx["c"] * LINE
+            north = row_addr(row - 1) + offset if row > 0 else None
+            south = row_addr(row + 1) + offset if row < grid - 1 else None
+            ops = [load(row_addr(row) + offset)]
+            if north is not None:
+                ops.append(load(north))
+            if south is not None:
+                ops.append(load(south))
+            ops.append(compute(16, ILP_HIGH))
+            ops.append(store(row_addr(row) + offset))
+            return ops
+
+        sweep = [
+            Loop("r", rows_per, [Loop("c", lines_per_row, [Emit(stencil_line)])]),
+            Emit(lambda ctx: barrier(0, num_threads)),
+        ]
+        return [Loop("it", iterations, sweep)]
+
+    return Workload(
+        "ocean",
+        num_threads,
+        builder,
+        params={"grid": grid, "iterations": iterations, "scale": scale},
+    )

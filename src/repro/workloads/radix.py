@@ -1,0 +1,85 @@
+"""Radix-sort kernel: histogram, serial prefix, all-to-all permutation.
+
+An extension benchmark (paper section 7 future work), modeled on SPLASH-2
+Radix.  Each pass: every thread histograms its private keys; a barrier; a
+*serial* prefix-sum section in which thread 0 reads every thread's
+histogram (a sequential bottleneck plus one-to-all sharing); a barrier;
+then the permutation phase scatters keys into a shared output array at
+pseudo-random positions — a burst of write-shared (GETX/UPGR) traffic,
+the write-heavy counterpart of FFT's read-only transpose.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.isa.operations import ILP_MED, barrier, compute, load, store
+from repro.isa.program import Emit, If, Loop
+from repro.workloads.base import LINE, WORD, AddressSpace, Workload, scaled
+
+
+def radix_workload(
+    num_threads: int = 8,
+    keys: int = 1024,
+    buckets: int = 16,
+    passes: int = 2,
+    scale: float = 1.0,
+) -> Workload:
+    """Build the Radix kernel (``keys`` total keys, ``passes`` digit passes)."""
+    keys = scaled(keys, scale, multiple=num_threads * (LINE // WORD))
+    if passes <= 0:
+        raise WorkloadError("passes must be positive")
+    keys_per = keys // num_threads
+
+    space = AddressSpace()
+    src_base = space.alloc("keys", keys * WORD)
+    dst_base = space.alloc("output", keys * WORD)
+    hist_base = space.alloc("histograms", num_threads * buckets * LINE)
+
+    def builder(tid: int):
+        my_keys = src_base + tid * keys_per * WORD
+        my_hist = hist_base + tid * buckets * LINE
+
+        def histogram(ctx):
+            key_addr = my_keys + ctx["k"] * WORD
+            bucket = ctx.rng.next_below(buckets)
+            return [
+                load(key_addr),
+                compute(2, ILP_MED),
+                store(my_hist + bucket * LINE),
+            ]
+
+        def prefix(ctx):
+            """Thread 0 reads all histograms (serial section)."""
+            owner = ctx["t"]
+            bucket = ctx["b"]
+            addr = hist_base + owner * buckets * LINE + bucket * LINE
+            return [load(addr), compute(2, ILP_MED)]
+
+        def scatter(ctx):
+            key_addr = my_keys + ctx["k"] * WORD
+            position = ctx.rng.next_below(keys)
+            return [
+                load(key_addr),
+                compute(3, ILP_MED),
+                store(dst_base + position * WORD),
+            ]
+
+        pass_body = [
+            Loop("k", keys_per, [Emit(histogram)]),
+            Emit(lambda ctx: barrier(0, num_threads)),
+            If(
+                lambda ctx: ctx.tid == 0,
+                [Loop("t", num_threads, [Loop("b", buckets, [Emit(prefix)])])],
+            ),
+            Emit(lambda ctx: barrier(1, num_threads)),
+            Loop("k", keys_per, [Emit(scatter)]),
+            Emit(lambda ctx: barrier(2, num_threads)),
+        ]
+        return [Loop("p", passes, pass_body)]
+
+    return Workload(
+        "radix",
+        num_threads,
+        builder,
+        params={"keys": keys, "buckets": buckets, "passes": passes, "scale": scale},
+    )

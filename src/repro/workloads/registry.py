@@ -1,0 +1,48 @@
+"""Workload registry: name -> factory, plus the paper's benchmark list."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import WorkloadError
+from repro.workloads.barnes import barnes_workload
+from repro.workloads.base import Workload
+from repro.workloads.fft import fft_workload
+from repro.workloads.lu import lu_workload
+from repro.workloads.ocean import ocean_workload
+from repro.workloads.radix import radix_workload
+from repro.workloads.synthetic import compute_only_workload, synthetic_workload
+from repro.workloads.water import water_workload
+
+#: All registered workload factories.  Each accepts ``num_threads`` and
+#: ``scale`` keyword arguments (plus kernel-specific ones).  ``ocean`` and
+#: ``radix`` extend the paper's pool (section 7 future work).
+WORKLOADS: Dict[str, Callable[..., Workload]] = {
+    "barnes": barnes_workload,
+    "fft": fft_workload,
+    "lu": lu_workload,
+    "water": water_workload,
+    "ocean": ocean_workload,
+    "radix": radix_workload,
+    "synthetic": synthetic_workload,
+    "compute-only": compute_only_workload,
+}
+
+#: The paper's Table 1 benchmarks, in its order.
+PAPER_BENCHMARKS = ("barnes", "fft", "lu", "water")
+
+
+def make_workload(name: str, **kwargs) -> Workload:
+    """Instantiate a registered workload by name."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def paper_benchmarks(num_threads: int = 8, scale: float = 1.0) -> List[Workload]:
+    """The four Table-1 benchmarks at a common scale."""
+    return [make_workload(name, num_threads=num_threads, scale=scale) for name in PAPER_BENCHMARKS]

@@ -1,0 +1,117 @@
+"""Parameterized synthetic workloads for testing and calibration."""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.isa.operations import (
+    ILP_MED,
+    barrier,
+    compute,
+    load,
+    lock,
+    store,
+    unlock,
+)
+from repro.isa.program import Emit, If, Loop
+from repro.workloads.base import LINE, AddressSpace, Workload
+
+
+def compute_only_workload(
+    num_threads: int = 4, bursts: int = 100, burst_size: int = 8, scale: float = 1.0
+) -> Workload:
+    """Pure compute, no memory and no synchronization.
+
+    Useful for engine tests: every scheme must produce identical target
+    timing (no shared resources means no violations and no distortion).
+    """
+    bursts = max(1, int(round(bursts * scale)))
+
+    def builder(tid: int):
+        return [Loop("i", bursts, [Emit(lambda ctx: compute(burst_size, ILP_MED))])]
+
+    return Workload(
+        "compute-only",
+        num_threads,
+        builder,
+        params={"bursts": bursts, "burst_size": burst_size},
+    )
+
+
+def synthetic_workload(
+    num_threads: int = 4,
+    steps: int = 200,
+    private_lines: int = 64,
+    shared_lines: int = 16,
+    shared_fraction: float = 0.25,
+    store_fraction: float = 0.4,
+    compute_per_step: int = 6,
+    lock_every: int = 0,
+    num_locks: int = 4,
+    barrier_every: int = 0,
+    scale: float = 1.0,
+) -> Workload:
+    """A tunable mixed workload.
+
+    Each step does one memory access — to a shared line with probability
+    ``shared_fraction``, a store with probability ``store_fraction`` —
+    plus a compute burst.  ``lock_every``/``barrier_every`` insert
+    synchronization every N steps (0 disables).
+    """
+    if not 0.0 <= shared_fraction <= 1.0:
+        raise WorkloadError("shared_fraction must be in [0, 1]")
+    if not 0.0 <= store_fraction <= 1.0:
+        raise WorkloadError("store_fraction must be in [0, 1]")
+    steps = max(1, int(round(steps * scale)))
+
+    space = AddressSpace()
+    shared_base = space.alloc("shared", max(1, shared_lines) * LINE)
+    private_bases = [
+        space.alloc(f"private{t}", private_lines * LINE) for t in range(num_threads)
+    ]
+
+    def builder(tid: int):
+        my_base = private_bases[tid]
+
+        def step_ops(ctx):
+            rng = ctx.rng
+            use_shared = shared_lines > 0 and rng.next_float() < shared_fraction
+            if use_shared:
+                addr = shared_base + rng.next_below(shared_lines) * LINE
+            else:
+                addr = my_base + rng.next_below(private_lines) * LINE
+            mem = store(addr) if rng.next_float() < store_fraction else load(addr)
+            if compute_per_step > 0:
+                return [mem, compute(compute_per_step, ILP_MED)]
+            return [mem]
+
+        def locked_ops(ctx):
+            lock_id = ctx.rng.next_below(num_locks)
+            addr = shared_base + (lock_id % max(1, shared_lines)) * LINE
+            return [lock(lock_id), load(addr), store(addr), unlock(lock_id)]
+
+        body = [Emit(step_ops)]
+        if lock_every > 0:
+            body.append(
+                If(lambda ctx: ctx["i"] % lock_every == lock_every - 1, [Emit(locked_ops)])
+            )
+        if barrier_every > 0:
+            body.append(
+                If(
+                    lambda ctx: ctx["i"] % barrier_every == barrier_every - 1,
+                    [Emit(lambda ctx: barrier(0, num_threads))],
+                )
+            )
+        return [Loop("i", steps, body)]
+
+    return Workload(
+        "synthetic",
+        num_threads,
+        builder,
+        params={
+            "steps": steps,
+            "shared_fraction": shared_fraction,
+            "store_fraction": store_fraction,
+            "lock_every": lock_every,
+            "barrier_every": barrier_every,
+        },
+    )

@@ -1,0 +1,101 @@
+"""Water-Nsquared kernel: O(n^2) force loops + hot global reductions.
+
+Reproduces the communication skeleton of SPLASH-2 Water-Nsquared (paper
+input: 216 molecules, scaled down): each thread owns a slice of molecules;
+each timestep it computes pairwise interactions against *every* molecule
+(a read sweep over the whole shared molecule array — re-fetched each step
+because the owners rewrote their slices), writes its own molecules back,
+and finally accumulates into a handful of global sums under hot locks.
+
+The hot locks and the per-step invalidate/refetch sweep produce frequent
+violations spread across the step, giving the high fraction of violating
+intervals the paper measured for Water at large checkpoint intervals
+(Table 3: 55-100%).
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.isa.operations import (
+    ILP_HIGH,
+    ILP_MED,
+    barrier,
+    compute,
+    load,
+    lock,
+    store,
+    unlock,
+)
+from repro.isa.program import Emit, Loop
+from repro.workloads.base import LINE, AddressSpace, Workload, scaled
+
+
+def water_workload(
+    num_threads: int = 8,
+    molecules: int = 64,
+    iterations: int = 3,
+    globals_count: int = 4,
+    scale: float = 1.0,
+) -> Workload:
+    """Build the Water kernel (one molecule per line)."""
+    molecules = scaled(molecules, scale, multiple=num_threads)
+    if iterations <= 0:
+        raise WorkloadError("iterations must be positive")
+    mols_per = molecules // num_threads
+
+    space = AddressSpace()
+    mol_base = space.alloc("molecules", molecules * LINE)
+    global_base = space.alloc("globals", globals_count * LINE)
+
+    def builder(tid: int):
+        my_mols = mol_base + tid * mols_per * LINE
+
+        def pair_force(ctx):
+            """One pairwise interaction: read the other molecule, heavy
+            numeric compute."""
+            other = ctx["o"]
+            return [load(mol_base + other * LINE), compute(10, ILP_HIGH)]
+
+        def load_own(ctx):
+            return load(my_mols + ctx["m"] * LINE)
+
+        def store_own(ctx):
+            return [compute(4, ILP_MED), store(my_mols + ctx["m"] * LINE)]
+
+        def reduce_global(ctx):
+            g = ctx["g"]
+            addr = global_base + g * LINE
+            return [
+                lock(g),
+                load(addr),
+                compute(2, ILP_MED),
+                store(addr),
+                unlock(g),
+            ]
+
+        iteration_body = [
+            Loop(
+                "m",
+                mols_per,
+                [
+                    Emit(load_own),
+                    Loop("o", molecules, [Emit(pair_force)]),
+                    Emit(store_own),
+                ],
+            ),
+            Loop("g", globals_count, [Emit(reduce_global)]),
+            Emit(lambda ctx: barrier(0, num_threads)),
+        ]
+        return [Loop("it", iterations, iteration_body)]
+
+    return Workload(
+        "water",
+        num_threads,
+        builder,
+        params={
+            "molecules": molecules,
+            "iterations": iterations,
+            "globals": globals_count,
+            "scale": scale,
+        },
+    )

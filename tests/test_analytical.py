@@ -1,0 +1,94 @@
+"""Tests for the section-5.2 analytical model of speculative slack."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import SpeculativeModelInputs, speculative_time
+from repro.core.analytical import speedup_over_cc
+from repro.errors import ConfigError
+
+
+def inputs(**kwargs):
+    defaults = dict(
+        t_cc=517.0,
+        t_cpt=506.0,
+        fraction_violating=0.94,
+        rollback_distance=8000.0,
+        interval=100_000.0,
+    )
+    defaults.update(kwargs)
+    return SpeculativeModelInputs(**defaults)
+
+
+class TestFormula:
+    def test_paper_barnes_100k(self):
+        """Paper Table 5: Barnes @100k = 554s from Tables 2-4 inputs."""
+        t_s = speculative_time(inputs())
+        # (1-.94)*506 + .94*8000*506/100000 + .94*517 = 554.4
+        assert t_s == pytest.approx(554.4, abs=1.0)
+
+    def test_paper_lu_50k(self):
+        """Paper Table 5: LU @50k = 361s (F=30%, Dr=16k, Tcpt=324)."""
+        t_s = speculative_time(
+            inputs(t_cc=343.0, t_cpt=324.0, fraction_violating=0.30,
+                   rollback_distance=16_000.0, interval=50_000.0)
+        )
+        assert t_s == pytest.approx(361.0, abs=2.0)
+
+    def test_zero_violations_degenerates_to_tcpt(self):
+        t_s = speculative_time(inputs(fraction_violating=0.0, rollback_distance=0.0))
+        assert t_s == pytest.approx(506.0)
+
+    def test_always_violating_includes_full_replay(self):
+        t_s = speculative_time(
+            inputs(fraction_violating=1.0, rollback_distance=100_000.0)
+        )
+        assert t_s == pytest.approx(506.0 + 517.0)
+
+    def test_speedup_over_cc(self):
+        assert speedup_over_cc(inputs()) == pytest.approx(517.0 / speculative_time(inputs()))
+
+
+class TestValidation:
+    def test_rejects_f_out_of_range(self):
+        with pytest.raises(ConfigError):
+            inputs(fraction_violating=1.5)
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(ConfigError):
+            inputs(t_cc=-1.0)
+
+    def test_rejects_rollback_beyond_interval(self):
+        with pytest.raises(ConfigError):
+            inputs(rollback_distance=200_000.0)
+
+    def test_rejects_zero_interval(self):
+        with pytest.raises(ConfigError):
+            inputs(interval=0.0)
+
+
+class TestProperties:
+    @given(
+        t_cc=st.floats(min_value=1.0, max_value=1e4),
+        t_cpt=st.floats(min_value=1.0, max_value=1e4),
+        f=st.floats(min_value=0.0, max_value=1.0),
+        dr_frac=st.floats(min_value=0.0, max_value=1.0),
+        interval=st.floats(min_value=1.0, max_value=1e6),
+    )
+    def test_monotone_in_f_when_replay_costly(self, t_cc, t_cpt, f, dr_frac, interval):
+        """T_s at F is never above T_s at F=1 when Tcc >= Tcpt terms."""
+        model = SpeculativeModelInputs(t_cc, t_cpt, f, dr_frac * interval, interval)
+        t_s = speculative_time(model)
+        assert t_s >= 0.0
+        # Bounded by the all-violating worst case:
+        worst = SpeculativeModelInputs(t_cc, t_cpt, 1.0, interval, interval)
+        assert t_s <= speculative_time(worst) + 1e-9
+
+    @given(
+        f=st.floats(min_value=0.0, max_value=1.0),
+        dr_frac=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_at_least_the_violation_free_share(self, f, dr_frac):
+        model = SpeculativeModelInputs(100.0, 80.0, f, dr_frac * 1000, 1000.0)
+        assert speculative_time(model) >= (1 - f) * 80.0 - 1e-9

@@ -1,0 +1,155 @@
+"""Unit and property tests for the set-associative cache array."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CacheConfig
+from repro.memory import CacheArray, MesiState
+
+
+def tiny_cache(sets=4, ways=2):
+    return CacheArray(CacheConfig(size=sets * ways * 32, line_size=32, associativity=ways))
+
+
+class TestLookupFill:
+    def test_miss_on_empty(self):
+        cache = tiny_cache()
+        assert cache.lookup(5) is None
+
+    def test_fill_then_hit(self):
+        cache = tiny_cache()
+        cache.fill(5, MesiState.SHARED)
+        line = cache.lookup(5)
+        assert line is not None
+        assert line.state == MesiState.SHARED
+
+    def test_fill_returns_no_victim_when_empty_way(self):
+        cache = tiny_cache()
+        victim_addr, victim_state = cache.fill(5, MesiState.EXCLUSIVE)
+        assert victim_addr is None
+        assert victim_state == MesiState.INVALID
+
+    def test_conflict_eviction_lru(self):
+        cache = tiny_cache(sets=1, ways=2)
+        cache.fill(0, MesiState.SHARED)
+        cache.fill(1, MesiState.SHARED)
+        cache.lookup(0)  # touch 0; 1 becomes LRU
+        victim_addr, victim_state = cache.fill(2, MesiState.SHARED)
+        assert victim_addr == 1
+        assert victim_state == MesiState.SHARED
+        assert cache.lookup(0) is not None
+        assert cache.lookup(1) is None
+
+    def test_snoop_probe_does_not_touch_lru(self):
+        cache = tiny_cache(sets=1, ways=2)
+        cache.fill(0, MesiState.SHARED)
+        cache.fill(1, MesiState.SHARED)
+        cache.lookup(0, touch=False)  # probe; 0 stays LRU
+        victim_addr, _ = cache.fill(2, MesiState.SHARED)
+        assert victim_addr == 0
+
+    def test_same_set_different_tags(self):
+        cache = tiny_cache(sets=4, ways=2)
+        # lines 3 and 7 map to set 3 with different tags
+        cache.fill(3, MesiState.SHARED)
+        cache.fill(7, MesiState.MODIFIED)
+        assert cache.lookup(3).state == MesiState.SHARED
+        assert cache.lookup(7).state == MesiState.MODIFIED
+
+
+class TestInvalidateAndState:
+    def test_invalidate_returns_prior(self):
+        cache = tiny_cache()
+        cache.fill(9, MesiState.MODIFIED)
+        assert cache.invalidate(9) == MesiState.MODIFIED
+        assert cache.lookup(9) is None
+
+    def test_invalidate_absent_is_noop(self):
+        cache = tiny_cache()
+        assert cache.invalidate(9) == MesiState.INVALID
+
+    def test_set_state(self):
+        cache = tiny_cache()
+        cache.fill(9, MesiState.EXCLUSIVE)
+        cache.set_state(9, MesiState.SHARED)
+        assert cache.lookup(9).state == MesiState.SHARED
+
+    def test_set_state_absent_is_noop(self):
+        cache = tiny_cache()
+        cache.set_state(9, MesiState.SHARED)  # no exception
+        assert cache.lookup(9) is None
+
+    def test_resident_lines(self):
+        cache = tiny_cache()
+        cache.fill(1, MesiState.SHARED)
+        cache.fill(2, MesiState.MODIFIED)
+        resident = cache.resident_lines()
+        assert resident == {1: MesiState.SHARED, 2: MesiState.MODIFIED}
+
+
+class TestStatistics:
+    def test_eviction_count(self):
+        cache = tiny_cache(sets=1, ways=2)
+        cache.fill(0, MesiState.SHARED)
+        cache.fill(1, MesiState.SHARED)
+        assert cache.evictions == 0
+        cache.fill(2, MesiState.SHARED)
+        assert cache.evictions == 1
+
+
+class _ReferenceCache:
+    """Dict + LRU-list reference model."""
+
+    def __init__(self, sets, ways):
+        self.sets = sets
+        self.ways = ways
+        self.contents = {s: [] for s in range(sets)}  # most recent last
+
+    def lookup(self, line, touch=True):
+        s = line % self.sets
+        for entry in self.contents[s]:
+            if entry[0] == line:
+                if touch:
+                    self.contents[s].remove(entry)
+                    self.contents[s].append(entry)
+                return entry[1]
+        return None
+
+    def fill(self, line, state):
+        s = line % self.sets
+        victim = None
+        if self.lookup(line, touch=False) is not None:
+            self.contents[s] = [e for e in self.contents[s] if e[0] != line]
+        elif len(self.contents[s]) >= self.ways:
+            victim = self.contents[s].pop(0)
+        self.contents[s].append([line, state])
+        return victim
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["lookup", "fill"]), st.integers(min_value=0, max_value=31)),
+        max_size=120,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_cache_matches_reference_model(operations):
+    """Hit/miss decisions and LRU victims match a reference model."""
+    cache = tiny_cache(sets=4, ways=2)
+    ref = _ReferenceCache(sets=4, ways=2)
+    for op, line in operations:
+        if op == "lookup":
+            got = cache.lookup(line)
+            expected = ref.lookup(line)
+            assert (got is None) == (expected is None)
+        elif cache.lookup(line, touch=False) is None:
+            # fill() is only ever called on a miss (the L1/L2 controllers
+            # guarantee this), so the model only fills absent lines.
+            victim = cache.fill(line, MesiState.SHARED)[0]
+            ref_victim = ref.fill(line, MesiState.SHARED)
+            assert victim == (ref_victim[0] if ref_victim else None)
+    # Final contents agree
+    resident = set(cache.resident_lines())
+    ref_resident = {e[0] for s in ref.contents.values() for e in s}
+    assert resident == ref_resident

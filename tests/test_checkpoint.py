@@ -1,0 +1,126 @@
+"""Tests for checkpoint capture/restore and replay determinism.
+
+The key property (which the whole speculative scheme rests on): rolling a
+simulation back to a snapshot and re-running it must be possible at any
+point, and the snapshot itself must stay pristine across multiple
+restores.
+"""
+
+import copy
+
+import pytest
+
+from repro import CheckpointConfig, HostConfig, Simulation, SlackConfig
+from repro.config import AdaptiveConfig, HostCostModel, quick_target_config
+from repro.core.checkpoint import checkpoint_cost_ns, restore_snapshot, take_snapshot
+from repro.core.scheduler import Scheduler
+from repro.errors import CheckpointError
+from repro.workloads import make_workload
+
+
+def build_sim(**kwargs):
+    defaults = dict(
+        scheme=SlackConfig(bound=4),
+        target=quick_target_config(num_cores=4),
+        host=HostConfig(num_contexts=4),
+    )
+    defaults.update(kwargs)
+    return Simulation(
+        make_workload("synthetic", num_threads=4, steps=60, shared_lines=8, lock_every=16),
+        **defaults,
+    )
+
+
+def run_partial(sim, steps=400):
+    """Drive a scheduler a fixed number of picks, then stop."""
+    scheduler = Scheduler(sim, sim.host)
+    for _ in range(steps):
+        if sim.state.all_finished:
+            break
+        thread, start = scheduler._pick()
+        result = thread.runner.step(start)
+        thread.context.clock = start + result.cost_ns
+        thread.ready_time = thread.context.clock
+        if thread is scheduler.manager_thread:
+            scheduler._wake_cores(thread.context.clock)
+        else:
+            from repro.core.hostmodel import ThreadState
+
+            if result.done:
+                thread.state = ThreadState.DONE
+            elif result.blocked:
+                thread.state = ThreadState.BLOCKED
+    return scheduler
+
+
+class TestSnapshotBasics:
+    def test_snapshot_is_deep(self):
+        sim = build_sim()
+        run_partial(sim, 200)
+        snap = take_snapshot(sim.state, boundary=0, host_time=0.0)
+        before = sim.state.cores[0].local_time
+        run_partial(sim, 200)
+        assert snap.state.cores[0].local_time == before  # snapshot froze
+
+    def test_restore_returns_fresh_copy(self):
+        sim = build_sim()
+        run_partial(sim, 200)
+        snap = take_snapshot(sim.state, 0, 0.0)
+        restored1 = restore_snapshot(snap)
+        restored2 = restore_snapshot(snap)
+        assert restored1 is not restored2
+        assert restored1 is not snap.state
+
+    def test_restore_none_raises(self):
+        with pytest.raises(CheckpointError):
+            restore_snapshot(None)
+
+    def test_snapshot_counts_and_clears_pages(self):
+        sim = build_sim()
+        run_partial(sim, 300)
+        pages_before = sum(len(cs.model.pages_touched) for cs in sim.state.cores)
+        assert pages_before > 0
+        snap = take_snapshot(sim.state, 0, 0.0)
+        assert snap.pages == pages_before
+        assert sum(len(cs.model.pages_touched) for cs in sim.state.cores) == 0
+
+    def test_cost_model(self):
+        cost = HostCostModel()
+        assert checkpoint_cost_ns(cost, 0) == cost.checkpoint_base_ns
+        assert checkpoint_cost_ns(cost, 10) == (
+            cost.checkpoint_base_ns + 10 * cost.checkpoint_per_page_ns
+        )
+
+
+class TestCheckpointedRuns:
+    def test_checkpoint_only_run_completes(self):
+        report = build_sim(checkpoint=CheckpointConfig(interval=500)).run()
+        assert report.checkpoints >= 2  # initial + periodic
+        assert report.rollbacks == 0
+        assert report.intervals  # interval records collected
+
+    def test_checkpoint_overhead_grows_with_frequency(self):
+        rare = build_sim(checkpoint=CheckpointConfig(interval=2000)).run()
+        frequent = build_sim(checkpoint=CheckpointConfig(interval=200)).run()
+        assert frequent.checkpoints > rare.checkpoints
+        assert frequent.checkpoint_cost_s > rare.checkpoint_cost_s
+        assert frequent.sim_time_s > rare.sim_time_s
+
+    def test_checkpointed_run_matches_plain_run_target_timing(self):
+        """Checkpointing (without rollback) costs host time but must not
+        change the simulated execution."""
+        plain = build_sim(scheme=SlackConfig(bound=0)).run()
+        checked = build_sim(
+            scheme=SlackConfig(bound=0), checkpoint=CheckpointConfig(interval=500)
+        ).run()
+        assert checked.target_cycles == plain.target_cycles
+        assert checked.instructions == plain.instructions
+
+    def test_interval_records_cover_run(self):
+        report = build_sim(checkpoint=CheckpointConfig(interval=400)).run()
+        starts = [r.start for r in report.intervals]
+        assert starts == sorted(starts)
+        assert starts[0] == 0
+        # Consecutive intervals tile the run
+        for prev, nxt in zip(report.intervals, report.intervals[1:]):
+            assert nxt.start == prev.end or nxt.start == prev.start + 400

@@ -1,0 +1,126 @@
+"""Tests for the command-line interface."""
+
+import argparse
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main, parse_scheme
+from repro.config import (
+    AdaptiveConfig,
+    P2PConfig,
+    QuantumConfig,
+    SlackConfig,
+    SpeculativeConfig,
+)
+
+
+class TestParseScheme:
+    def test_cc(self):
+        assert parse_scheme("cc") == SlackConfig(bound=0)
+        assert parse_scheme("cycle-by-cycle") == SlackConfig(bound=0)
+
+    def test_slack(self):
+        assert parse_scheme("slack:5") == SlackConfig(bound=5)
+        assert parse_scheme("slack") == SlackConfig(bound=8)
+
+    def test_unbounded(self):
+        assert parse_scheme("unbounded") == SlackConfig(bound=None)
+        assert parse_scheme("su") == SlackConfig(bound=None)
+
+    def test_quantum(self):
+        assert parse_scheme("quantum:20") == QuantumConfig(quantum=20)
+
+    def test_adaptive(self):
+        scheme = parse_scheme("adaptive:2e-3")
+        assert isinstance(scheme, AdaptiveConfig)
+        assert scheme.target_rate == pytest.approx(2e-3)
+
+    def test_p2p(self):
+        scheme = parse_scheme("p2p:50,80")
+        assert isinstance(scheme, P2PConfig)
+        assert (scheme.period, scheme.max_lead) == (50, 80)
+
+    def test_p2p_single_arg(self):
+        scheme = parse_scheme("p2p:60")
+        assert (scheme.period, scheme.max_lead) == (60, 60)
+
+    def test_speculative(self):
+        scheme = parse_scheme("speculative:2000")
+        assert isinstance(scheme, SpeculativeConfig)
+        assert scheme.checkpoint.interval == 2000
+
+    def test_adaptive_quantum(self):
+        from repro.config import AdaptiveQuantumConfig
+
+        scheme = parse_scheme("adaptive-quantum:16")
+        assert isinstance(scheme, AdaptiveQuantumConfig)
+        assert scheme.initial_quantum == 16
+        assert isinstance(parse_scheme("aq"), AdaptiveQuantumConfig)
+
+    def test_unknown_raises(self):
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_scheme("warp-drive")
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "barnes" in out
+        assert "table2" in out
+
+    def test_run_quick(self, capsys):
+        code = main(
+            ["run", "compute-only", "--scheme", "slack:4", "--scale", "0.2",
+             "--threads", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "target cycles" in out
+        assert "violations" in out
+
+    def test_run_no_detection(self, capsys):
+        code = main(
+            ["run", "compute-only", "--scale", "0.2", "--threads", "4",
+             "--no-detection"]
+        )
+        assert code == 0
+
+    def test_compare_quick(self, capsys):
+        code = main(
+            ["compare", "compute-only", "--bounds", "0,None", "--scale", "0.2",
+             "--threads", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cycle-by-cycle" in out
+        assert "unbounded" in out
+
+    def test_experiment_table1_text(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "Benchmarks" in capsys.readouterr().out
+
+    def test_experiment_table1_csv(self, capsys):
+        assert main(["experiment", "table1", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("benchmark,")
+
+    def test_experiment_table1_json(self, capsys):
+        import json
+
+        assert main(["experiment", "table1", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "table1"
+        assert len(payload["rows"]) == 4
+
+    def test_all_experiments_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["experiment", "table3"])
+        assert args.name == "table3"
+        assert set(EXPERIMENTS) >= {"table2", "figure3", "figure4", "speculative"}
+
+    def test_error_path(self, capsys):
+        """A workload/thread mismatch surfaces as a clean CLI error."""
+        code = main(["run", "barnes", "--threads", "16", "--scale", "0.2"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,183 @@
+"""Unit tests for configuration dataclasses and validation."""
+
+import pytest
+
+from repro.config import (
+    AdaptiveConfig,
+    BusConfig,
+    CacheConfig,
+    CheckpointConfig,
+    CoreConfig,
+    HostConfig,
+    HostCostModel,
+    L2Config,
+    P2PConfig,
+    QuantumConfig,
+    SlackConfig,
+    SpeculativeConfig,
+    TargetConfig,
+    paper_host_config,
+    paper_target_config,
+    quick_target_config,
+)
+from repro.errors import ConfigError
+
+
+class TestCacheConfig:
+    def test_defaults_valid(self):
+        config = CacheConfig()
+        assert config.num_sets == 16 * 1024 // (32 * 4)
+        assert config.num_lines == 16 * 1024 // 32
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(line_size=48)
+
+    def test_rejects_indivisible_size(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size=1000, line_size=32, associativity=4)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size=3 * 32 * 4, line_size=32, associativity=4)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(hit_latency=-1)
+
+
+class TestCoreConfig:
+    def test_defaults_match_paper(self):
+        config = CoreConfig()
+        assert config.issue_width == 4
+        assert config.window_size == 64
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(issue_width=0)
+
+    def test_rejects_zero_latency(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(mul_latency=0)
+
+
+class TestBusAndL2:
+    def test_bus_defaults(self):
+        bus = BusConfig()
+        assert bus.request_cycles == 1
+
+    def test_bus_rejects_zero_occupancy(self):
+        with pytest.raises(ConfigError):
+            BusConfig(response_cycles=0)
+
+    def test_l2_defaults_match_paper(self):
+        l2 = L2Config()
+        assert l2.cache.hit_latency == 8
+        assert l2.miss_latency == 100
+
+    def test_l2_rejects_zero_banks(self):
+        with pytest.raises(ConfigError):
+            L2Config(num_banks=0)
+
+
+class TestTargetConfig:
+    def test_paper_preset(self):
+        target = paper_target_config()
+        assert target.num_cores == 8
+        assert target.l1d.size == 16 * 1024
+        assert target.l2.cache.size == 256 * 1024
+        assert target.line_size == 32
+
+    def test_rejects_line_size_mismatch(self):
+        with pytest.raises(ConfigError):
+            TargetConfig(
+                l1d=CacheConfig(line_size=64, size=16 * 1024),
+                l1i=CacheConfig(line_size=64, size=16 * 1024),
+            )
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigError):
+            TargetConfig(num_cores=0)
+
+    def test_quick_preset_valid(self):
+        target = quick_target_config()
+        assert target.num_cores == 4
+
+
+class TestHostConfig:
+    def test_paper_preset(self):
+        host = paper_host_config()
+        assert host.num_contexts == 8
+
+    def test_rejects_zero_contexts(self):
+        with pytest.raises(ConfigError):
+            HostConfig(num_contexts=0)
+
+    def test_cost_model_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            HostCostModel(barrier_ns=-1.0)
+
+    def test_cost_model_rejects_huge_jitter(self):
+        with pytest.raises(ConfigError):
+            HostCostModel(jitter_frac=1.5)
+
+
+class TestSchemeConfigs:
+    def test_slack_kinds(self):
+        assert SlackConfig(bound=0).kind == "cycle-by-cycle"
+        assert SlackConfig(bound=5).kind == "slack-5"
+        assert SlackConfig(bound=None).kind == "unbounded"
+
+    def test_slack_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            SlackConfig(bound=-1)
+
+    def test_quantum_rejects_zero(self):
+        with pytest.raises(ConfigError):
+            QuantumConfig(quantum=0)
+
+    def test_adaptive_defaults(self):
+        config = AdaptiveConfig()
+        assert config.target_rate == pytest.approx(1e-4)
+        assert config.band == pytest.approx(0.05)
+
+    def test_adaptive_rejects_bad_bounds(self):
+        with pytest.raises(ConfigError):
+            AdaptiveConfig(min_bound=10, initial_bound=5, max_bound=20)
+
+    def test_adaptive_rejects_bad_decrease(self):
+        with pytest.raises(ConfigError):
+            AdaptiveConfig(decrease_factor=1.5)
+
+    def test_checkpoint_rejects_zero_interval(self):
+        with pytest.raises(ConfigError):
+            CheckpointConfig(interval=0)
+
+    def test_speculative_defaults(self):
+        config = SpeculativeConfig()
+        assert isinstance(config.base, AdaptiveConfig)
+        assert set(config.tracked) == {"bus", "map"}
+
+    def test_speculative_rejects_nesting(self):
+        with pytest.raises(ConfigError):
+            SpeculativeConfig(base=SpeculativeConfig())
+
+    def test_speculative_rejects_unknown_tracked(self):
+        with pytest.raises(ConfigError):
+            SpeculativeConfig(tracked=("bogus",))
+
+    def test_speculative_rejects_empty_tracked(self):
+        with pytest.raises(ConfigError):
+            SpeculativeConfig(tracked=())
+
+    def test_p2p_kind(self):
+        assert P2PConfig(period=10, max_lead=20).kind == "p2p-10/20"
+
+    def test_p2p_rejects_zero_period(self):
+        with pytest.raises(ConfigError):
+            P2PConfig(period=0)
+
+    def test_configs_are_frozen(self):
+        config = SlackConfig(bound=3)
+        with pytest.raises(AttributeError):
+            config.bound = 4

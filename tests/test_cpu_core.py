@@ -1,0 +1,176 @@
+"""Unit tests for the out-of-order core timing model."""
+
+import pytest
+
+from repro.config import quick_target_config
+from repro.cpu import CoreModel, RequestKind
+from repro.isa import Emit, Loop, ProgramInterpreter, barrier, compute, load, lock, store, unlock
+from repro.isa.operations import ILP_HIGH, ILP_LOW, ILP_MED
+from repro.memory.mesi import BusOpKind, MesiState
+
+
+def make_core(stmts, target=None):
+    target = target or quick_target_config(num_cores=1)
+    program = ProgramInterpreter(stmts, tid=0, seed=1)
+    return CoreModel(0, target, program)
+
+
+def run_until_finished(core, limit=10_000):
+    now = 0
+    while not core.finished and now < limit:
+        core.cycle(now)
+        now += 1
+    assert core.finished, "core did not finish"
+    return now
+
+
+class TestComputeTiming:
+    def test_ilp_low_issues_one_per_cycle(self):
+        core = make_core([Emit(lambda ctx: compute(8, ILP_LOW))])
+        assert core.cycle(0) == 1
+        assert core.cycle(1) == 1
+
+    def test_ilp_med_issues_two_per_cycle(self):
+        core = make_core([Emit(lambda ctx: compute(8, ILP_MED))])
+        assert core.cycle(0) == 2
+
+    def test_ilp_high_fills_width(self):
+        core = make_core([Emit(lambda ctx: compute(8, ILP_HIGH))])
+        # quick target has issue_width 2
+        assert core.cycle(0) == 2
+
+    def test_instruction_count(self):
+        core = make_core([Emit(lambda ctx: compute(10, ILP_MED))])
+        run_until_finished(core)
+        assert core.instructions == 10 + 1  # + THREAD_END
+
+    def test_finishes(self):
+        core = make_core([Emit(lambda ctx: compute(4, ILP_MED))])
+        run_until_finished(core)
+        assert core.finished
+        assert core.cycle(100) == 0  # further cycles commit nothing
+
+
+class TestMemoryTiming:
+    def test_load_miss_emits_bus_request(self):
+        core = make_core([Emit(lambda ctx: load(0x400))])
+        core.cycle(0)
+        assert len(core.outbox) == 1
+        req = core.outbox[0]
+        assert req.kind == RequestKind.BUS
+        assert req.bus_op == BusOpKind.GETS
+
+    def test_store_miss_emits_getx_and_touches_page(self):
+        core = make_core([Emit(lambda ctx: store(0x4000))])
+        core.cycle(0)
+        assert core.outbox[0].bus_op == BusOpKind.GETX
+        assert core.pages_touched == {0x4000 >> 12}
+
+    def test_execution_continues_past_load_miss(self):
+        """Non-blocking L1: independent compute flows past a miss."""
+        core = make_core(
+            [Emit(lambda ctx: load(0x400)), Emit(lambda ctx: compute(6, ILP_MED))]
+        )
+        committed_first = core.cycle(0)
+        assert committed_first >= 2  # the load plus compute started
+
+    def test_window_fills_without_fill(self):
+        """Issue stops once window_size instructions pass the oldest miss."""
+        target = quick_target_config(num_cores=1)  # window 16
+        stmts = [Emit(lambda ctx: load(0x400)), Emit(lambda ctx: compute(100, ILP_HIGH))]
+        core = make_core(stmts, target)
+        total = 0
+        for now in range(60):
+            total += core.cycle(now)
+        # 1 load + at most window_size further instructions
+        assert total <= 1 + target.core.window_size
+
+    def test_fill_unblocks_window(self):
+        target = quick_target_config(num_cores=1)
+        stmts = [Emit(lambda ctx: load(0x400)), Emit(lambda ctx: compute(100, ILP_HIGH))]
+        core = make_core(stmts, target)
+        for now in range(40):
+            core.cycle(now)
+        line = core.l1.array.mapper.line_addr(0x400)
+        core.complete_fill(line, MesiState.EXCLUSIVE)
+        assert core.cycle(41) > 0
+
+    def test_fill_with_dirty_victim_posts_writeback(self):
+        target = quick_target_config(num_cores=1)
+        core = make_core([], target)
+        mapper = core.l1.array.mapper
+        ways = target.l1d.associativity
+        num_sets = mapper.num_sets
+        # Fill one set completely with modified lines, then one more.
+        for i in range(ways + 1):
+            addr = i * num_sets * 32  # same set, different tags
+            core.l1.access(addr, is_store=True, now=i)
+            core.outbox.clear()
+            core.complete_fill(mapper.line_addr(addr), MesiState.MODIFIED)
+        writebacks = [r for r in core.outbox if r.kind == RequestKind.WRITEBACK]
+        assert len(writebacks) == 1
+
+    def test_mshr_full_stalls_cycle(self):
+        target = quick_target_config(num_cores=1)  # 4 MSHRs
+        lines = [Emit(lambda ctx, i=i: load(0x1000 * (i + 1))) for i in range(6)]
+        core = make_core(lines, target)
+        for now in range(10):
+            core.cycle(now)
+        assert core.l1.mshrs.full
+        assert core.l1.mshrs.full_stalls > 0
+
+
+class TestSyncOps:
+    def test_lock_blocks_pipeline(self):
+        core = make_core([Emit(lambda ctx: lock(3)), Emit(lambda ctx: compute(4, ILP_MED))])
+        core.cycle(0)
+        assert core.waiting_sync
+        assert core.outbox[0].kind == RequestKind.LOCK_ACQUIRE
+        assert core.cycle(1) == 0  # nothing issues while waiting
+
+    def test_grant_resumes(self):
+        core = make_core([Emit(lambda ctx: lock(3)), Emit(lambda ctx: compute(4, ILP_MED))])
+        core.cycle(0)
+        core.complete_sync()
+        assert not core.waiting_sync
+        assert core.cycle(1) > 0
+
+    def test_unlock_does_not_block(self):
+        core = make_core(
+            [
+                Emit(lambda ctx: unlock(3)),
+                Emit(lambda ctx: compute(4, ILP_MED)),
+            ]
+        )
+        committed = core.cycle(0)
+        assert not core.waiting_sync
+        assert committed >= 2
+        assert core.outbox[0].kind == RequestKind.LOCK_RELEASE
+
+    def test_barrier_blocks(self):
+        core = make_core([Emit(lambda ctx: barrier(0, 4))])
+        core.cycle(0)
+        assert core.waiting_sync
+        req = core.outbox[0]
+        assert req.kind == RequestKind.BARRIER_ARRIVE
+        assert req.participants == 4
+
+    def test_skip_stall_cycles_bookkeeping(self):
+        core = make_core([Emit(lambda ctx: lock(1))])
+        core.cycle(0)
+        before = core.cycles
+        core.skip_stall_cycles(10)
+        assert core.cycles == before + 10
+        assert core.stall_cycles >= 10
+        assert core.sync_stall_cycles >= 10
+
+
+class TestStats:
+    def test_cpi(self):
+        core = make_core([Emit(lambda ctx: compute(8, ILP_LOW))])
+        run_until_finished(core)
+        assert core.cpi() == pytest.approx(core.cycles / core.instructions)
+
+    def test_cpi_zero_when_idle(self):
+        core = make_core([])
+        assert core.cpi() == 0.0

@@ -1,0 +1,127 @@
+"""Tests for the optional open-row DRAM model."""
+
+import pytest
+
+from repro.config import CacheConfig, L2Config
+from repro.errors import ConfigError
+from repro.memory.dram import DramConfig, DramModel
+from repro.memory.l2 import L2Cache
+
+
+def make_dram(**kwargs):
+    defaults = dict(num_banks=2, row_bytes=256, row_hit_latency=50,
+                    row_miss_latency=120, bank_busy_cycles=4)
+    defaults.update(kwargs)
+    return DramModel(DramConfig(**defaults), line_size=32)
+
+
+class TestDramConfig:
+    def test_rejects_bad_row_size(self):
+        with pytest.raises(ConfigError):
+            DramConfig(row_bytes=100)
+
+    def test_rejects_hit_slower_than_miss(self):
+        with pytest.raises(ConfigError):
+            DramConfig(row_hit_latency=200, row_miss_latency=100)
+
+    def test_rejects_zero_banks(self):
+        with pytest.raises(ConfigError):
+            DramConfig(num_banks=0)
+
+
+class TestDramModel:
+    def test_first_access_is_row_miss(self):
+        dram = make_dram()
+        assert dram.access(0, at=0) == 120
+        assert dram.row_misses == 1
+
+    def test_same_row_hits(self):
+        dram = make_dram()
+        dram.access(0, at=0)
+        # lines 0..7 share the 256-byte row (32-byte lines)
+        latency = dram.access(3, at=100)
+        assert latency == 50
+        assert dram.row_hits == 1
+
+    def test_row_conflict_reopens(self):
+        dram = make_dram()
+        dram.access(0, at=0)
+        # Row 2 maps to the same bank (2 banks, row % 2)
+        assert dram.access(16, at=100) == 120
+        assert dram.row_misses == 2
+
+    def test_bank_occupancy_serializes(self):
+        dram = make_dram()
+        dram.access(0, at=10)
+        latency = dram.access(1, at=10)  # same bank, immediately after
+        assert latency == 4 + 50  # bank busy wait + row hit
+        assert dram.bank_conflict_cycles == 4
+
+    def test_different_banks_parallel(self):
+        dram = make_dram()
+        dram.access(0, at=10)  # bank 0
+        dram.access(8, at=10)  # row 1 -> bank 1
+        assert dram.bank_conflict_cycles == 0
+
+    def test_row_hit_rate(self):
+        dram = make_dram()
+        dram.access(0, at=0)
+        dram.access(1, at=200)
+        assert dram.row_hit_rate() == pytest.approx(0.5)
+
+
+class TestL2WithDram:
+    def test_miss_latency_comes_from_dram(self):
+        l2 = L2Cache(
+            L2Config(
+                cache=CacheConfig(size=2048, line_size=32, associativity=2, hit_latency=8),
+                miss_latency=100,
+                dram=DramConfig(row_hit_latency=50, row_miss_latency=140),
+            )
+        )
+        assert l2.access(0, at=0) == 140  # cold: row miss, not the flat 100
+        assert l2.access(0, at=500) == 8  # L2 hit unaffected
+
+    def test_flat_model_by_default(self):
+        l2 = L2Cache(
+            L2Config(cache=CacheConfig(size=2048, line_size=32, associativity=2, hit_latency=8))
+        )
+        assert l2.dram is None
+        assert l2.access(0) == 100
+
+    def test_end_to_end_with_dram(self):
+        """A full simulation runs with the DRAM-backed L2."""
+        from repro import HostConfig, Simulation, SlackConfig
+        from repro.config import CoreConfig, TargetConfig
+        from repro.workloads import make_workload
+
+        target = TargetConfig(
+            num_cores=4,
+            core=CoreConfig(issue_width=2, window_size=16, num_mshrs=4),
+            l1i=CacheConfig(size=1024, line_size=32, associativity=2),
+            l1d=CacheConfig(size=1024, line_size=32, associativity=2),
+            l2=L2Config(
+                cache=CacheConfig(size=4096, line_size=32, associativity=4, hit_latency=8),
+                dram=DramConfig(),
+            ),
+        )
+        workload = make_workload("synthetic", num_threads=4, steps=50)
+        flat_target = TargetConfig(
+            num_cores=4,
+            core=CoreConfig(issue_width=2, window_size=16, num_mshrs=4),
+            l1i=CacheConfig(size=1024, line_size=32, associativity=2),
+            l1d=CacheConfig(size=1024, line_size=32, associativity=2),
+            l2=L2Config(
+                cache=CacheConfig(size=4096, line_size=32, associativity=4, hit_latency=8),
+            ),
+        )
+        with_dram = Simulation(
+            workload, scheme=SlackConfig(bound=0), target=target,
+            host=HostConfig(num_contexts=4),
+        ).run()
+        flat = Simulation(
+            workload, scheme=SlackConfig(bound=0), target=flat_target,
+            host=HostConfig(num_contexts=4),
+        ).run()
+        assert with_dram.instructions == flat.instructions
+        assert with_dram.target_cycles != flat.target_cycles  # timing differs

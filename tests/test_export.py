@@ -1,0 +1,70 @@
+"""Tests for experiment export: CSV, JSON, ASCII scatter."""
+
+import json
+
+from repro.harness.experiments import ExperimentResult
+from repro.harness.export import ascii_scatter, figure_series, to_csv, to_json
+
+
+def sample_result():
+    return ExperimentResult(
+        name="demo",
+        title="Demo experiment",
+        headers=("benchmark", "value"),
+        rows=[("fft", 1.5), ("lu, scaled", 2.5)],
+        series={"fft/bus": [(1, 0.1), (10, 0.2)], "fft/map": [(1, 0.0), (10, 0.05)]},
+        notes="a note",
+    )
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        text = to_csv(sample_result())
+        lines = text.splitlines()
+        assert lines[0] == "benchmark,value"
+        assert lines[1] == "fft,1.5"
+
+    def test_quoting(self):
+        text = to_csv(sample_result())
+        assert '"lu, scaled"' in text
+
+
+class TestJson:
+    def test_roundtrip(self):
+        payload = json.loads(to_json(sample_result()))
+        assert payload["name"] == "demo"
+        assert payload["rows"][0] == ["fft", 1.5]
+        assert payload["series"]["fft/bus"] == [[1, 0.1], [10, 0.2]]
+        assert payload["notes"] == "a note"
+
+
+class TestAsciiScatter:
+    def test_renders_markers_and_legend(self):
+        result = sample_result()
+        plot = ascii_scatter(
+            figure_series(result, "fft/bus", "fft/map"),
+            width=40,
+            height=10,
+            x_label="bound",
+            y_label="rate",
+            title="fig",
+        )
+        assert "fig" in plot
+        assert "o=fft/bus" in plot
+        assert "x=fft/map" in plot
+        assert "bound" in plot
+        # Points appear somewhere in the grid.
+        assert "o" in plot
+
+    def test_log_x(self):
+        plot = ascii_scatter(
+            [("s", [(0.001, 1.0), (0.1, 2.0)])], width=30, height=8, log_x=True
+        )
+        assert "0.001" in plot
+
+    def test_empty(self):
+        assert ascii_scatter([]) == "(no data)"
+
+    def test_single_point(self):
+        plot = ascii_scatter([("s", [(1.0, 1.0)])], width=20, height=5)
+        assert "o" in plot

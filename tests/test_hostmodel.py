@@ -1,0 +1,52 @@
+"""Unit tests for the modeled host primitives."""
+
+from repro.core.hostmodel import HostContext, HostThread, ThreadState
+from repro.util import XorShift64
+
+
+class _StubRunner:
+    name = "stub"
+
+
+def make_thread():
+    context = HostContext(0)
+    thread = HostThread(_StubRunner(), context, XorShift64(7))
+    context.threads.append(thread)
+    return context, thread
+
+
+class TestHostThread:
+    def test_initial_state(self):
+        _, thread = make_thread()
+        assert thread.state == ThreadState.READY
+        assert thread.ready_time == 0.0
+        assert thread.name == "stub"
+
+    def test_jitter_zero_frac_is_identity(self):
+        _, thread = make_thread()
+        assert thread.jitter(0.0) == 1.0
+
+    def test_jitter_bounded_and_varied(self):
+        _, thread = make_thread()
+        samples = [thread.jitter(0.25) for _ in range(200)]
+        assert all(0.75 <= s <= 1.25 for s in samples)
+        assert len(set(samples)) > 100
+
+    def test_jitter_deterministic_per_seed(self):
+        ctx_a = HostContext(0)
+        a = HostThread(_StubRunner(), ctx_a, XorShift64(7))
+        ctx_b = HostContext(0)
+        b = HostThread(_StubRunner(), ctx_b, XorShift64(7))
+        assert [a.jitter(0.2) for _ in range(10)] == [b.jitter(0.2) for _ in range(10)]
+
+
+class TestHostContext:
+    def test_shared_flag(self):
+        context, thread = make_thread()
+        assert not context.shared
+        context.threads.append(HostThread(_StubRunner(), context, XorShift64(9)))
+        assert context.shared
+
+    def test_clock_starts_at_zero(self):
+        context, _ = make_thread()
+        assert context.clock == 0.0

@@ -1,0 +1,102 @@
+"""Tests for the optional instruction-fetch (L1I) model."""
+
+import pytest
+from dataclasses import replace
+
+from repro import HostConfig, Simulation, SlackConfig
+from repro.config import CoreConfig, quick_target_config
+from repro.cpu import CoreModel, RequestKind
+from repro.errors import ConfigError
+from repro.isa import Emit, Loop, ProgramInterpreter, compute
+from repro.isa.operations import ILP_MED
+from repro.workloads import make_workload
+
+
+def icache_target(code_footprint=256):
+    base = quick_target_config(num_cores=2)
+    core = replace(base.core, model_icache=True, code_footprint=code_footprint)
+    return replace(base, core=core)
+
+
+def make_core(code_footprint=256):
+    target = icache_target(code_footprint)
+    program = ProgramInterpreter(
+        [Loop("i", 40, [Emit(lambda ctx: compute(4, ILP_MED))])], 0, 1
+    )
+    return CoreModel(0, target, program)
+
+
+class TestFetchModel:
+    def test_cold_fetch_stalls_and_requests(self):
+        core = make_core()
+        committed = core.cycle(0)
+        assert committed == 0  # stalled on the first I-line
+        requests = [r for r in core.outbox if r.kind == RequestKind.IFETCH]
+        assert len(requests) == 1
+        assert core.ifetch_stall_cycles == 1
+
+    def test_stall_holds_until_ifill(self):
+        core = make_core()
+        core.cycle(0)
+        line = core.outbox[0].line_addr
+        assert core.cycle(1) == 0  # still stalled
+        core.complete_ifill(line)
+        assert core.cycle(2) > 0
+
+    def test_wrapping_code_region_rehits(self):
+        """After the region is resident, fetch never misses again."""
+        core = make_core(code_footprint=128)  # 4 lines of 32B
+        now = 0
+        while not core.finished and now < 10_000:
+            core.cycle(now)
+            for request in core.outbox:
+                if request.kind == RequestKind.IFETCH:
+                    core.complete_ifill(request.line_addr)
+            core.outbox.clear()
+            now += 1
+        assert core.finished
+        ifetches = core._icache.misses
+        assert ifetches <= 4  # one cold miss per code line
+
+    def test_disabled_by_default(self):
+        target = quick_target_config(num_cores=1)
+        program = ProgramInterpreter([], 0, 1)
+        core = CoreModel(0, target, program)
+        assert core._icache is None
+        core.cycle(0)
+        assert all(r.kind != RequestKind.IFETCH for r in core.outbox)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(code_footprint=0)
+
+
+class TestEndToEnd:
+    def _run(self, target, bound=0):
+        workload = make_workload("synthetic", num_threads=2, steps=40)
+        return Simulation(
+            workload,
+            scheme=SlackConfig(bound=bound),
+            target=target,
+            host=HostConfig(num_contexts=2),
+        ).run()
+
+    def test_simulation_completes_with_icache(self):
+        report = self._run(icache_target())
+        assert report.target_cycles > 0
+        assert report.instructions > 0
+
+    def test_icache_costs_cycles(self):
+        """Fetch stalls lengthen the simulated execution."""
+        with_icache = self._run(icache_target(code_footprint=2048))
+        flat = self._run(quick_target_config(num_cores=2))
+        assert with_icache.instructions == flat.instructions
+        assert with_icache.target_cycles > flat.target_cycles
+
+    def test_cc_still_violation_free_with_icache(self):
+        report = self._run(icache_target())
+        assert sum(report.violation_counts.values()) == 0
+
+    def test_slack_runs_with_icache(self):
+        report = self._run(icache_target(), bound=8)
+        assert report.target_cycles > 0

@@ -1,0 +1,90 @@
+"""Unit tests for the operation vocabulary."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.isa import (
+    Op,
+    OpKind,
+    barrier,
+    compute,
+    load,
+    lock,
+    store,
+    thread_end,
+    unlock,
+)
+from repro.isa.operations import ILP_HIGH, ILP_LOW, ILP_MED
+
+
+class TestFactories:
+    def test_compute(self):
+        op = compute(10, ILP_HIGH)
+        assert op.kind == OpKind.COMPUTE
+        assert op.arg1 == 10
+        assert op.arg2 == ILP_HIGH
+
+    def test_compute_rejects_zero(self):
+        with pytest.raises(WorkloadError):
+            compute(0)
+
+    def test_compute_rejects_unknown_ilp(self):
+        with pytest.raises(WorkloadError):
+            compute(4, 99)
+
+    def test_load_store(self):
+        assert load(0x1000).kind == OpKind.LOAD
+        assert store(0x1000).kind == OpKind.STORE
+        assert load(0x1234).arg1 == 0x1234
+
+    def test_memory_rejects_negative_address(self):
+        with pytest.raises(WorkloadError):
+            load(-4)
+        with pytest.raises(WorkloadError):
+            store(-4)
+
+    def test_lock_unlock(self):
+        assert lock(3).arg1 == 3
+        assert unlock(3).kind == OpKind.UNLOCK
+
+    def test_lock_rejects_negative_id(self):
+        with pytest.raises(WorkloadError):
+            lock(-1)
+
+    def test_barrier(self):
+        op = barrier(2, 8)
+        assert op.kind == OpKind.BARRIER
+        assert op.arg1 == 2
+        assert op.arg2 == 8
+
+    def test_barrier_rejects_no_participants(self):
+        with pytest.raises(WorkloadError):
+            barrier(0, 0)
+
+    def test_thread_end(self):
+        assert thread_end().kind == OpKind.THREAD_END
+
+
+class TestOpProperties:
+    def test_is_memory(self):
+        assert load(0).is_memory
+        assert store(0).is_memory
+        assert not compute(1).is_memory
+        assert not lock(0).is_memory
+
+    def test_is_sync(self):
+        assert lock(0).is_sync
+        assert unlock(0).is_sync
+        assert barrier(0, 2).is_sync
+        assert not load(0).is_sync
+
+    def test_equality_and_hash(self):
+        assert load(16) == load(16)
+        assert load(16) != store(16)
+        assert hash(load(16)) == hash(load(16))
+
+    def test_equality_with_non_op(self):
+        assert load(16) != "load"
+
+    def test_ilp_classes_distinct(self):
+        assert len({ILP_LOW, ILP_MED, ILP_HIGH}) == 3

@@ -1,0 +1,210 @@
+"""Unit and property tests for the program interpreter.
+
+The interpreter is the foundation of checkpointing: its state must be a
+plain, deep-copyable frame stack that replays bit-for-bit.
+"""
+
+import copy
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.isa import Emit, If, Loop, OpKind, ProgramInterpreter, compute, load, store
+from repro.isa.operations import Op
+
+
+def drain(interp, limit=100_000):
+    """Collect the full op stream."""
+    ops = []
+    while True:
+        op = interp.next_op()
+        if op is None:
+            return ops
+        ops.append(op)
+        assert len(ops) < limit, "runaway program"
+
+
+class TestBasics:
+    def test_empty_program_emits_thread_end(self):
+        ops = drain(ProgramInterpreter((), tid=0, seed=1))
+        assert [op.kind for op in ops] == [OpKind.THREAD_END]
+
+    def test_single_emit(self):
+        program = [Emit(lambda ctx: load(64))]
+        ops = drain(ProgramInterpreter(program, 0, 1))
+        assert [op.kind for op in ops] == [OpKind.LOAD, OpKind.THREAD_END]
+
+    def test_emit_list(self):
+        program = [Emit(lambda ctx: [load(0), store(32)])]
+        ops = drain(ProgramInterpreter(program, 0, 1))
+        assert [op.kind for op in ops] == [OpKind.LOAD, OpKind.STORE, OpKind.THREAD_END]
+
+    def test_emit_none_is_skipped(self):
+        program = [Emit(lambda ctx: None), Emit(lambda ctx: load(0))]
+        ops = drain(ProgramInterpreter(program, 0, 1))
+        assert [op.kind for op in ops] == [OpKind.LOAD, OpKind.THREAD_END]
+
+    def test_emit_non_op_raises(self):
+        program = [Emit(lambda ctx: ["nonsense"])]
+        with pytest.raises(WorkloadError):
+            drain(ProgramInterpreter(program, 0, 1))
+
+    def test_tid_visible_in_context(self):
+        program = [Emit(lambda ctx: load(ctx.tid * 32))]
+        ops = drain(ProgramInterpreter(program, tid=3, seed=1))
+        assert ops[0].arg1 == 96
+
+    def test_finished_flag(self):
+        interp = ProgramInterpreter((), 0, 1)
+        assert not interp.finished
+        drain(interp)
+        assert interp.finished
+        assert interp.next_op() is None
+
+    def test_peek_does_not_consume(self):
+        interp = ProgramInterpreter([Emit(lambda ctx: load(8))], 0, 1)
+        assert interp.peek_op().kind == OpKind.LOAD
+        assert interp.next_op().kind == OpKind.LOAD
+
+
+class TestLoops:
+    def test_loop_count(self):
+        program = [Loop("i", 5, [Emit(lambda ctx: load(ctx["i"] * 32))])]
+        ops = drain(ProgramInterpreter(program, 0, 1))
+        loads = [op for op in ops if op.kind == OpKind.LOAD]
+        assert [op.arg1 for op in loads] == [0, 32, 64, 96, 128]
+
+    def test_zero_trip_loop(self):
+        program = [Loop("i", 0, [Emit(lambda ctx: load(0))])]
+        ops = drain(ProgramInterpreter(program, 0, 1))
+        assert [op.kind for op in ops] == [OpKind.THREAD_END]
+
+    def test_callable_count(self):
+        program = [Loop("i", lambda ctx: ctx.tid + 1, [Emit(lambda ctx: load(0))])]
+        assert len(drain(ProgramInterpreter(program, tid=2, seed=1))) == 4  # 3 + end
+
+    def test_negative_count_raises(self):
+        program = [Loop("i", lambda ctx: -1, [Emit(lambda ctx: load(0))])]
+        with pytest.raises(WorkloadError):
+            drain(ProgramInterpreter(program, 0, 1))
+
+    def test_nested_loops(self):
+        program = [
+            Loop("i", 3, [Loop("j", 2, [Emit(lambda ctx: load(ctx["i"] * 64 + ctx["j"] * 32))])])
+        ]
+        loads = [op.arg1 for op in drain(ProgramInterpreter(program, 0, 1)) if op.kind == OpKind.LOAD]
+        assert loads == [0, 32, 64, 96, 128, 160]
+
+    def test_loop_variable_scoping(self):
+        """Inner loop variable disappears after the loop exits."""
+        seen = []
+
+        def record(ctx):
+            seen.append(dict(ctx.vars))
+            return None
+
+        program = [Loop("i", 1, [Loop("j", 1, [])]), Emit(record)]
+        drain(ProgramInterpreter(program, 0, 1))
+        assert seen == [{}]
+
+    def test_loop_var_shadowing_raises_out_of_scope(self):
+        program = [Loop("i", 1, []), Emit(lambda ctx: load(ctx["i"]))]
+        with pytest.raises(WorkloadError):
+            drain(ProgramInterpreter(program, 0, 1))
+
+    def test_empty_var_name_rejected(self):
+        with pytest.raises(WorkloadError):
+            Loop("", 3, [])
+
+
+class TestIf:
+    def test_then_branch(self):
+        program = [If(lambda ctx: True, [Emit(lambda ctx: load(0))], [Emit(lambda ctx: store(0))])]
+        ops = drain(ProgramInterpreter(program, 0, 1))
+        assert ops[0].kind == OpKind.LOAD
+
+    def test_else_branch(self):
+        program = [If(lambda ctx: False, [Emit(lambda ctx: load(0))], [Emit(lambda ctx: store(0))])]
+        ops = drain(ProgramInterpreter(program, 0, 1))
+        assert ops[0].kind == OpKind.STORE
+
+    def test_empty_else(self):
+        program = [If(lambda ctx: False, [Emit(lambda ctx: load(0))])]
+        ops = drain(ProgramInterpreter(program, 0, 1))
+        assert [op.kind for op in ops] == [OpKind.THREAD_END]
+
+    def test_if_inside_loop(self):
+        program = [
+            Loop(
+                "i",
+                4,
+                [If(lambda ctx: ctx["i"] % 2 == 0, [Emit(lambda ctx: load(ctx["i"]))])],
+            )
+        ]
+        loads = [op.arg1 for op in drain(ProgramInterpreter(program, 0, 1)) if op.kind == OpKind.LOAD]
+        assert loads == [0, 2]
+
+
+class TestDeterminismAndSnapshot:
+    def _random_program(self):
+        return [
+            Loop(
+                "i",
+                10,
+                [
+                    Emit(lambda ctx: load(ctx.rng.next_below(100) * 32)),
+                    If(
+                        lambda ctx: ctx.rng.next_float() < 0.5,
+                        [Emit(lambda ctx: store(ctx.rng.next_below(10) * 32))],
+                    ),
+                ],
+            )
+        ]
+
+    def test_same_seed_same_stream(self):
+        a = drain(ProgramInterpreter(self._random_program(), 0, seed=77))
+        b = drain(ProgramInterpreter(self._random_program(), 0, seed=77))
+        assert a == b
+
+    def test_different_seed_different_stream(self):
+        a = drain(ProgramInterpreter(self._random_program(), 0, seed=77))
+        b = drain(ProgramInterpreter(self._random_program(), 0, seed=78))
+        assert a != b
+
+    def test_deepcopy_mid_run_replays_identically(self):
+        interp = ProgramInterpreter(self._random_program(), 0, seed=5)
+        for _ in range(7):
+            interp.next_op()
+        clone = copy.deepcopy(interp)
+        rest_original = drain(interp)
+        rest_clone = drain(clone)
+        assert rest_original == rest_clone
+
+    @given(st.integers(min_value=0, max_value=30), st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=30, deadline=None)
+    def test_deepcopy_at_any_point_replays(self, consume, seed):
+        interp = ProgramInterpreter(self._random_program(), 0, seed=seed)
+        for _ in range(consume):
+            if interp.next_op() is None:
+                break
+        clone = copy.deepcopy(interp)
+        assert drain(interp) == drain(clone)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=4),
+        st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_nested_loop_counts(self, counts, emits):
+        """Total emitted loads = product of loop counts x emits."""
+        body = [Emit(lambda ctx: [load(0)] * emits)]
+        for count in counts:
+            body = [Loop(f"v{count}_{id(body)}", count, body)]
+        ops = drain(ProgramInterpreter(body, 0, 1))
+        loads = [op for op in ops if op.kind == OpKind.LOAD]
+        expected = emits
+        for count in counts:
+            expected *= count
+        assert len(loads) == expected

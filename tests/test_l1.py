@@ -1,0 +1,174 @@
+"""Unit tests for the L1 cache controller (lock-up free, MSHR-backed)."""
+
+import pytest
+
+from repro.config import CacheConfig, CoreConfig
+from repro.memory import BusOpKind, L1Cache, L1Outcome, MesiState
+
+
+def make_l1(mshrs=2, sets=4, ways=2):
+    config = CacheConfig(size=sets * ways * 32, line_size=32, associativity=ways)
+    return L1Cache(0, config, CoreConfig(num_mshrs=mshrs))
+
+
+class TestAccessPath:
+    def test_cold_load_misses_with_gets(self):
+        l1 = make_l1()
+        result = l1.access(0x100, is_store=False, now=0)
+        assert result.outcome == L1Outcome.MISS
+        assert result.bus_op == BusOpKind.GETS
+        assert l1.load_misses == 1
+
+    def test_cold_store_misses_with_getx(self):
+        l1 = make_l1()
+        result = l1.access(0x100, is_store=True, now=0)
+        assert result.outcome == L1Outcome.MISS
+        assert result.bus_op == BusOpKind.GETX
+        assert l1.store_misses == 1
+
+    def test_load_hit_after_fill(self):
+        l1 = make_l1()
+        line = l1.array.mapper.line_addr(0x100)
+        l1.access(0x100, False, 0)
+        l1.fill(line, MesiState.EXCLUSIVE)
+        assert l1.access(0x100, False, 1).outcome == L1Outcome.HIT
+
+    def test_store_hit_on_exclusive_transitions_to_modified(self):
+        l1 = make_l1()
+        line = l1.array.mapper.line_addr(0x100)
+        l1.access(0x100, False, 0)
+        l1.fill(line, MesiState.EXCLUSIVE)
+        assert l1.access(0x100, True, 1).outcome == L1Outcome.HIT
+        assert l1.array.lookup(line).state == MesiState.MODIFIED
+
+    def test_store_to_shared_needs_upgrade(self):
+        l1 = make_l1()
+        line = l1.array.mapper.line_addr(0x100)
+        l1.access(0x100, False, 0)
+        l1.fill(line, MesiState.SHARED)
+        result = l1.access(0x100, True, 1)
+        assert result.outcome == L1Outcome.MISS
+        assert result.bus_op == BusOpKind.UPGR
+        assert l1.upgrades == 1
+
+    def test_load_merges_into_outstanding_miss(self):
+        l1 = make_l1()
+        l1.access(0x100, False, 0)
+        result = l1.access(0x104, False, 1)  # same line
+        assert result.outcome == L1Outcome.MERGED
+        assert l1.mshrs.merges == 1
+
+    def test_store_blocked_by_outstanding_gets(self):
+        l1 = make_l1()
+        l1.access(0x100, False, 0)
+        result = l1.access(0x104, True, 1)
+        assert result.outcome == L1Outcome.BLOCKED
+
+    def test_store_merges_into_outstanding_getx(self):
+        l1 = make_l1()
+        l1.access(0x100, True, 0)
+        assert l1.access(0x104, True, 1).outcome == L1Outcome.MERGED
+
+    def test_mshr_full_stalls(self):
+        l1 = make_l1(mshrs=1)
+        l1.access(0x100, False, 0)
+        result = l1.access(0x200, False, 1)  # different line
+        assert result.outcome == L1Outcome.MSHR_FULL
+        assert l1.mshrs.full_stalls == 1
+
+
+class TestFillPath:
+    def test_fill_releases_mshr(self):
+        l1 = make_l1()
+        line = l1.array.mapper.line_addr(0x100)
+        l1.access(0x100, False, 0)
+        l1.fill(line, MesiState.SHARED)
+        assert l1.pending(line) is None
+
+    def test_fill_evicting_modified_reports_writeback(self):
+        l1 = make_l1(sets=1, ways=1)
+        line_a = l1.array.mapper.line_addr(0x100)
+        l1.access(0x100, True, 0)
+        l1.fill(line_a, MesiState.MODIFIED)
+        line_b = l1.array.mapper.line_addr(0x200)
+        l1.access(0x200, False, 1)
+        victim, dirty = l1.fill(line_b, MesiState.SHARED)
+        assert victim == line_a
+        assert dirty
+        assert l1.writebacks == 1
+
+    def test_fill_evicting_clean_no_writeback(self):
+        l1 = make_l1(sets=1, ways=1)
+        line_a = l1.array.mapper.line_addr(0x100)
+        l1.access(0x100, False, 0)
+        l1.fill(line_a, MesiState.SHARED)
+        l1.access(0x200, False, 1)
+        victim, dirty = l1.fill(l1.array.mapper.line_addr(0x200), MesiState.SHARED)
+        assert victim == line_a
+        assert not dirty
+
+    def test_upgrade_fill_mutates_in_place(self):
+        l1 = make_l1()
+        line = l1.array.mapper.line_addr(0x100)
+        l1.access(0x100, False, 0)
+        l1.fill(line, MesiState.SHARED)
+        l1.access(0x100, True, 1)  # UPGR outstanding
+        victim, dirty = l1.fill(line, MesiState.MODIFIED)
+        assert victim is None and not dirty
+        assert l1.array.lookup(line).state == MesiState.MODIFIED
+
+    def test_upgrade_fill_after_remote_invalidation(self):
+        """A line invalidated while its upgrade is in flight is reinstalled."""
+        l1 = make_l1()
+        line = l1.array.mapper.line_addr(0x100)
+        l1.access(0x100, False, 0)
+        l1.fill(line, MesiState.SHARED)
+        l1.access(0x100, True, 1)
+        l1.snoop_invalidate(line)
+        l1.fill(line, MesiState.MODIFIED)
+        assert l1.array.lookup(line).state == MesiState.MODIFIED
+
+
+class TestSnoopPath:
+    def test_invalidate(self):
+        l1 = make_l1()
+        line = l1.array.mapper.line_addr(0x100)
+        l1.access(0x100, False, 0)
+        l1.fill(line, MesiState.SHARED)
+        assert l1.snoop_invalidate(line) == MesiState.SHARED
+        assert l1.array.lookup(line) is None
+        assert l1.snoop_invalidations == 1
+
+    def test_invalidate_absent(self):
+        l1 = make_l1()
+        assert l1.snoop_invalidate(99) == MesiState.INVALID
+        assert l1.snoop_invalidations == 0
+
+    def test_downgrade_modified(self):
+        l1 = make_l1()
+        line = l1.array.mapper.line_addr(0x100)
+        l1.access(0x100, True, 0)
+        l1.fill(line, MesiState.MODIFIED)
+        assert l1.snoop_downgrade(line) == MesiState.MODIFIED
+        assert l1.array.lookup(line).state == MesiState.SHARED
+
+    def test_downgrade_shared_is_noop(self):
+        l1 = make_l1()
+        line = l1.array.mapper.line_addr(0x100)
+        l1.access(0x100, False, 0)
+        l1.fill(line, MesiState.SHARED)
+        assert l1.snoop_downgrade(line) == MesiState.SHARED
+        assert l1.snoop_downgrades == 0
+
+
+class TestStats:
+    def test_miss_rate(self):
+        l1 = make_l1()
+        line = l1.array.mapper.line_addr(0x100)
+        l1.access(0x100, False, 0)  # miss
+        l1.fill(line, MesiState.EXCLUSIVE)
+        l1.access(0x100, False, 1)  # hit
+        assert l1.miss_rate() == pytest.approx(0.5)
+
+    def test_miss_rate_zero_when_no_accesses(self):
+        assert make_l1().miss_rate() == 0.0

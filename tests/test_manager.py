@@ -1,0 +1,237 @@
+"""Unit tests for the simulation manager's event service."""
+
+import pytest
+
+from repro.config import paper_target_config, quick_target_config
+from repro.core.events import InMsgKind, OutMsg
+from repro.core.manager import ManagerState
+from repro.core.schemes import make_policy
+from repro.config import SlackConfig
+from repro.core.state import CoreState, SimulationState
+from repro.core.violations import ViolationDetector
+from repro.cpu.core import CoreModel, CoreRequest, RequestKind
+from repro.isa.program import ProgramInterpreter
+from repro.memory.mesi import BusOpKind, MesiState
+
+
+def make_sim(num_cores=2, bound=4, detection=True):
+    target = quick_target_config(num_cores=num_cores)
+    detector = ViolationDetector(enabled=detection)
+    cores = [
+        CoreState(i, CoreModel(i, target, ProgramInterpreter((), i, i)))
+        for i in range(num_cores)
+    ]
+    # Keep programs alive (empty programs finish immediately; pin them open
+    # by marking the models unfinished for manager-level tests).
+    for cs in cores:
+        cs.model.finished = False
+    manager = ManagerState(target, detector)
+    scheme = make_policy(SlackConfig(bound=bound), num_cores)
+    return SimulationState(target, cores, manager, scheme)
+
+
+def bus_msg(core_id, ts, line, op=BusOpKind.GETS, host_time=0.0):
+    return OutMsg(core_id, ts, host_time, CoreRequest(RequestKind.BUS, line_addr=line, bus_op=op))
+
+
+def sync_msg(core_id, ts, kind, sync_id=0, participants=0, host_time=0.0):
+    return OutMsg(
+        core_id, ts, host_time,
+        CoreRequest(kind, sync_id=sync_id, participants=participants),
+    )
+
+
+class TestGetsService:
+    def test_first_gets_fills_exclusive(self):
+        sim = make_sim()
+        sim.cores[0].outq.append(bus_msg(0, ts=5, line=7))
+        sim.manager.service(sim)
+        fills = [m for m in sim.cores[0].inq if m.kind == InMsgKind.FILL]
+        assert len(fills) == 1
+        assert fills[0].state == MesiState.EXCLUSIVE
+        assert fills[0].ts > 5  # latency elapsed
+
+    def test_second_gets_fills_shared_and_downgrades(self):
+        sim = make_sim()
+        sim.cores[0].outq.append(bus_msg(0, 5, 7, host_time=0.0))
+        sim.manager.service(sim)
+        sim.cores[1].outq.append(bus_msg(1, 6, 7, host_time=1.0))
+        sim.manager.service(sim)
+        fills = [m for m in sim.cores[1].inq if m.kind == InMsgKind.FILL]
+        assert fills[0].state == MesiState.SHARED
+        downgrades = [m for m in sim.cores[0].inq if m.kind == InMsgKind.DOWNGRADE]
+        assert len(downgrades) == 1
+
+    def test_l2_miss_latency_visible(self):
+        sim = make_sim()
+        sim.cores[0].outq.append(bus_msg(0, 0, 7))
+        sim.manager.service(sim)
+        fill = sim.cores[0].inq[0]
+        assert fill.ts >= sim.target.l2.miss_latency  # cold L2 miss
+
+
+class TestGetxUpgrService:
+    def test_getx_invalidates_sharers(self):
+        sim = make_sim(num_cores=3)
+        sim.cores[0].outq.append(bus_msg(0, 1, 7, host_time=0.0))
+        sim.cores[1].outq.append(bus_msg(1, 2, 7, host_time=1.0))
+        sim.manager.service(sim)
+        sim.cores[2].outq.append(bus_msg(2, 3, 7, BusOpKind.GETX, host_time=2.0))
+        sim.manager.service(sim)
+        for core_id in (0, 1):
+            invals = [m for m in sim.cores[core_id].inq if m.kind == InMsgKind.INVALIDATE]
+            assert len(invals) == 1, f"core {core_id} not invalidated"
+        fill = [m for m in sim.cores[2].inq if m.kind == InMsgKind.FILL][0]
+        assert fill.state == MesiState.MODIFIED
+
+    def test_upgr_from_sharer(self):
+        sim = make_sim()
+        sim.cores[0].outq.append(bus_msg(0, 1, 7, host_time=0.0))
+        sim.cores[1].outq.append(bus_msg(1, 2, 7, host_time=1.0))
+        sim.manager.service(sim)
+        sim.cores[0].outq.append(bus_msg(0, 3, 7, BusOpKind.UPGR, host_time=2.0))
+        sim.manager.service(sim)
+        invals = [m for m in sim.cores[1].inq if m.kind == InMsgKind.INVALIDATE]
+        assert len(invals) == 1
+
+    def test_upgr_degenerates_to_getx_when_invalidated(self):
+        """An upgrader whose copy was invalidated in flight gets data."""
+        sim = make_sim()
+        # Core 1 owns the line exclusively; core 0 is not a sharer.
+        sim.cores[1].outq.append(bus_msg(1, 1, 7, BusOpKind.GETX, host_time=0.0))
+        sim.manager.service(sim)
+        sim.cores[0].outq.append(bus_msg(0, 2, 7, BusOpKind.UPGR, host_time=1.0))
+        sim.manager.service(sim)
+        fill = [m for m in sim.cores[0].inq if m.kind == InMsgKind.FILL][0]
+        # Data had to come from somewhere: latency beyond a pure upgrade.
+        assert fill.state == MesiState.MODIFIED
+        assert sim.manager.cache_map.owner_of(7) == 0
+
+    def test_writeback_updates_map_and_l2(self):
+        sim = make_sim()
+        sim.cores[0].outq.append(bus_msg(0, 1, 7, BusOpKind.GETX, host_time=0.0))
+        sim.manager.service(sim)
+        sim.cores[0].outq.append(
+            OutMsg(0, 5, 1.0, CoreRequest(RequestKind.WRITEBACK, line_addr=7))
+        )
+        sim.manager.service(sim)
+        assert sim.manager.cache_map.owner_of(7) is None
+        assert sim.manager.l2.writebacks_received == 1
+
+
+class TestSyncService:
+    def test_lock_grant(self):
+        sim = make_sim()
+        sim.cores[0].outq.append(sync_msg(0, 10, RequestKind.LOCK_ACQUIRE, sync_id=3))
+        sim.manager.service(sim)
+        grants = [m for m in sim.cores[0].inq if m.kind == InMsgKind.SYNC_GRANT]
+        assert len(grants) == 1
+        assert grants[0].ts > 10
+
+    def test_contended_lock_granted_on_release(self):
+        sim = make_sim()
+        sim.cores[0].outq.append(sync_msg(0, 10, RequestKind.LOCK_ACQUIRE, 3, host_time=0.0))
+        sim.cores[1].outq.append(sync_msg(1, 11, RequestKind.LOCK_ACQUIRE, 3, host_time=1.0))
+        sim.manager.service(sim)
+        assert not [m for m in sim.cores[1].inq if m.kind == InMsgKind.SYNC_GRANT]
+        sim.cores[0].outq.append(sync_msg(0, 20, RequestKind.LOCK_RELEASE, 3, host_time=2.0))
+        sim.manager.service(sim)
+        grants = [m for m in sim.cores[1].inq if m.kind == InMsgKind.SYNC_GRANT]
+        assert len(grants) == 1
+
+    def test_barrier_release_all(self):
+        sim = make_sim()
+        sim.cores[0].outq.append(
+            sync_msg(0, 10, RequestKind.BARRIER_ARRIVE, 0, participants=2, host_time=0.0)
+        )
+        sim.manager.service(sim)
+        sim.cores[1].outq.append(
+            sync_msg(1, 30, RequestKind.BARRIER_ARRIVE, 0, participants=2, host_time=1.0)
+        )
+        sim.manager.service(sim)
+        for core_id in (0, 1):
+            grants = [m for m in sim.cores[core_id].inq if m.kind == InMsgKind.SYNC_GRANT]
+            assert len(grants) == 1
+            assert grants[0].ts > 30
+
+
+class TestServiceDiscipline:
+    def test_arrival_order_violation_detected(self):
+        """Optimistic service: an older-stamped event served after a
+        younger one is a bus violation."""
+        sim = make_sim(bound=8)
+        sim.cores[0].outq.append(bus_msg(0, ts=100, line=1, host_time=0.0))
+        sim.manager.service(sim)
+        sim.cores[1].outq.append(bus_msg(1, ts=50, line=2, host_time=1.0))
+        sim.manager.service(sim)
+        assert sim.manager.detector.counts["bus"] == 1
+
+    def test_same_batch_sorted_no_violation(self):
+        sim = make_sim(bound=8)
+        sim.cores[0].outq.append(bus_msg(0, ts=100, line=1, host_time=0.0))
+        sim.cores[1].outq.append(bus_msg(1, ts=50, line=2, host_time=1.0))
+        sim.manager.service(sim)  # one batch: sorted by ts
+        assert sim.manager.detector.total == 0
+
+    def test_conservative_holds_future_events(self):
+        sim = make_sim(bound=0)
+        # Core locals are 0; event stamped in their future must wait.
+        sim.cores[0].outq.append(bus_msg(0, ts=5, line=1))
+        outcome = sim.manager.service(sim, conservative=True)
+        assert outcome.events_served == 0
+        assert len(sim.manager.gq) == 1
+
+    def test_conservative_serves_past_events(self):
+        sim = make_sim(bound=0)
+        for cs in sim.cores:
+            cs.local_time = 10
+        sim.cores[0].outq.append(bus_msg(0, ts=5, line=1))
+        outcome = sim.manager.service(sim, conservative=True)
+        assert outcome.events_served == 1
+
+    def test_map_violation_detected(self):
+        sim = make_sim(bound=8)
+        sim.cores[0].outq.append(bus_msg(0, ts=100, line=7, host_time=0.0))
+        sim.manager.service(sim)
+        sim.cores[1].outq.append(bus_msg(1, ts=50, line=7, host_time=1.0))
+        sim.manager.service(sim)
+        assert sim.manager.detector.counts["map"] == 1
+
+    def test_disabled_detection_counts_nothing(self):
+        sim = make_sim(bound=8, detection=False)
+        sim.cores[0].outq.append(bus_msg(0, ts=100, line=1, host_time=0.0))
+        sim.manager.service(sim)
+        sim.cores[1].outq.append(bus_msg(1, ts=50, line=1, host_time=1.0))
+        sim.manager.service(sim)
+        assert sim.manager.detector.total == 0
+
+
+class TestPacing:
+    def test_max_local_follows_window(self):
+        sim = make_sim(bound=4)
+        sim.cores[0].local_time = 10
+        sim.cores[1].local_time = 12
+        sim.manager.service(sim)
+        assert sim.cores[0].max_local_time == 14
+        assert sim.cores[1].max_local_time == 14
+
+    def test_force_window_override(self):
+        sim = make_sim(bound=64)
+        sim.manager.service(sim, force_window=1)
+        assert all(cs.max_local_time == sim.manager.global_time + 1 for cs in sim.cores)
+
+    def test_window_cap(self):
+        sim = make_sim(bound=1000)
+        sim.manager.service(sim, window_cap=42)
+        assert all(cs.max_local_time == 42 for cs in sim.cores)
+
+    def test_unbounded_means_none(self):
+        sim = make_sim(bound=None)
+        sim.manager.service(sim)
+        assert all(cs.max_local_time is None for cs in sim.cores)
+
+    def test_quiescent(self):
+        sim = make_sim()
+        assert sim.manager.quiescent(sim)
+        sim.cores[0].outq.append(bus_msg(0, 1, 1))
+        assert not sim.manager.quiescent(sim)

@@ -1,0 +1,230 @@
+"""Unit tests for the manager-side memory components: bus, L2, cache map,
+and address mapping."""
+
+import pytest
+
+from repro.config import BusConfig, CacheConfig, L2Config
+from repro.memory import AddressMapper, CacheStatusMap, L2Cache, SnoopBus
+from repro.memory.address import page_of
+
+
+class TestAddressMapper:
+    def test_roundtrip(self):
+        mapper = AddressMapper(CacheConfig(size=4096, line_size=32, associativity=4))
+        addr = 0x1234_5678
+        line = mapper.line_addr(addr)
+        assert mapper.line_of(mapper.set_index(addr), mapper.tag(addr)) == line
+
+    def test_line_addr_drops_offset(self):
+        mapper = AddressMapper(CacheConfig(size=4096, line_size=32, associativity=4))
+        assert mapper.line_addr(0) == mapper.line_addr(31)
+        assert mapper.line_addr(32) == mapper.line_addr(0) + 1
+
+    def test_set_index_wraps(self):
+        mapper = AddressMapper(CacheConfig(size=4096, line_size=32, associativity=4))
+        num_sets = mapper.num_sets
+        assert mapper.set_index_of_line(0) == mapper.set_index_of_line(num_sets)
+
+    def test_page_of(self):
+        assert page_of(0, 4096) == 0
+        assert page_of(4095, 4096) == 0
+        assert page_of(4096, 4096) == 1
+
+
+class TestSnoopBus:
+    def test_uncontended_grant(self):
+        bus = SnoopBus(BusConfig(request_cycles=1, arbitration_latency=1))
+        assert bus.grant_request(10) == 11
+        assert bus.request_conflict_cycles == 0
+
+    def test_back_to_back_conflict(self):
+        bus = SnoopBus(BusConfig(request_cycles=2, arbitration_latency=1))
+        first = bus.grant_request(10)
+        second = bus.grant_request(10)
+        assert second == first + 2  # waits for occupancy
+        assert bus.request_conflict_cycles == 2
+
+    def test_idle_gap_no_conflict(self):
+        bus = SnoopBus(BusConfig(request_cycles=1, arbitration_latency=1))
+        bus.grant_request(10)
+        assert bus.grant_request(100) == 101
+
+    def test_stale_grant_counted(self):
+        bus = SnoopBus(BusConfig())
+        bus.grant_request(100)
+        bus.grant_request(50)  # out of timestamp order
+        assert bus.stale_grants == 1
+
+    def test_stale_grant_observes_advanced_occupancy(self):
+        """The violation's timing distortion: an old request sees state
+        already advanced by a younger one."""
+        bus = SnoopBus(BusConfig(request_cycles=5, arbitration_latency=1))
+        young = bus.grant_request(100)
+        old = bus.grant_request(50)
+        assert old >= young + 5
+
+    def test_response_serialization(self):
+        bus = SnoopBus(BusConfig(response_cycles=2))
+        start1, done1 = bus.schedule_response(10)
+        start2, done2 = bus.schedule_response(10)
+        assert (start1, done1) == (10, 12)
+        assert (start2, done2) == (12, 14)
+        assert bus.response_conflict_cycles == 2
+
+    def test_statistics(self):
+        bus = SnoopBus(BusConfig())
+        bus.grant_request(1)
+        bus.schedule_response(5)
+        assert bus.requests == 1
+        assert bus.responses == 1
+
+
+class TestL2Cache:
+    def make(self):
+        return L2Cache(
+            L2Config(
+                cache=CacheConfig(size=2048, line_size=32, associativity=2, hit_latency=8),
+                miss_latency=100,
+            )
+        )
+
+    def test_cold_miss_latency(self):
+        l2 = self.make()
+        assert l2.access(7) == 100
+        assert l2.misses == 1
+
+    def test_hit_after_fill(self):
+        l2 = self.make()
+        l2.access(7)
+        assert l2.access(7) == 8
+        assert l2.misses == 1
+
+    def test_writeback_allocates(self):
+        l2 = self.make()
+        l2.writeback(9)
+        assert l2.access(9) == 8  # hit
+        assert l2.writebacks_received == 1
+
+    def test_miss_rate(self):
+        l2 = self.make()
+        l2.access(1)
+        l2.access(1)
+        assert l2.miss_rate() == pytest.approx(0.5)
+
+    def test_miss_rate_empty(self):
+        assert self.make().miss_rate() == 0.0
+
+
+class TestBankedL2:
+    def make(self, banks=4):
+        return L2Cache(
+            L2Config(
+                cache=CacheConfig(size=2048, line_size=32, associativity=2, hit_latency=8),
+                num_banks=banks,
+                miss_latency=100,
+            )
+        )
+
+    def test_bank_mapping_interleaves(self):
+        l2 = self.make(banks=4)
+        assert [l2.bank_of(line) for line in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_same_bank_back_to_back_conflicts(self):
+        l2 = self.make(banks=4)
+        l2.access(0, at=10)
+        first_free = l2._bank_free_at[0]
+        latency = l2.access(4, at=10)  # same bank 0, same time
+        assert latency > 100  # miss latency plus the conflict wait
+        assert l2.bank_conflict_cycles == first_free - 10
+
+    def test_different_banks_no_conflict(self):
+        l2 = self.make(banks=4)
+        l2.access(0, at=10)
+        l2.access(1, at=10)
+        assert l2.bank_conflict_cycles == 0
+
+    def test_single_bank_never_conflicts(self):
+        """The paper-default single-bank L2 keeps the original flat model."""
+        l2 = self.make(banks=1)
+        l2.access(0, at=10)
+        assert l2.access(0, at=10) == 8  # plain hit latency
+        assert l2.bank_conflict_cycles == 0
+
+
+class TestCacheStatusMap:
+    def test_gets_first_reader_gets_exclusive(self):
+        cmap = CacheStatusMap()
+        others, downgrade = cmap.apply_gets(5, requester=1)
+        assert not others
+        assert downgrade is None
+        assert cmap.owner_of(5) == 1
+        assert cmap.sharers_of(5) == {1}
+
+    def test_gets_second_reader_shares(self):
+        cmap = CacheStatusMap()
+        cmap.apply_gets(5, 1)
+        others, downgrade = cmap.apply_gets(5, 2)
+        assert others
+        assert downgrade == 1  # previous exclusive owner supplies the data
+        assert cmap.owner_of(5) is None
+        assert cmap.sharers_of(5) == {1, 2}
+        assert cmap.cache_to_cache == 1
+
+    def test_getx_invalidates_sharers(self):
+        cmap = CacheStatusMap()
+        cmap.apply_gets(5, 1)
+        cmap.apply_gets(5, 2)
+        targets, source = cmap.apply_getx(5, 3)
+        assert targets == [1, 2]
+        assert source is None  # no exclusive owner; L2 supplies
+        assert cmap.owner_of(5) == 3
+        assert cmap.sharers_of(5) == {3}
+
+    def test_getx_from_owner_cache_to_cache(self):
+        cmap = CacheStatusMap()
+        cmap.apply_gets(5, 1)  # core 1 exclusive
+        targets, source = cmap.apply_getx(5, 2)
+        assert targets == [1]
+        assert source == 1
+
+    def test_upgr_invalidates_other_sharers(self):
+        cmap = CacheStatusMap()
+        cmap.apply_gets(5, 1)
+        cmap.apply_gets(5, 2)
+        targets = cmap.apply_upgr(5, 1)
+        assert targets == [2]
+        assert cmap.owner_of(5) == 1
+
+    def test_writeback_removes_owner(self):
+        cmap = CacheStatusMap()
+        cmap.apply_getx(5, 1)
+        cmap.apply_writeback(5, 1)
+        assert cmap.owner_of(5) is None
+        assert cmap.sharers_of(5) == set()
+        assert len(cmap) == 0
+
+    def test_writeback_unknown_line_is_noop(self):
+        cmap = CacheStatusMap()
+        cmap.apply_writeback(77, 1)
+        assert len(cmap) == 0
+
+    def test_gets_by_existing_sharer_keeps_others(self):
+        cmap = CacheStatusMap()
+        cmap.apply_gets(5, 1)
+        cmap.apply_gets(5, 2)
+        others, downgrade = cmap.apply_gets(5, 1)  # refetch after eviction
+        assert others  # core 2 still has it
+        assert downgrade is None
+
+    def test_statistics(self):
+        cmap = CacheStatusMap()
+        cmap.apply_gets(1, 0)
+        cmap.apply_getx(1, 1)
+        cmap.apply_upgr(1, 1)
+        cmap.apply_writeback(1, 1)
+        assert (cmap.gets_served, cmap.getx_served, cmap.upgr_served, cmap.writebacks) == (
+            1,
+            1,
+            1,
+            1,
+        )

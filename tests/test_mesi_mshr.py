@@ -1,0 +1,82 @@
+"""Unit tests for the MESI helpers and the MSHR file."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.memory import BusOpKind, MesiState, MshrFile
+from repro.memory.mesi import fill_state_for, store_transition
+
+
+class TestMesiStates:
+    def test_readable(self):
+        assert MesiState.SHARED.readable
+        assert MesiState.EXCLUSIVE.readable
+        assert MesiState.MODIFIED.readable
+        assert not MesiState.INVALID.readable
+
+    def test_writable(self):
+        assert MesiState.EXCLUSIVE.writable
+        assert MesiState.MODIFIED.writable
+        assert not MesiState.SHARED.writable
+        assert not MesiState.INVALID.writable
+
+    def test_store_transition(self):
+        assert store_transition(MesiState.EXCLUSIVE) == MesiState.MODIFIED
+        assert store_transition(MesiState.MODIFIED) == MesiState.MODIFIED
+        assert store_transition(MesiState.SHARED) == MesiState.MODIFIED
+
+    def test_store_transition_rejects_invalid(self):
+        with pytest.raises(ProtocolError):
+            store_transition(MesiState.INVALID)
+
+    def test_fill_state_gets(self):
+        assert fill_state_for(BusOpKind.GETS, others_have_copy=True) == MesiState.SHARED
+        assert fill_state_for(BusOpKind.GETS, others_have_copy=False) == MesiState.EXCLUSIVE
+
+    def test_fill_state_getx_upgr(self):
+        assert fill_state_for(BusOpKind.GETX, False) == MesiState.MODIFIED
+        assert fill_state_for(BusOpKind.UPGR, True) == MesiState.MODIFIED
+
+    def test_fill_state_rejects_wb(self):
+        with pytest.raises(ProtocolError):
+            fill_state_for(BusOpKind.WB, False)
+
+
+class TestMshrFile:
+    def test_allocate_and_get(self):
+        mshrs = MshrFile(capacity=2)
+        entry = mshrs.allocate(10, BusOpKind.GETS, issue_time=5)
+        assert mshrs.get(10) is entry
+        assert entry.issue_time == 5
+        assert len(mshrs) == 1
+
+    def test_full(self):
+        mshrs = MshrFile(capacity=1)
+        mshrs.allocate(1, BusOpKind.GETS, 0)
+        assert mshrs.full
+
+    def test_merge(self):
+        mshrs = MshrFile(capacity=2)
+        mshrs.allocate(10, BusOpKind.GETS, 0)
+        entry = mshrs.merge(10, rob_id=7)
+        assert entry.merged_rob_ids == [7]
+        assert mshrs.merges == 1
+
+    def test_release(self):
+        mshrs = MshrFile(capacity=2)
+        mshrs.allocate(10, BusOpKind.GETX, 0)
+        released = mshrs.release(10)
+        assert released.line_addr == 10
+        assert mshrs.get(10) is None
+        assert not mshrs.full or mshrs.capacity == 0
+
+    def test_outstanding_lines_sorted(self):
+        mshrs = MshrFile(capacity=4)
+        for line in (9, 3, 7):
+            mshrs.allocate(line, BusOpKind.GETS, 0)
+        assert mshrs.outstanding_lines() == [3, 7, 9]
+
+    def test_statistics(self):
+        mshrs = MshrFile(capacity=1)
+        mshrs.allocate(1, BusOpKind.GETS, 0)
+        assert mshrs.allocations == 1

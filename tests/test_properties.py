@@ -1,0 +1,115 @@
+"""Hypothesis property tests over whole simulations.
+
+These drive randomized synthetic workloads through the engine and assert
+the invariants the paper's correctness argument rests on:
+
+- coherence: never two Modified/Exclusive copies of a line; the manager's
+  cache map over-approximates but never misses a real sharer;
+- progress: simulated and simulation time never decrease; every run
+  terminates with all workload threads finished;
+- checkpoint transparency: snapshots never alter the committed execution.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CheckpointConfig, HostConfig, Simulation, SlackConfig
+from repro.config import quick_target_config
+from repro.memory.mesi import MesiState
+from repro.workloads import make_workload
+
+workload_params = st.fixed_dictionaries(
+    {
+        "steps": st.integers(min_value=10, max_value=120),
+        "shared_lines": st.integers(min_value=1, max_value=16),
+        "shared_fraction": st.floats(min_value=0.0, max_value=1.0),
+        "store_fraction": st.floats(min_value=0.0, max_value=1.0),
+        "lock_every": st.sampled_from([0, 7, 20]),
+        "barrier_every": st.sampled_from([0, 25]),
+    }
+)
+
+bounds = st.sampled_from([0, 1, 3, 8, 64, None])
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+def build(params, bound, seed):
+    wl = make_workload("synthetic", num_threads=4, **params)
+    return Simulation(
+        wl,
+        scheme=SlackConfig(bound=bound),
+        target=quick_target_config(num_cores=4),
+        host=HostConfig(num_contexts=4),
+        seed=seed,
+    )
+
+
+@given(params=workload_params, bound=bounds, seed=seeds)
+@settings(max_examples=25, deadline=None)
+def test_runs_terminate_and_account(params, bound, seed):
+    sim = build(params, bound, seed)
+    report = sim.run(max_target_cycles=2_000_000)
+    assert sim.state.all_finished
+    assert report.target_cycles > 0
+    # Per-core cycle accounting: model cycles == local time at finish.
+    for cs in sim.state.cores:
+        assert cs.model.cycles == cs.local_time
+
+
+@given(params=workload_params, bound=bounds, seed=seeds)
+@settings(max_examples=20, deadline=None)
+def test_coherence_invariants_at_end(params, bound, seed):
+    """At quiescence: at most one writable copy per line; the cache map's
+    sharer sets contain every actual L1 holder."""
+    sim = build(params, bound, seed)
+    sim.run(max_target_cycles=2_000_000)
+    holders = {}
+    for cs in sim.state.cores:
+        for line, state in cs.model.l1.resident_lines().items():
+            holders.setdefault(line, []).append((cs.core_id, state))
+    cmap = sim.state.manager.cache_map
+    for line, entries in holders.items():
+        writable = [c for c, s in entries if s in (MesiState.MODIFIED, MesiState.EXCLUSIVE)]
+        assert len(writable) <= 1, f"line {line}: multiple writable copies {entries}"
+        if len(entries) > 1:
+            # If anyone holds it writable alongside sharers, that's a bug.
+            assert not writable or len(entries) == 1
+        for core_id, _ in entries:
+            assert core_id in cmap.sharers_of(line), (
+                f"map lost track of core {core_id} holding line {line}"
+            )
+
+
+@given(params=workload_params, seed=seeds)
+@settings(max_examples=12, deadline=None)
+def test_cc_is_violation_free_always(params, seed):
+    report = build(params, 0, seed).run(max_target_cycles=2_000_000)
+    assert sum(report.violation_counts.values()) == 0
+
+
+@given(params=workload_params, seed=seeds)
+@settings(max_examples=10, deadline=None)
+def test_checkpointing_is_transparent_to_target_execution(params, seed):
+    plain = build(params, 0, seed).run(max_target_cycles=2_000_000)
+    wl = make_workload("synthetic", num_threads=4, **params)
+    checked = Simulation(
+        wl,
+        scheme=SlackConfig(bound=0),
+        target=quick_target_config(num_cores=4),
+        host=HostConfig(num_contexts=4),
+        seed=seed,
+        checkpoint=CheckpointConfig(interval=300),
+    ).run(max_target_cycles=2_000_000)
+    assert checked.target_cycles == plain.target_cycles
+    assert checked.instructions == plain.instructions
+
+
+@given(params=workload_params, bound=bounds, seed=seeds)
+@settings(max_examples=15, deadline=None)
+def test_determinism_property(params, bound, seed):
+    r1 = build(params, bound, seed).run(max_target_cycles=2_000_000)
+    r2 = build(params, bound, seed).run(max_target_cycles=2_000_000)
+    assert r1.target_cycles == r2.target_cycles
+    assert r1.sim_time_s == r2.sim_time_s
+    assert r1.violation_counts == r2.violation_counts

@@ -1,0 +1,120 @@
+"""Hypothesis property tests for individual substrate components."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import BusConfig
+from repro.memory.bus import SnoopBus
+from repro.sync import BarrierTable, LockTable, SyncTimingConfig
+
+
+class TestBusProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_grant_never_precedes_arbitration(self, timestamps):
+        bus = SnoopBus(BusConfig(request_cycles=2, arbitration_latency=1))
+        for ts in timestamps:
+            grant = bus.grant_request(ts)
+            assert grant >= ts + 1
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_in_order_grants_never_overlap(self, deltas):
+        """For a monotone request stream, consecutive grants are separated
+        by at least the bus occupancy."""
+        bus = SnoopBus(BusConfig(request_cycles=3, arbitration_latency=1))
+        ts = 0
+        last_grant = None
+        for delta in deltas:
+            ts += delta
+            grant = bus.grant_request(ts)
+            if last_grant is not None:
+                assert grant >= last_grant + 3
+            last_grant = grant
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_response_occupancy_monotone(self, readies):
+        bus = SnoopBus(BusConfig(response_cycles=2))
+        last_done = None
+        for ready in readies:
+            start, done = bus.schedule_response(ready)
+            assert done == start + 2
+            assert start >= ready
+            if last_done is not None:
+                assert start >= last_done  # single resource, serialized
+            last_done = done
+
+
+class TestLockProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=3), st.booleans()),
+            max_size=120,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mutual_exclusion_and_fifo(self, events):
+        """Random acquire/release traffic never grants two holders, and
+        waiters are granted in request order."""
+        locks = LockTable(SyncTimingConfig())
+        holder = None
+        queue = []
+        ts = 0
+        for core, want_acquire in events:
+            ts += 1
+            if want_acquire:
+                if holder == core or core in queue:
+                    continue  # cannot re-request
+                grant = locks.acquire(0, core, ts)
+                if holder is None:
+                    assert grant is not None
+                    holder = core
+                else:
+                    assert grant is None
+                    queue.append(core)
+            else:
+                if holder != core:
+                    continue
+                handoff = locks.release(0, core, ts)
+                if queue:
+                    expected = queue.pop(0)
+                    assert handoff is not None
+                    next_core, grant_ts = handoff
+                    assert next_core == expected
+                    assert grant_ts >= ts
+                    holder = next_core
+                else:
+                    assert handoff is None
+                    holder = None
+            assert locks.holder_of(0) == holder
+
+
+class TestBarrierProperties:
+    @given(
+        participants=st.integers(min_value=1, max_value=8),
+        arrival_offsets=st.lists(
+            st.integers(min_value=0, max_value=500), min_size=8, max_size=8
+        ),
+        generations=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_release_at_or_after_every_arrival(
+        self, participants, arrival_offsets, generations
+    ):
+        barriers = BarrierTable(SyncTimingConfig(barrier_latency=12))
+        base = 0
+        for _ in range(generations):
+            releases = None
+            max_arrival = 0
+            for core in range(participants):
+                arrival = base + arrival_offsets[core]
+                max_arrival = max(max_arrival, arrival)
+                releases = barriers.arrive(0, core, arrival, participants)
+                if core < participants - 1:
+                    assert releases is None
+            assert releases is not None
+            assert len(releases) == participants
+            release_ts = {ts for _, ts in releases}
+            assert release_ts == {max_arrival + 12}
+            base = max_arrival + 100

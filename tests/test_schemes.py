@@ -1,0 +1,236 @@
+"""Unit tests for slack-scheme policy objects."""
+
+import pytest
+
+from repro.config import (
+    AdaptiveConfig,
+    P2PConfig,
+    QuantumConfig,
+    SlackConfig,
+    SpeculativeConfig,
+)
+from repro.core.schemes import (
+    AdaptiveSlackPolicy,
+    FixedSlackPolicy,
+    P2PPolicy,
+    QuantumPolicy,
+    make_policy,
+)
+from repro.core.violations import ViolationDetector
+from repro.errors import ConfigError
+
+
+class TestMakePolicy:
+    def test_dispatch(self):
+        assert isinstance(make_policy(SlackConfig(0), 8), FixedSlackPolicy)
+        assert isinstance(make_policy(QuantumConfig(5), 8), QuantumPolicy)
+        assert isinstance(make_policy(AdaptiveConfig(), 8), AdaptiveSlackPolicy)
+        assert isinstance(make_policy(P2PConfig(), 8), P2PPolicy)
+
+    def test_rejects_speculative(self):
+        with pytest.raises(ConfigError):
+            make_policy(SpeculativeConfig(), 8)
+
+
+class TestFixedSlackPolicy:
+    def test_cycle_by_cycle_flags(self):
+        policy = FixedSlackPolicy(SlackConfig(bound=0))
+        assert policy.barrier_sync
+        assert policy.conservative_service
+        assert policy.window() == 1
+
+    def test_bounded_flags(self):
+        policy = FixedSlackPolicy(SlackConfig(bound=5))
+        assert not policy.barrier_sync
+        assert not policy.conservative_service
+        assert policy.window() == 5
+
+    def test_unbounded(self):
+        policy = FixedSlackPolicy(SlackConfig(bound=None))
+        assert policy.window() is None
+        assert policy.max_local_for(0, 10, 5) is None
+
+    def test_max_local_from_window(self):
+        policy = FixedSlackPolicy(SlackConfig(bound=3))
+        assert policy.max_local_for(0, 10, 7) == 10
+
+    def test_control_tick_is_noop(self):
+        policy = FixedSlackPolicy(SlackConfig(bound=3))
+        assert policy.control_tick(ViolationDetector(), 1000) is False
+
+
+class TestQuantumPolicy:
+    def test_flags(self):
+        policy = QuantumPolicy(QuantumConfig(quantum=10))
+        assert policy.barrier_sync
+        assert policy.conservative_service
+        assert policy.window() == 10
+
+
+class TestAdaptivePolicy:
+    def _policy(self, **kwargs):
+        defaults = dict(
+            target_rate=1e-3,
+            band=0.0,
+            initial_bound=4,
+            min_bound=1,
+            max_bound=64,
+            adjust_period=100,
+            increase_step=2,
+            decrease_factor=0.5,
+        )
+        defaults.update(kwargs)
+        return AdaptiveSlackPolicy(AdaptiveConfig(**defaults))
+
+    def test_no_adjustment_before_period(self):
+        policy = self._policy()
+        assert not policy.control_tick(ViolationDetector(), 50)
+        assert policy.bound == 4
+
+    def test_increase_when_quiet(self):
+        policy = self._policy()
+        detector = ViolationDetector()
+        assert policy.control_tick(detector, 100)
+        assert policy.bound == 6
+
+    def test_decrease_when_noisy(self):
+        policy = self._policy()
+        detector = ViolationDetector()
+        for _ in range(50):  # 50 violations in 100 cycles >> target
+            detector.check_bus(10, 0, 0)
+            detector.check_bus(5, 0, 0)
+        assert policy.control_tick(detector, 100)
+        assert policy.bound == 2
+
+    def test_bound_respects_min(self):
+        policy = self._policy(initial_bound=1)
+        detector = ViolationDetector()
+        detector.check_bus(10, 0, 0)
+        for _ in range(60):
+            detector.check_bus(5, 0, 0)
+        policy.control_tick(detector, 100)
+        assert policy.bound == 1
+
+    def test_bound_respects_max(self):
+        policy = self._policy(initial_bound=63, max_bound=64)
+        assert policy.control_tick(ViolationDetector(), 100)
+        assert policy.bound == 64
+
+    def test_band_suppresses_adjustment(self):
+        policy = self._policy(band=10.0)  # band so wide nothing adjusts
+        detector = ViolationDetector()
+        assert not policy.control_tick(detector, 100)
+
+    def test_window_reset_after_tick(self):
+        policy = self._policy()
+        detector = ViolationDetector()
+        detector.check_bus(10, 0, 0)
+        detector.check_bus(5, 0, 0)
+        policy.control_tick(detector, 100)
+        assert detector.window_total() == 0
+
+    def test_average_bound_weighted(self):
+        policy = self._policy()
+        detector = ViolationDetector()
+        policy.control_tick(detector, 100)  # bound 4 -> 6 at t=100
+        avg = policy.average_bound(200)
+        assert 4.0 < avg < 6.0
+
+    def test_adjustment_counters(self):
+        policy = self._policy()
+        detector = ViolationDetector()
+        policy.control_tick(detector, 100)
+        assert policy.adjustments == 1
+        assert policy.increases == 1
+        assert policy.decreases == 0
+
+
+class TestAdaptiveQuantumPolicy:
+    def _policy(self, **kwargs):
+        from repro.config import AdaptiveQuantumConfig
+        from repro.core.schemes import AdaptiveQuantumPolicy
+
+        defaults = dict(
+            initial_quantum=8, min_quantum=1, max_quantum=64,
+            low_traffic=0.05, high_traffic=0.2, adjust_period=100,
+        )
+        defaults.update(kwargs)
+        return AdaptiveQuantumPolicy(AdaptiveQuantumConfig(**defaults))
+
+    def test_flags_are_conservative(self):
+        policy = self._policy()
+        assert policy.barrier_sync
+        assert policy.conservative_service
+        assert policy.window() == 8
+
+    def test_quiet_traffic_grows_quantum(self):
+        policy = self._policy()
+        detector = ViolationDetector()
+        assert policy.control_tick(detector, 100, events_served=0)
+        assert policy.quantum == 16
+
+    def test_heavy_traffic_shrinks_quantum(self):
+        policy = self._policy()
+        detector = ViolationDetector()
+        assert policy.control_tick(detector, 100, events_served=50)  # 0.5/cycle
+        assert policy.quantum == 4
+
+    def test_mid_band_holds(self):
+        policy = self._policy()
+        detector = ViolationDetector()
+        assert not policy.control_tick(detector, 100, events_served=10)  # 0.1/cycle
+        assert policy.quantum == 8
+
+    def test_bounds_respected(self):
+        policy = self._policy(initial_quantum=64, max_quantum=64)
+        assert not policy.control_tick(ViolationDetector(), 100, events_served=0)
+        policy = self._policy(initial_quantum=1)
+        assert not policy.control_tick(ViolationDetector(), 100, events_served=100)
+
+    def test_traffic_is_windowed(self):
+        """The controller reacts to the rate *since the last tick*."""
+        policy = self._policy()
+        detector = ViolationDetector()
+        policy.control_tick(detector, 100, events_served=50)  # burst: shrink
+        assert policy.quantum == 4
+        policy.control_tick(detector, 200, events_served=50)  # now quiet: grow
+        assert policy.quantum == 8
+
+    def test_make_policy_dispatch(self):
+        from repro.config import AdaptiveQuantumConfig
+        from repro.core.schemes import AdaptiveQuantumPolicy
+
+        assert isinstance(make_policy(AdaptiveQuantumConfig(), 8), AdaptiveQuantumPolicy)
+
+
+class TestP2PPolicy:
+    def test_no_constraint_before_first_check(self):
+        policy = P2PPolicy(P2PConfig(period=100, max_lead=50), num_cores=4, seed=1)
+        assert policy.max_local_for(0, 10, 0) is None
+
+    def test_constraint_when_far_ahead(self):
+        policy = P2PPolicy(P2PConfig(period=100, max_lead=50), num_cores=2, seed=1)
+        policy.on_global_advance([(0, 500, True), (1, 10, True)])
+        limit = policy.max_local_for(0, 500, 10)
+        assert limit == 10 + 50  # must wait for core 1
+
+    def test_constraint_waived_when_peer_catches_up(self):
+        policy = P2PPolicy(P2PConfig(period=100, max_lead=50), num_cores=2, seed=1)
+        policy.on_global_advance([(0, 500, True), (1, 10, True)])
+        policy.max_local_for(0, 500, 10)  # establish constraint
+        policy.on_global_advance([(0, 500, True), (1, 490, True)])
+        assert policy.max_local_for(0, 500, 490) is None
+
+    def test_constraint_waived_for_inactive_peer(self):
+        """A sync-blocked (frozen) peer must not deadlock the waiter."""
+        policy = P2PPolicy(P2PConfig(period=100, max_lead=50), num_cores=2, seed=1)
+        policy.on_global_advance([(0, 500, True), (1, 10, False)])
+        policy.max_local_for(0, 500, 10)
+        assert policy.max_local_for(0, 500, 10) is None
+
+    def test_never_picks_self(self):
+        policy = P2PPolicy(P2PConfig(period=1, max_lead=1), num_cores=2, seed=7)
+        policy.on_global_advance([(0, 100, True), (1, 100, True)])
+        for local in range(100, 130):
+            policy.max_local_for(0, local, 100)
+        assert all(peer in (None, 1) for peer in policy._peer[:1])

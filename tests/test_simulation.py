@@ -1,0 +1,171 @@
+"""Integration tests for the Simulation façade across all schemes."""
+
+import pytest
+
+from repro import (
+    AdaptiveConfig,
+    CheckpointConfig,
+    HostConfig,
+    P2PConfig,
+    QuantumConfig,
+    Simulation,
+    SlackConfig,
+    SpeculativeConfig,
+)
+from repro.config import quick_target_config
+from repro.errors import ConfigError
+from repro.workloads import make_workload
+
+
+def workload(**kwargs):
+    defaults = dict(
+        num_threads=4, steps=80, shared_lines=8, shared_fraction=0.4,
+        lock_every=25, barrier_every=40,
+    )
+    defaults.update(kwargs)
+    return make_workload("synthetic", **defaults)
+
+
+def run(scheme=None, wl=None, **kwargs):
+    defaults = dict(
+        target=quick_target_config(num_cores=4),
+        host=HostConfig(num_contexts=4),
+    )
+    defaults.update(kwargs)
+    return Simulation(wl or workload(), scheme=scheme, **defaults).run()
+
+
+ALL_SCHEMES = [
+    SlackConfig(bound=0),
+    SlackConfig(bound=4),
+    SlackConfig(bound=None),
+    QuantumConfig(quantum=8),
+    AdaptiveConfig(target_rate=1e-3, adjust_period=100),
+    P2PConfig(period=40, max_lead=40),
+    SpeculativeConfig(
+        base=SlackConfig(bound=8), checkpoint=CheckpointConfig(interval=400)
+    ),
+]
+
+
+class TestAllSchemesRun:
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.kind)
+    def test_scheme_completes(self, scheme):
+        report = run(scheme)
+        assert report.target_cycles > 0
+        assert report.instructions > 0
+        assert report.sim_time_s > 0
+        assert report.scheme == scheme.kind
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.kind)
+    def test_functional_work_invariant(self, scheme):
+        """Every scheme commits exactly the same instructions — slack
+        distorts timing, never the workload's functional execution."""
+        gold = run(SlackConfig(bound=0))
+        report = run(scheme)
+        assert report.instructions == gold.instructions
+
+
+class TestGoldStandard:
+    def test_cc_zero_violations(self):
+        assert sum(run(SlackConfig(bound=0)).violation_counts.values()) == 0
+
+    def test_quantum_zero_violations(self):
+        assert sum(run(QuantumConfig(quantum=16)).violation_counts.values()) == 0
+
+    def test_cc_timing_host_independent(self):
+        """The gold standard's simulated timing must not depend on the
+        modeled host's noise seed."""
+        results = {
+            run(SlackConfig(bound=0), host=HostConfig(num_contexts=4, seed=s)).target_cycles
+            for s in (1, 2, 3)
+        }
+        assert len(results) == 1
+
+    def test_quantum_one_equals_cc(self):
+        cc = run(SlackConfig(bound=0))
+        q1 = run(QuantumConfig(quantum=1))
+        assert q1.target_cycles == cc.target_cycles
+
+
+class TestSlackBehaviour:
+    def test_slack_is_faster_than_cc(self):
+        cc = run(SlackConfig(bound=0))
+        su = run(SlackConfig(bound=None))
+        assert su.speedup_over(cc) > 1.2
+
+    def test_larger_bound_not_slower(self):
+        cc = run(SlackConfig(bound=0))
+        s2 = run(SlackConfig(bound=2))
+        s32 = run(SlackConfig(bound=32))
+        assert s2.speedup_over(cc) > 1.0
+        assert s32.sim_time_s <= s2.sim_time_s * 1.15  # allow small noise
+
+    def test_violations_grow_with_bound(self):
+        small = run(SlackConfig(bound=2))
+        large = run(SlackConfig(bound=64))
+        assert large.violation_rate >= small.violation_rate
+
+    def test_unbounded_error_is_bounded(self):
+        """Slack errors exist but stay moderate (the paper's core claim)."""
+        cc = run(SlackConfig(bound=0))
+        su = run(SlackConfig(bound=None))
+        assert su.execution_time_error(cc) < 0.30
+
+
+class TestConstruction:
+    def test_rejects_too_many_threads(self):
+        with pytest.raises(ConfigError):
+            Simulation(
+                workload(num_threads=8),
+                target=quick_target_config(num_cores=4),
+            )
+
+    def test_pads_idle_cores(self):
+        report = run(wl=workload(num_threads=2))
+        assert report.num_cores == 4
+        assert len(report.per_core_cpi) == 4
+        # An idle core commits only its THREAD_END marker.
+        assert report.per_core_cpi[2] <= 1.0
+        assert report.target_cycles > 0
+
+    def test_default_scheme_is_cc(self):
+        sim = Simulation(workload(), target=quick_target_config(num_cores=4))
+        assert sim.scheme_config.kind == "cycle-by-cycle"
+
+    def test_simulation_is_single_shot(self):
+        sim = Simulation(
+            workload(),
+            target=quick_target_config(num_cores=4),
+            host=HostConfig(num_contexts=4),
+        )
+        sim.run()
+        with pytest.raises(ConfigError):
+            sim.run()
+
+    def test_detection_off_runs(self):
+        report = run(SlackConfig(bound=8), detection=False)
+        assert not report.detection_enabled
+        assert report.violation_rate == 0.0
+
+
+class TestReportMetrics:
+    def test_cpi_consistency(self):
+        report = run(SlackConfig(bound=0))
+        assert report.cpi > 0
+        active = [c for c in report.per_core_cpi if c > 0]
+        assert min(active) <= report.cpi <= max(active) * 1.5
+
+    def test_speedup_and_error_helpers(self):
+        cc = run(SlackConfig(bound=0))
+        su = run(SlackConfig(bound=None))
+        assert su.speedup_over(cc) == pytest.approx(cc.sim_time_s / su.sim_time_s)
+        assert su.execution_time_error(cc) == pytest.approx(
+            abs(su.target_cycles - cc.target_cycles) / cc.target_cycles
+        )
+
+    def test_summary_is_printable(self):
+        report = run(AdaptiveConfig(target_rate=1e-3, adjust_period=100))
+        text = report.summary()
+        assert "adaptive" in text
+        assert "violations" in text

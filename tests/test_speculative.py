@@ -1,0 +1,115 @@
+"""Tests for speculative slack simulation: rollback, replay, forward
+progress (paper section 5)."""
+
+import pytest
+
+from repro import (
+    AdaptiveConfig,
+    CheckpointConfig,
+    HostConfig,
+    Simulation,
+    SlackConfig,
+    SpeculativeConfig,
+)
+from repro.config import quick_target_config
+from repro.errors import ConfigError
+from repro.workloads import make_workload
+
+
+def workload():
+    return make_workload(
+        "synthetic",
+        num_threads=4,
+        steps=120,
+        shared_lines=8,
+        shared_fraction=0.5,
+        store_fraction=0.5,
+        lock_every=20,
+    )
+
+
+def run(scheme, **kwargs):
+    defaults = dict(
+        target=quick_target_config(num_cores=4),
+        host=HostConfig(num_contexts=4),
+    )
+    defaults.update(kwargs)
+    return Simulation(workload(), scheme=scheme, **defaults).run()
+
+
+def speculative(interval=500, base_bound=16, tracked=("bus", "map")):
+    return SpeculativeConfig(
+        base=SlackConfig(bound=base_bound),
+        checkpoint=CheckpointConfig(interval=interval),
+        tracked=tracked,
+    )
+
+
+class TestSpeculativeExecution:
+    def test_run_completes_and_is_violation_free_in_final_state(self):
+        """Rollback + CC replay purge every tracked violation from the
+        committed execution."""
+        report = run(speculative())
+        assert report.rollbacks > 0, "workload was expected to violate"
+        assert report.violation_counts["bus"] == 0
+        assert report.violation_counts["map"] == 0
+
+    def test_same_functional_work_as_cc(self):
+        """Speculation must not change the workload's committed work."""
+        gold = run(SlackConfig(bound=0))
+        spec = run(speculative())
+        assert spec.instructions == gold.instructions
+
+    def test_wasted_cycles_accounted(self):
+        report = run(speculative())
+        assert report.rollbacks > 0
+        assert report.wasted_target_cycles > 0
+        assert report.replay_target_cycles >= report.rollbacks * 0  # counted
+        assert report.rollback_cost_s > 0
+
+    def test_at_most_one_rollback_per_interval(self):
+        """CC replay cannot violate, so an interval rolls back once."""
+        report = run(speculative())
+        rolled = [r for r in report.intervals if r.rolled_back]
+        assert report.rollbacks == len(rolled)
+
+    def test_speculation_slower_than_plain_slack(self):
+        """The paper's core finding: rollback + replay + checkpoint cost
+        make speculation expensive."""
+        plain = run(SlackConfig(bound=16))
+        spec = run(speculative())
+        assert spec.sim_time_s > plain.sim_time_s
+
+    def test_tracked_filter_reduces_rollbacks(self):
+        """Tracking only (rare) map violations rolls back less than
+        tracking everything (paper section 5.2's suggestion)."""
+        all_tracked = run(speculative(tracked=("bus", "map")))
+        map_only = run(speculative(tracked=("map",)))
+        assert map_only.rollbacks <= all_tracked.rollbacks
+
+    def test_requires_detection(self):
+        with pytest.raises(ConfigError):
+            Simulation(workload(), scheme=speculative(), detection=False)
+
+    def test_rejects_double_checkpoint_config(self):
+        with pytest.raises(ConfigError):
+            Simulation(
+                workload(), scheme=speculative(), checkpoint=CheckpointConfig(interval=100)
+            )
+
+    def test_speculative_over_adaptive_base(self):
+        report = run(
+            SpeculativeConfig(
+                base=AdaptiveConfig(target_rate=1e-3, adjust_period=100),
+                checkpoint=CheckpointConfig(interval=400),
+            )
+        )
+        assert report.checkpoints > 0
+        assert report.violation_counts["bus"] == 0
+
+    def test_determinism(self):
+        r1 = run(speculative())
+        r2 = run(speculative())
+        assert r1.target_cycles == r2.target_cycles
+        assert r1.rollbacks == r2.rollbacks
+        assert r1.sim_time_s == r2.sim_time_s

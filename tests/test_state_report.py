@@ -1,0 +1,179 @@
+"""Unit tests for SimulationState bookkeeping and SimulationReport math."""
+
+import pytest
+
+from repro.config import quick_target_config, SlackConfig
+from repro.core.manager import ManagerState
+from repro.core.report import IntervalSummary, SimulationReport
+from repro.core.schemes import make_policy
+from repro.core.state import CoreState, SimulationState
+from repro.core.violations import ViolationDetector
+from repro.cpu.core import CoreModel
+from repro.errors import SimulationError
+from repro.isa.program import ProgramInterpreter
+
+
+def make_state(num_cores=3, bound=4):
+    target = quick_target_config(num_cores=num_cores)
+    cores = [
+        CoreState(i, CoreModel(i, target, ProgramInterpreter((), i, i)))
+        for i in range(num_cores)
+    ]
+    for cs in cores:
+        cs.model.finished = False
+    manager = ManagerState(target, ViolationDetector())
+    return SimulationState(target, cores, manager, make_policy(SlackConfig(bound=bound), num_cores))
+
+
+class TestGlobalTime:
+    def test_min_over_running(self):
+        state = make_state()
+        state.cores[0].local_time = 5
+        state.cores[1].local_time = 9
+        state.cores[2].local_time = 7
+        assert state.global_time() == 5
+
+    def test_excludes_sync_blocked(self):
+        state = make_state()
+        state.cores[0].local_time = 5
+        state.cores[0].model.waiting_sync = True
+        state.cores[1].local_time = 9
+        state.cores[2].local_time = 7
+        assert state.global_time() == 7
+
+    def test_all_blocked_falls_back_to_min(self):
+        state = make_state()
+        for i, cs in enumerate(state.cores):
+            cs.local_time = 10 + i
+            cs.model.waiting_sync = True
+        assert state.global_time() == 10
+
+    def test_all_finished_returns_max(self):
+        state = make_state()
+        for i, cs in enumerate(state.cores):
+            cs.local_time = 10 + i
+            cs.model.finished = True
+        assert state.global_time() == 12
+        assert state.execution_time() == 12
+
+    def test_finished_excluded_from_min(self):
+        state = make_state()
+        state.cores[0].local_time = 3
+        state.cores[0].model.finished = True
+        state.cores[1].local_time = 8
+        state.cores[2].local_time = 9
+        assert state.global_time() == 8
+
+    def test_empty_cores_raises(self):
+        target = quick_target_config(num_cores=1)
+        manager = ManagerState(target, ViolationDetector())
+        state = SimulationState(target, [], manager, make_policy(SlackConfig(0), 1))
+        with pytest.raises(SimulationError):
+            state.global_time()
+
+
+class TestServiceHorizon:
+    def test_running_cores_bound_horizon(self):
+        state = make_state()
+        state.cores[0].local_time = 4
+        state.cores[1].local_time = 6
+        state.cores[2].local_time = 8
+        assert state.service_horizon() == 4
+
+    def test_blocked_without_grant_excluded(self):
+        state = make_state()
+        state.cores[0].local_time = 4
+        state.cores[0].model.waiting_sync = True
+        state.cores[1].local_time = 6
+        state.cores[2].local_time = 8
+        assert state.service_horizon() == 6
+
+    def test_blocked_with_pending_grant_contributes_grant_ts(self):
+        from repro.core.events import InMsg, InMsgKind
+
+        state = make_state()
+        state.cores[0].local_time = 4
+        state.cores[0].model.waiting_sync = True
+        state.cores[0].inq.append(InMsg(InMsgKind.SYNC_GRANT, ts=5))
+        state.cores[1].local_time = 6
+        state.cores[2].local_time = 8
+        assert state.service_horizon() == 5
+
+    def test_all_blocked_unbounded(self):
+        state = make_state()
+        for cs in state.cores:
+            cs.model.waiting_sync = True
+        assert state.service_horizon() is None
+
+    def test_at_limit(self):
+        state = make_state()
+        cs = state.cores[0]
+        cs.local_time = 5
+        cs.max_local_time = 5
+        assert cs.at_limit
+        cs.max_local_time = None
+        assert not cs.at_limit
+
+
+class TestReportMath:
+    def _report(self, **kwargs):
+        defaults = dict(benchmark="x", scheme="cc", num_cores=4, seed=0)
+        defaults.update(kwargs)
+        return SimulationReport(**defaults)
+
+    def test_fraction_intervals_violating(self):
+        report = self._report(
+            intervals=[
+                IntervalSummary(0, 0, 100, violations=2, first_offset=10, rolled_back=False),
+                IntervalSummary(1, 100, 200, violations=0, first_offset=None, rolled_back=False),
+                IntervalSummary(2, 200, 200, violations=5, first_offset=0, rolled_back=False),
+            ]
+        )
+        # The zero-length interval is excluded.
+        assert report.fraction_intervals_violating() == pytest.approx(0.5)
+
+    def test_fraction_empty(self):
+        assert self._report().fraction_intervals_violating() == 0.0
+
+    def test_mean_first_violation_distance(self):
+        report = self._report(
+            intervals=[
+                IntervalSummary(0, 0, 100, 1, first_offset=20, rolled_back=False),
+                IntervalSummary(1, 100, 200, 1, first_offset=40, rolled_back=False),
+                IntervalSummary(2, 200, 300, 0, first_offset=None, rolled_back=False),
+            ]
+        )
+        assert report.mean_first_violation_distance() == pytest.approx(30.0)
+
+    def test_mean_first_violation_none(self):
+        assert self._report().mean_first_violation_distance() is None
+
+    def test_speedup_zero_division(self):
+        a = self._report(sim_time_s=0.0)
+        b = self._report(sim_time_s=1.0)
+        with pytest.raises(ZeroDivisionError):
+            a.speedup_over(b)
+
+    def test_error_zero_reference(self):
+        a = self._report(target_cycles=10)
+        b = self._report(target_cycles=0)
+        with pytest.raises(ZeroDivisionError):
+            a.execution_time_error(b)
+
+    def test_cpi_error(self):
+        a = self._report(cpi=1.2)
+        b = self._report(cpi=1.0)
+        assert a.cpi_error(b) == pytest.approx(0.2)
+
+    def test_to_dict_and_json(self):
+        import json
+
+        report = self._report(
+            target_cycles=42,
+            intervals=[IntervalSummary(0, 0, 10, 1, 3, False)],
+        )
+        payload = report.to_dict()
+        assert payload["target_cycles"] == 42
+        assert payload["intervals"][0]["first_offset"] == 3
+        decoded = json.loads(report.to_json())
+        assert decoded["benchmark"] == "x"

@@ -1,0 +1,91 @@
+"""Tests for repro.stats (aggregation + scheme summaries)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.report import SimulationReport
+from repro.stats import geomean, mean, median, summarize_scheme
+
+
+class TestAggregates:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_median_odd_even(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=20))
+    def test_geomean_between_min_and_max(self, values):
+        g = geomean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=20))
+    def test_median_is_a_middle_value(self, values):
+        m = median(values)
+        below = sum(1 for v in values if v <= m + 1e-12)
+        above = sum(1 for v in values if v >= m - 1e-12)
+        assert below >= len(values) / 2
+        assert above >= len(values) / 2
+
+
+def report(benchmark, scheme, cycles, sim_time, cpi=1.0, violations=0):
+    return SimulationReport(
+        benchmark=benchmark,
+        scheme=scheme,
+        num_cores=8,
+        seed=0,
+        target_cycles=cycles,
+        cpi=cpi,
+        sim_time_s=sim_time,
+        violation_counts={"bus": violations, "map": 0},
+        violation_rate=violations / cycles if cycles else 0.0,
+    )
+
+
+class TestSchemeSummary:
+    def test_basic_summary(self):
+        pairs = [
+            (report("fft", "slack-4", 110, 0.5, cpi=1.1, violations=10),
+             report("fft", "cycle-by-cycle", 100, 1.0)),
+            (report("lu", "slack-4", 100, 0.25, cpi=1.0, violations=2),
+             report("lu", "cycle-by-cycle", 100, 1.0)),
+        ]
+        summary = summarize_scheme(pairs)
+        assert summary.scheme == "slack-4"
+        assert summary.geomean_speedup == pytest.approx((2.0 * 4.0) ** 0.5)
+        assert summary.accuracy.max_exec_error == pytest.approx(0.1)
+        assert summary.accuracy.mean_exec_error == pytest.approx(0.05)
+        assert summary.total_violations == 12
+        assert summary.benchmarks == ("fft", "lu")
+
+    def test_rejects_mixed_schemes(self):
+        pairs = [
+            (report("fft", "slack-4", 100, 0.5), report("fft", "cycle-by-cycle", 100, 1.0)),
+            (report("lu", "slack-8", 100, 0.5), report("lu", "cycle-by-cycle", 100, 1.0)),
+        ]
+        with pytest.raises(ValueError):
+            summarize_scheme(pairs)
+
+    def test_rejects_benchmark_mismatch(self):
+        pairs = [
+            (report("fft", "slack-4", 100, 0.5), report("lu", "cycle-by-cycle", 100, 1.0)),
+        ]
+        with pytest.raises(ValueError):
+            summarize_scheme(pairs)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize_scheme([])

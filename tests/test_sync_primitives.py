@@ -1,0 +1,122 @@
+"""Unit tests for manager-executed locks and barriers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sync import BarrierTable, LockTable, SyncTimingConfig
+
+
+def timing():
+    return SyncTimingConfig(lock_latency=6, lock_handoff=4, barrier_latency=12)
+
+
+class TestLockTable:
+    def test_uncontended_acquire(self):
+        locks = LockTable(timing())
+        assert locks.acquire(0, core_id=1, ts=100) == 106
+        assert locks.holder_of(0) == 1
+
+    def test_contended_acquire_queues(self):
+        locks = LockTable(timing())
+        locks.acquire(0, 1, 100)
+        assert locks.acquire(0, 2, 105) is None
+        assert locks.contended_acquires == 1
+
+    def test_release_hands_off_fifo(self):
+        locks = LockTable(timing())
+        locks.acquire(0, 1, 100)
+        locks.acquire(0, 2, 105)
+        locks.acquire(0, 3, 106)
+        handoff = locks.release(0, 1, ts=120)
+        assert handoff == (2, 124)  # max(120, 105) + 4
+        assert locks.holder_of(0) == 2
+        handoff = locks.release(0, 2, ts=130)
+        assert handoff == (3, 134)
+
+    def test_handoff_respects_late_request(self):
+        """A grant can never precede the waiter's own request."""
+        locks = LockTable(timing())
+        locks.acquire(0, 1, 100)
+        locks.acquire(0, 2, 500)  # requested long after
+        handoff = locks.release(0, 1, ts=120)
+        assert handoff == (2, 504)
+
+    def test_release_without_waiters_frees(self):
+        locks = LockTable(timing())
+        locks.acquire(0, 1, 100)
+        assert locks.release(0, 1, 110) is None
+        assert locks.holder_of(0) is None
+
+    def test_reacquire_while_held_raises(self):
+        locks = LockTable(timing())
+        locks.acquire(0, 1, 100)
+        with pytest.raises(SimulationError):
+            locks.acquire(0, 1, 105)
+
+    def test_release_by_non_holder_raises(self):
+        locks = LockTable(timing())
+        locks.acquire(0, 1, 100)
+        with pytest.raises(SimulationError):
+            locks.release(0, 2, 105)
+
+    def test_release_unheld_raises(self):
+        locks = LockTable(timing())
+        with pytest.raises(SimulationError):
+            locks.release(0, 1, 100)
+
+    def test_independent_locks(self):
+        locks = LockTable(timing())
+        assert locks.acquire(0, 1, 10) is not None
+        assert locks.acquire(1, 2, 10) is not None
+
+
+class TestBarrierTable:
+    def test_incomplete_returns_none(self):
+        barriers = BarrierTable(timing())
+        assert barriers.arrive(0, core_id=0, ts=10, participants=3) is None
+        assert barriers.arrive(0, 1, 12, 3) is None
+        assert barriers.waiting_at(0) == [0, 1]
+
+    def test_completion_releases_all_at_max_plus_latency(self):
+        barriers = BarrierTable(timing())
+        barriers.arrive(0, 0, 10, 3)
+        barriers.arrive(0, 1, 25, 3)
+        releases = barriers.arrive(0, 2, 18, 3)
+        assert releases is not None
+        assert sorted(releases) == [(0, 37), (1, 37), (2, 37)]  # 25 + 12
+        assert barriers.episodes == 1
+
+    def test_generational_reuse(self):
+        barriers = BarrierTable(timing())
+        barriers.arrive(0, 0, 10, 2)
+        assert barriers.arrive(0, 1, 11, 2) is not None
+        # next generation
+        assert barriers.arrive(0, 0, 50, 2) is None
+        releases = barriers.arrive(0, 1, 60, 2)
+        assert releases == [(0, 72), (1, 72)]
+
+    def test_double_arrival_raises(self):
+        barriers = BarrierTable(timing())
+        barriers.arrive(0, 0, 10, 3)
+        with pytest.raises(SimulationError):
+            barriers.arrive(0, 0, 11, 3)
+
+    def test_single_participant_releases_immediately(self):
+        barriers = BarrierTable(timing())
+        releases = barriers.arrive(5, 0, 10, 1)
+        assert releases == [(0, 22)]
+
+    def test_independent_barriers(self):
+        barriers = BarrierTable(timing())
+        barriers.arrive(0, 0, 10, 2)
+        barriers.arrive(1, 1, 10, 2)
+        assert barriers.waiting_at(0) == [0]
+        assert barriers.waiting_at(1) == [1]
+
+
+class TestSyncTimingConfig:
+    def test_rejects_negative(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            SyncTimingConfig(lock_latency=-1)

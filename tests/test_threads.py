@@ -1,0 +1,144 @@
+"""Focused tests for the host-side thread runners."""
+
+import pytest
+
+from repro import HostConfig, Simulation, SlackConfig
+from repro.config import quick_target_config
+from repro.core.events import InMsg, InMsgKind
+from repro.core.threads import CoreRunner, ManagerRunner
+from repro.isa import Emit, Loop, compute, load, lock
+from repro.isa.operations import ILP_MED
+from repro.memory.mesi import MesiState
+from repro.workloads.base import Workload
+
+
+def build_sim(stmts_builder, num_threads=2, bound=8, **host_kwargs):
+    workload = Workload("probe", num_threads, stmts_builder)
+    return Simulation(
+        workload,
+        scheme=SlackConfig(bound=bound),
+        target=quick_target_config(num_cores=max(2, num_threads)),
+        host=HostConfig(num_contexts=2, **host_kwargs),
+    )
+
+
+def compute_builder(tid):
+    return [Loop("i", 50, [Emit(lambda ctx: compute(4, ILP_MED))])]
+
+
+class TestCoreRunnerStep:
+    def test_batch_limit_respected(self):
+        sim = build_sim(compute_builder, bound=1000, max_batch_cycles=4)
+        runner = CoreRunner(0, sim, sim.host)
+        before = sim.state.cores[0].local_time
+        runner.step(0.0)
+        advanced = sim.state.cores[0].local_time - before
+        assert 0 < advanced <= 4
+
+    def test_cost_positive_and_scales_with_work(self):
+        sim = build_sim(compute_builder, bound=1000, max_batch_cycles=8)
+        sim.state.cores[0].max_local_time = None  # pacing not yet started
+        runner = CoreRunner(0, sim, sim.host)
+        result = runner.step(0.0)
+        assert result.cost_ns > 0
+        # 8 active cycles at >= core_cycle_ns each.
+        assert result.cost_ns >= 8 * sim.host.cost.core_cycle_ns
+
+    def test_blocked_at_slack_limit(self):
+        sim = build_sim(compute_builder, bound=2)
+        cs = sim.state.cores[0]
+        cs.max_local_time = 2
+        runner = CoreRunner(0, sim, sim.host)
+        result = runner.step(0.0)
+        assert result.blocked
+        assert cs.local_time == 2
+
+    def test_deliverable_inq_applied_before_cycles(self):
+        sim = build_sim(compute_builder)
+        cs = sim.state.cores[0]
+        line = 0x40
+        cs.model.l1.access(line * 32, False, 0)  # open an MSHR
+        cs.inq.append(InMsg(InMsgKind.FILL, ts=0, line_addr=line, state=MesiState.SHARED))
+        runner = CoreRunner(0, sim, sim.host)
+        runner.step(0.0)
+        assert not cs.inq
+        assert cs.model.l1.array.lookup(line) is not None
+
+    def test_future_inq_left_in_place(self):
+        sim = build_sim(compute_builder, bound=2)
+        cs = sim.state.cores[0]
+        cs.max_local_time = 2
+        cs.inq.append(InMsg(InMsgKind.INVALIDATE, ts=1000, line_addr=1))
+        runner = CoreRunner(0, sim, sim.host)
+        runner.step(0.0)
+        assert len(cs.inq) == 1  # ts 1000 not yet reached
+
+    def test_sync_wait_freezes_clock(self):
+        def locker(tid):
+            return [Emit(lambda ctx: lock(0)), Emit(lambda ctx: compute(10, ILP_MED))]
+
+        sim = build_sim(locker, num_threads=1, bound=1000)
+        runner = CoreRunner(0, sim, sim.host)
+        runner.step(0.0)
+        cs = sim.state.cores[0]
+        frozen = cs.local_time
+        assert cs.model.waiting_sync
+        result = runner.step(1e6)
+        assert cs.local_time == frozen  # descheduled: no clock ticks
+        assert result.blocked
+
+    def test_sync_grant_warps_clock_forward(self):
+        def locker(tid):
+            return [Emit(lambda ctx: lock(0)), Emit(lambda ctx: compute(10, ILP_MED))]
+
+        sim = build_sim(locker, num_threads=1, bound=1000)
+        runner = CoreRunner(0, sim, sim.host)
+        runner.step(0.0)
+        cs = sim.state.cores[0]
+        cs.inq.append(InMsg(InMsgKind.SYNC_GRANT, ts=cs.local_time + 40))
+        runner.step(1e6)
+        assert not cs.model.waiting_sync
+        assert cs.local_time >= 40
+
+    def test_finished_core_drains_inq_and_reports_done(self):
+        sim = build_sim(lambda tid: [], num_threads=1, bound=8)
+        cs = sim.state.cores[0]
+        runner = CoreRunner(0, sim, sim.host)
+        while not cs.model.finished:
+            runner.step(0.0)
+        line = 0x40
+        cs.model.l1.array.fill(line, MesiState.MODIFIED)
+        cs.inq.append(InMsg(InMsgKind.INVALIDATE, ts=0, line_addr=line))
+        result = runner.step(0.0)
+        assert result.done
+        assert not cs.inq
+        assert cs.model.l1.array.lookup(line) is None
+
+
+class TestManagerRunnerCosts:
+    def test_idle_step_charges_poll(self):
+        sim = build_sim(compute_builder)
+        manager = ManagerRunner(sim, sim.host)
+        # Converge pacing so the next step is genuinely idle.
+        manager.step(0.0)
+        result = manager.step(0.0)
+        assert result.outcome.idle
+        assert result.cost_ns >= sim.host.manager_poll_ns
+
+    def test_event_service_charges_per_event(self):
+        sim = build_sim(compute_builder)
+        manager = ManagerRunner(sim, sim.host)
+        runner = CoreRunner(0, sim, sim.host)
+
+        # Produce some traffic by running a memory-touching program.
+        def loader(tid):
+            return [Loop("i", 4, [Emit(lambda ctx: load(ctx["i"] * 0x1000))])]
+
+        sim2 = build_sim(loader, num_threads=1, bound=1000)
+        core = CoreRunner(0, sim2, sim2.host)
+        core.step(0.0)
+        mgr = ManagerRunner(sim2, sim2.host)
+        idle_cost = ManagerRunner(sim, sim.host).step(0.0)
+        busy = mgr.step(0.0)
+        assert busy.outcome.events_served > 0
+        assert busy.cost_ns >= busy.outcome.events_served * sim2.host.cost.per_gq_event_ns

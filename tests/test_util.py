@@ -1,0 +1,108 @@
+"""Unit tests for repro.util (PRNGs and arithmetic helpers)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import SplitMix64, XorShift64, ceil_div, clamp, is_power_of_two, log2_int
+
+
+class TestSplitMix64:
+    def test_deterministic(self):
+        a, b = SplitMix64(42), SplitMix64(42)
+        assert [a.next_u64() for _ in range(10)] == [b.next_u64() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a, b = SplitMix64(1), SplitMix64(2)
+        assert [a.next_u64() for _ in range(4)] != [b.next_u64() for _ in range(4)]
+
+    def test_next_below_range(self):
+        rng = SplitMix64(7)
+        for _ in range(200):
+            assert 0 <= rng.next_below(13) < 13
+
+    def test_next_below_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            SplitMix64(1).next_below(0)
+
+    def test_next_float_range(self):
+        rng = SplitMix64(99)
+        values = [rng.next_float() for _ in range(200)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert len(set(values)) > 100  # not degenerate
+
+    def test_fork_independent(self):
+        root = SplitMix64(5)
+        child1, child2 = root.fork(), root.fork()
+        assert child1.next_u64() != child2.next_u64()
+
+    def test_snapshot_restore(self):
+        rng = SplitMix64(11)
+        rng.next_u64()
+        state = rng.snapshot()
+        first = [rng.next_u64() for _ in range(5)]
+        rng.restore(state)
+        assert [rng.next_u64() for _ in range(5)] == first
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_output_is_64bit(self, seed):
+        value = SplitMix64(seed).next_u64()
+        assert 0 <= value < 2**64
+
+
+class TestXorShift64:
+    def test_zero_seed_is_fixed_up(self):
+        rng = XorShift64(0)
+        assert rng.next_u64() != 0
+
+    def test_deterministic(self):
+        a, b = XorShift64(123), XorShift64(123)
+        assert [a.next_u64() for _ in range(10)] == [b.next_u64() for _ in range(10)]
+
+    def test_inherits_helpers(self):
+        rng = XorShift64(9)
+        assert 0 <= rng.next_below(5) < 5
+        assert 0.0 <= rng.next_float() < 1.0
+
+
+class TestHelpers:
+    @pytest.mark.parametrize(
+        "a,b,expected", [(0, 1, 0), (1, 1, 1), (5, 2, 3), (6, 2, 3), (7, 8, 1)]
+    )
+    def test_ceil_div(self, a, b, expected):
+        assert ceil_div(a, b) == expected
+
+    def test_ceil_div_rejects_nonpositive_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+    def test_clamp(self):
+        assert clamp(5, 0, 10) == 5
+        assert clamp(-1, 0, 10) == 0
+        assert clamp(99, 0, 10) == 10
+
+    def test_clamp_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            clamp(1, 5, 2)
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 1024])
+    def test_power_of_two_true(self, n):
+        assert is_power_of_two(n)
+
+    @pytest.mark.parametrize("n", [0, -2, 3, 6, 1023])
+    def test_power_of_two_false(self, n):
+        assert not is_power_of_two(n)
+
+    @pytest.mark.parametrize("n,expected", [(1, 0), (2, 1), (32, 5), (4096, 12)])
+    def test_log2_int(self, n, expected):
+        assert log2_int(n) == expected
+
+    def test_log2_int_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            log2_int(12)
+
+    @given(st.integers(min_value=0, max_value=10**9), st.integers(min_value=1, max_value=10**6))
+    def test_ceil_div_property(self, a, b):
+        q = ceil_div(a, b)
+        assert (q - 1) * b < a or (a == 0 and q == 0)
+        assert q * b >= a

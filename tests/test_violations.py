@@ -1,0 +1,103 @@
+"""Unit tests for violation detection (paper section 3)."""
+
+from repro.core.violations import (
+    BUS,
+    MAP,
+    MapMonitorTable,
+    TimestampMonitor,
+    ViolationDetector,
+)
+
+
+class TestTimestampMonitor:
+    def test_in_order_no_violation(self):
+        monitor = TimestampMonitor()
+        assert not monitor.check_and_update(1)
+        assert not monitor.check_and_update(5)
+        assert monitor.last_ts == 5
+
+    def test_equal_timestamp_no_violation(self):
+        """Same-cycle concurrency is legitimate, never a violation."""
+        monitor = TimestampMonitor()
+        monitor.check_and_update(5)
+        assert not monitor.check_and_update(5)
+
+    def test_older_timestamp_violates(self):
+        monitor = TimestampMonitor()
+        monitor.check_and_update(10)
+        assert monitor.check_and_update(9)
+        assert monitor.last_ts == 10  # violation does not move the monitor
+
+    def test_reset(self):
+        monitor = TimestampMonitor()
+        monitor.check_and_update(10)
+        monitor.reset()
+        assert not monitor.check_and_update(0)
+
+
+class TestMapMonitorTable:
+    def test_per_line_independence(self):
+        table = MapMonitorTable()
+        assert not table.check_and_update(1, 100)
+        assert not table.check_and_update(2, 50)  # different line, older ts: fine
+        assert table.check_and_update(1, 99)  # same line, older ts: violation
+
+    def test_len_counts_lines(self):
+        table = MapMonitorTable()
+        table.check_and_update(1, 1)
+        table.check_and_update(2, 1)
+        assert len(table) == 2
+
+
+class TestViolationDetector:
+    def test_counts_by_type(self):
+        det = ViolationDetector()
+        det.check_bus(10, 0, 0)
+        det.check_bus(5, 0, 1)  # violation
+        det.check_map(7, 10, 0, 0)
+        det.check_map(7, 5, 0, 1)  # violation
+        assert det.counts == {BUS: 1, MAP: 1}
+        assert det.total == 2
+
+    def test_disabled_detector_counts_nothing(self):
+        det = ViolationDetector(enabled=False)
+        det.check_bus(10, 0, 0)
+        assert not det.check_bus(5, 0, 1)
+        assert det.total == 0
+
+    def test_pending_drain(self):
+        det = ViolationDetector()
+        det.check_bus(10, 0, 0)
+        det.check_bus(5, 3, 1)
+        records = det.drain_pending()
+        assert len(records) == 1
+        assert records[0].vtype == BUS
+        assert records[0].ts == 5
+        assert records[0].global_time == 3
+        assert records[0].core_id == 1
+        assert det.drain_pending() == []
+
+    def test_window_reset(self):
+        det = ViolationDetector()
+        det.check_bus(10, 0, 0)
+        det.check_bus(5, 0, 0)
+        assert det.window_total() == 1
+        det.reset_window()
+        assert det.window_total() == 0
+        assert det.total == 1  # cumulative counts survive
+
+    def test_rate(self):
+        det = ViolationDetector()
+        det.check_bus(10, 0, 0)
+        det.check_bus(5, 0, 0)
+        assert det.rate(1000) == 0.001
+        assert det.rate(0) == 0.0
+        assert det.rate_of(BUS, 1000) == 0.001
+        assert det.rate_of(MAP, 1000) == 0.0
+
+    def test_last_violation(self):
+        det = ViolationDetector()
+        det.check_bus(10, 0, 0)
+        assert det.last_violation is None
+        det.check_bus(2, 7, 3)
+        assert det.last_violation.ts == 2
