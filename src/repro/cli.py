@@ -152,6 +152,19 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness.bench import run_bench
+
+    run_bench(
+        smoke=args.smoke,
+        update_golden=args.update_golden,
+        output=args.output,
+        profile_calls=args.profile_calls,
+        golden_file=args.golden,
+    )
+    return 0
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     print("workloads:")
     for name in sorted(WORKLOADS):
@@ -197,6 +210,23 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_parser.add_argument("--seed", type=int, default=2010)
     experiment_parser.add_argument("--verbose", action="store_true")
     experiment_parser.set_defaults(func=cmd_experiment)
+
+    bench_parser = sub.add_parser(
+        "bench",
+        help="run the kernel-throughput benchmark matrix (digest-checked)",
+    )
+    bench_parser.add_argument("--smoke", action="store_true",
+                              help="small CI matrix (4/8 cores, quarter scale)")
+    bench_parser.add_argument("--update-golden", action="store_true",
+                              help="re-record golden report digests")
+    bench_parser.add_argument("--output", default="BENCH_kernel.json",
+                              help="result file (default BENCH_kernel.json)")
+    bench_parser.add_argument("--golden", default=None,
+                              help="override the golden-digest file path")
+    bench_parser.add_argument("--profile-calls", action="store_true",
+                              help="also cProfile the reference run and "
+                                   "record its total function calls")
+    bench_parser.set_defaults(func=cmd_bench)
 
     list_parser = sub.add_parser("list", help="list workloads and experiments")
     list_parser.set_defaults(func=cmd_list)

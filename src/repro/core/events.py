@@ -32,6 +32,10 @@ class OutMsg:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"OutMsg(core={self.core_id}, ts={self.ts}, {self.request!r})"
 
+    def __deepcopy__(self, memo) -> "OutMsg":
+        # Immutable once posted: snapshots share entries instead of copying.
+        return self
+
 
 class InMsgKind(IntEnum):
     """Kinds of manager-to-core deliveries."""
@@ -67,3 +71,8 @@ class InMsg:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"InMsg({self.kind.name}, ts={self.ts}, line={self.line_addr})"
+
+    def __deepcopy__(self, memo) -> "InMsg":
+        # Immutable once delivered: snapshots share entries instead of
+        # copying.
+        return self

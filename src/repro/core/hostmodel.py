@@ -10,7 +10,7 @@ context serialize and pay a context-switch penalty on interleaving.
 from __future__ import annotations
 
 from enum import IntEnum
-from typing import List, Optional
+from typing import Dict, Optional
 
 from repro.util import XorShift64
 
@@ -26,7 +26,16 @@ class ThreadState(IntEnum):
 class HostThread:
     """Host-side wrapper pairing a runner with its scheduling state."""
 
-    __slots__ = ("runner", "state", "ready_time", "context", "rng", "steps")
+    __slots__ = (
+        "runner",
+        "state",
+        "ready_time",
+        "context",
+        "rng",
+        "steps",
+        "pos",
+        "queued",
+    )
 
     def __init__(self, runner, context: "HostContext", rng: XorShift64) -> None:
         self.runner = runner
@@ -35,6 +44,10 @@ class HostThread:
         self.context = context
         self.rng = rng  # deterministic host-noise stream
         self.steps = 0
+        # Scheduler bookkeeping: deterministic tie-break rank (position in
+        # the scheduler's thread list) and ready-heap membership flag.
+        self.pos = 0
+        self.queued = False
 
     @property
     def name(self) -> str:
@@ -47,6 +60,37 @@ class HostThread:
         return 1.0 + jitter_frac * (2.0 * self.rng.next_float() - 1.0)
 
 
+class ThreadSet:
+    """Insertion-ordered set of threads with O(1) append/remove.
+
+    Manager migration moves the manager thread between contexts on every
+    scheduling decision; a plain list would pay an O(n) ``remove`` scan
+    each time.  Backed by a dict (insertion-ordered, O(1) membership
+    update) while keeping the small list-like API the scheduler and tests
+    use.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self) -> None:
+        self._items: Dict[HostThread, None] = {}
+
+    def append(self, thread: "HostThread") -> None:
+        self._items[thread] = None
+
+    def remove(self, thread: "HostThread") -> None:
+        del self._items[thread]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __contains__(self, thread) -> bool:
+        return thread in self._items
+
+
 class HostContext:
     """One modeled hardware thread context."""
 
@@ -55,7 +99,7 @@ class HostContext:
     def __init__(self, index: int) -> None:
         self.index = index
         self.clock = 0.0
-        self.threads: List[HostThread] = []
+        self.threads = ThreadSet()
         self.last_thread: Optional[HostThread] = None
 
     @property

@@ -19,6 +19,7 @@ Event service order is the crux of the whole paradigm:
 
 from __future__ import annotations
 
+from operator import attrgetter
 from typing import List, Optional, Tuple
 
 from repro.config import TargetConfig
@@ -32,6 +33,11 @@ from repro.memory.cache_map import CacheStatusMap
 from repro.memory.l2 import L2Cache
 from repro.memory.mesi import BusOpKind, MesiState, fill_state_for
 from repro.sync.primitives import BarrierTable, LockTable, SyncTimingConfig
+
+# C-speed sort keys for the two GQ disciplines (host arrival order for
+# consolidation, timestamp order for service batches).
+_ARRIVAL_ORDER = attrgetter("host_time", "core_id")
+_TIMESTAMP_ORDER = attrgetter("ts", "core_id", "host_time")
 
 
 class ServiceOutcome:
@@ -93,6 +99,10 @@ class ManagerState:
         # Cache-to-cache supply latency (an owner's L1 answers a snoop in
         # about the time an L2 hit takes on this target).
         self.c2c_latency = target.l2.cache.hit_latency
+        # Reused outcome record: consumed by the scheduler (and the
+        # speculative controller) before the next service step runs, so a
+        # single instance avoids an allocation per manager step.
+        self._outcome = ServiceOutcome(0, False, [], 0, True)
 
     # ------------------------------------------------------------------ #
     # One service step
@@ -126,12 +136,15 @@ class ManagerState:
         new_global = sim.global_time()
         advanced = new_global != self.global_time
         self.global_time = new_global
-        scheme.on_global_advance(
-            [
-                (cs.core_id, cs.local_time, not cs.finished and not cs.model.waiting_sync)
-                for cs in sim.cores
-            ]
-        )
+        if scheme.wants_core_clocks:
+            # Only schemes that actually track per-core clocks (p2p) pay
+            # for building the snapshot; the base hook is a no-op.
+            scheme.on_global_advance(
+                [
+                    (cs.core_id, cs.local_time, not cs.finished and not cs.model.waiting_sync)
+                    for cs in sim.cores
+                ]
+            )
 
         adjusted = False
         if control_enabled and force_window is None:
@@ -141,11 +154,14 @@ class ManagerState:
 
         self._update_max_locals(sim, force_window, window_cap)
 
-        violations = self.detector.drain_pending()
-        idle = served == 0 and not adjusted and not advanced
-        return ServiceOutcome(
-            served, adjusted, violations, new_global, idle, events_merged=merged
-        )
+        outcome = self._outcome
+        outcome.events_served = served
+        outcome.events_merged = merged
+        outcome.adjusted = adjusted
+        outcome.violations = self.detector.drain_pending()
+        outcome.global_time = new_global
+        outcome.idle = served == 0 and not adjusted and not advanced
+        return outcome
 
     def _merge_outqs(
         self, sim: SimulationState, core_ids: Optional[List[int]] = None
@@ -156,13 +172,15 @@ class ManagerState:
         drain (hierarchical mode).
         """
         fresh: List[OutMsg] = []
+        append = fresh.append
         cores = sim.cores if core_ids is None else [sim.cores[i] for i in core_ids]
         for cs in cores:
-            while cs.outq:
-                fresh.append(cs.outq.popleft())
+            outq = cs.outq
+            while outq:
+                append(outq.popleft())
         if not fresh:
             return 0
-        fresh.sort(key=lambda m: (m.host_time, m.core_id))
+        fresh.sort(key=_ARRIVAL_ORDER)
         self.gq.extend(fresh)
         return len(fresh)
 
@@ -181,14 +199,12 @@ class ManagerState:
             # cores; see SimulationState.service_horizon.)
             horizon = sim.service_horizon()
             if horizon is None:
-                servable, self.gq = sorted(
-                    self.gq, key=lambda m: (m.ts, m.core_id, m.host_time)
-                ), []
+                servable, self.gq = sorted(self.gq, key=_TIMESTAMP_ORDER), []
             else:
                 servable = [m for m in self.gq if m.ts < horizon]
                 if not servable:
                     return 0
-                servable.sort(key=lambda m: (m.ts, m.core_id, m.host_time))
+                servable.sort(key=_TIMESTAMP_ORDER)
                 self.gq = [m for m in self.gq if m.ts >= horizon]
         else:
             # Optimistic service: drain everything that has arrived, but
@@ -199,7 +215,7 @@ class ManagerState:
             # event was already served in an earlier batch — which is
             # precisely what grows with the slack bound.
             servable, self.gq = self.gq, []
-            servable.sort(key=lambda m: (m.ts, m.core_id, m.host_time))
+            servable.sort(key=_TIMESTAMP_ORDER)
 
         served = 0
         self._batch_grant_min: Optional[int] = None
@@ -344,13 +360,31 @@ class ManagerState:
         window_cap: Optional[int],
     ) -> None:
         scheme = sim.scheme
+        global_time = self.global_time
+        if force_window is None and window_cap is None:
+            if scheme.uniform_window:
+                # Hot path: every core shares one window-derived limit
+                # (exactly what the default max_local_for computes).
+                window = scheme.window()
+                limit = None if window is None else global_time + window
+                for cs in sim.cores:
+                    if not cs.model.finished:
+                        cs.max_local_time = limit
+                return
+            max_local_for = scheme.max_local_for
+            for cs in sim.cores:
+                if not cs.model.finished:
+                    cs.max_local_time = max_local_for(
+                        cs.core_id, cs.local_time, global_time
+                    )
+            return
         for cs in sim.cores:
             if cs.finished:
                 continue
             if force_window is not None:
-                limit: Optional[int] = self.global_time + force_window
+                limit: Optional[int] = global_time + force_window
             else:
-                limit = scheme.max_local_for(cs.core_id, cs.local_time, self.global_time)
+                limit = scheme.max_local_for(cs.core_id, cs.local_time, global_time)
             if window_cap is not None:
                 limit = window_cap if limit is None else min(limit, window_cap)
             cs.max_local_time = limit

@@ -134,6 +134,45 @@ class SimulationReport:
 
     # ------------------------------------------------------------------ #
 
+    def digest(self) -> str:
+        """SHA-256 digest of the determinism-contract fields.
+
+        Two runs with identical configuration and seed must produce
+        identical digests, and performance work on the simulation kernel
+        must keep digests bit-for-bit unchanged (see README "Performance").
+        Floats are hashed via ``float.hex`` so the digest is sensitive to
+        the last ulp; the host-side fields (sim time, step counts) are
+        included deliberately — they pin down the *schedule*, not just the
+        target-side results, so a reordered host interleaving cannot slip
+        through.
+        """
+        import hashlib
+        import json
+
+        payload = {
+            "benchmark": self.benchmark,
+            "scheme": self.scheme,
+            "num_cores": self.num_cores,
+            "seed": self.seed,
+            "target_cycles": self.target_cycles,
+            "instructions": self.instructions,
+            "cpi": float(self.cpi).hex(),
+            "per_core_cpi": [float(c).hex() for c in self.per_core_cpi],
+            "l1_miss_rate": float(self.l1_miss_rate).hex(),
+            "l2_miss_rate": float(self.l2_miss_rate).hex(),
+            "bus_requests": self.bus_requests,
+            "violation_counts": dict(sorted(self.violation_counts.items())),
+            "sim_time_s": float(self.sim_time_s).hex(),
+            "manager_steps": self.manager_steps,
+            "core_steps": self.core_steps,
+            "checkpoints": self.checkpoints,
+            "rollbacks": self.rollbacks,
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------ #
+
     def summary(self) -> str:
         """A short human-readable summary."""
         lines = [

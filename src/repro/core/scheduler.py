@@ -15,7 +15,10 @@ The run is bit-for-bit deterministic for a given host seed.
 
 from __future__ import annotations
 
-from typing import List, Optional
+import heapq
+from heapq import heappop, heappush, heapreplace
+from operator import attrgetter
+from typing import List, Optional, Tuple
 
 from repro.config import HostConfig
 from repro.core.hostmodel import HostContext, HostThread, ThreadState
@@ -25,6 +28,10 @@ from repro.util import SplitMix64
 
 #: Consecutive all-idle manager steps before declaring deadlock.
 _DEADLOCK_LIMIT = 200_000
+
+_CLOCK_KEY = attrgetter("clock")
+_READY = ThreadState.READY
+_MASK64 = (1 << 64) - 1
 
 
 class HostStats:
@@ -58,6 +65,21 @@ class Scheduler:
 
         seed_root = SplitMix64(host.seed)
         self.threads: List[HostThread] = []
+        # Ready heap over every thread except the manager, keyed by
+        # (dispatch, ready_time, position).  Core/sub-manager keys only
+        # grow over a run (context clocks and ready times are monotone),
+        # so entries are lower bounds and can be fixed lazily at the top.
+        # The manager is excluded: migration can *decrease* its dispatch
+        # time, so its key is recomputed fresh on every pick.
+        self._heap: List[Tuple[float, float, int, HostThread]] = []
+        # Cached min-clock context for manager migration (None = recompute).
+        # Valid because context clocks only grow inside the run loop: the
+        # cached first-minimum stays the first minimum until *its own*
+        # clock advances.  Invalidated by pause_all_contexts.
+        self._migrate_min: Optional[HostContext] = None
+        # Threads currently not READY (each exactly once); lets the wake
+        # scan touch only sleepers instead of every thread.
+        self._parked: List[HostThread] = []
         num_cores = len(sim.state.cores)
         for index in range(num_cores):
             runner = CoreRunner(index, sim, host)
@@ -93,6 +115,23 @@ class Scheduler:
         manager_context.threads.append(self.manager_thread)
         self.threads.append(self.manager_thread)
 
+        for pos, thread in enumerate(self.threads):
+            thread.pos = pos
+        for thread in self.threads:
+            if thread is not self.manager_thread:
+                self._enqueue(thread)
+
+    def _enqueue(self, thread: HostThread) -> None:
+        """Add a (non-manager) thread to the ready heap with its exact key."""
+        if thread.queued:
+            return  # its live entry will be lazily re-keyed at the top
+        dispatch = thread.context.clock
+        ready = thread.ready_time
+        if ready > dispatch:
+            dispatch = ready
+        heapq.heappush(self._heap, (dispatch, ready, thread.pos, thread))
+        thread.queued = True
+
     # ------------------------------------------------------------------ #
 
     def run(self, max_target_cycles: Optional[int] = None) -> HostStats:
@@ -102,36 +141,62 @@ class Scheduler:
         :class:`DeadlockError` if the target execution time exceeds it.
         """
         sim = self.sim
+        stats = self.stats
+        busy_ns = stats.context_busy_ns
+        cost_cfg = self.host.cost
+        jitter_frac = cost_cfg.jitter_frac
+        context_switch_ns = cost_cfg.context_switch_ns
+        manager_thread = self.manager_thread
+        num_cores = len(sim.state.cores)
+        heap = self._heap
+        controller = sim.controller  # fixed for the life of the Simulation
         idle_manager_steps = 0
         while True:
             state = sim.state
-            if (
-                state.all_finished
-                and state.manager.quiescent(state)
-                and all(not cs.inq for cs in state.cores)
-            ):
-                break
+            cores = state.cores
+            for cs in cores:
+                if not cs.model.finished:
+                    break
+            else:
+                if state.manager.quiescent(state) and all(
+                    not cs.inq for cs in cores
+                ):
+                    break
 
             thread, start = self._pick()
             result: StepResult = thread.runner.step(start)
-            cost = result.cost_ns * thread.jitter(self.host.cost.jitter_frac)
+            cost = result.cost_ns
+            if jitter_frac > 0.0:
+                # Jitter draw with SplitMix64.next_float inlined (every
+                # HostThread rng is a SplitMix64 fork of the host seed;
+                # this is the hottest RNG call site in a run).
+                rng = thread.rng
+                s = (rng.state + 0x9E3779B97F4A7C15) & _MASK64
+                rng.state = s
+                z = ((s ^ (s >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+                z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+                u = ((z ^ (z >> 31)) >> 11) * (1.0 / (1 << 53))
+                cost *= 1.0 + jitter_frac * (2.0 * u - 1.0)
             context = thread.context
-            if context.shared and context.last_thread is not thread:
-                cost += self.host.cost.context_switch_ns
+            if context.last_thread is not thread and len(context.threads._items) > 1:
+                cost += context_switch_ns
             context.last_thread = thread
-            context.clock = start + cost
-            thread.ready_time = context.clock
+            end = start + cost
+            context.clock = end
+            thread.ready_time = end
             thread.steps += 1
-            self.stats.context_busy_ns[context.index] += cost
+            busy_ns[context.index] += cost
+            if context is self._migrate_min:
+                self._migrate_min = None  # its clock advanced; recompute
 
-            if thread is self.manager_thread:
-                self.stats.manager_steps += 1
-                if not result.outcome.idle:
-                    self.stats.manager_busy_ns += cost
+            if thread is manager_thread:
+                stats.manager_steps += 1
                 outcome = result.outcome
-                self.stats.violations_observed += len(outcome.violations)
-                if sim.controller is not None:
-                    sim.controller.after_manager_step(self, outcome, context.clock)
+                if not outcome.idle:
+                    stats.manager_busy_ns += cost
+                stats.violations_observed += len(outcome.violations)
+                if controller is not None:
+                    controller.after_manager_step(self, outcome, context.clock)
                 self._wake_cores(context.clock)
                 idle_manager_steps = idle_manager_steps + 1 if outcome.idle else 0
                 if idle_manager_steps > _DEADLOCK_LIMIT:
@@ -141,14 +206,24 @@ class Scheduler:
                         f"target execution exceeded {max_target_cycles} cycles "
                         "(runaway simulation; check the workload's barriers)"
                     )
-            elif isinstance(thread.runner, CoreRunner):
-                self.stats.core_steps += 1
+            elif thread.pos < num_cores:  # core runner
+                stats.core_steps += 1
                 if result.done:
                     thread.state = ThreadState.DONE
+                    self._parked.append(thread)
                 elif result.blocked:
                     thread.state = ThreadState.BLOCKED
+                    self._parked.append(thread)
+                elif not thread.queued:
+                    # _enqueue inlined: the context clock and ready time
+                    # both equal ``end`` right after the step.
+                    heappush(heap, (end, end, thread.pos, thread))
+                    thread.queued = True
             else:  # sub-manager
-                self.stats.submanager_busy_ns += cost
+                stats.submanager_busy_ns += cost
+                if not thread.queued:
+                    heappush(heap, (end, end, thread.pos, thread))
+                    thread.queued = True
 
         return self.stats
 
@@ -158,41 +233,62 @@ class Scheduler:
         """Choose the READY thread with the earliest dispatch time.
 
         Dispatch time is ``max(context clock, thread ready time)``; ties
-        break by context index then position, keeping runs deterministic.
+        break by ready time (least-recently-run first, so threads sharing
+        a context interleave fairly) then thread position, keeping runs
+        deterministic.  Selection is a heap pop with lazy re-keying —
+        stored keys are lower bounds, so a stale top is re-pushed with its
+        exact key until the top validates — plus a fresh comparison
+        against the (heap-excluded) manager.
         """
-        best = None
-        best_dispatch = 0.0
-        best_ready = 0.0
-        for thread in self.threads:
-            if thread.state != ThreadState.READY:
-                continue
-            if thread is self.manager_thread and self.host.manager_migrates:
+        manager = self.manager_thread
+        have_manager = manager.state == _READY
+        m_dispatch = 0.0
+        m_ready = 0.0
+        if have_manager:
+            if self.host.manager_migrates:
                 # The OS load-balances the odd thread out (9 simulation
                 # threads on 8 contexts): the manager migrates to the
                 # least-loaded context instead of starving one core thread
                 # into a permanent laggard.  (manager_migrates=False pins
                 # it — ablation A3.)
-                target = min(self.contexts, key=lambda c: c.clock)
-                if target is not thread.context:
-                    thread.context.threads.remove(thread)
-                    target.threads.append(thread)
-                    thread.context = target
-            dispatch = thread.context.clock
-            if thread.ready_time > dispatch:
-                dispatch = thread.ready_time
-            # Tie-break on ready time (least-recently-run first) so threads
-            # sharing a context interleave fairly instead of starving.
-            if (
-                best is None
-                or dispatch < best_dispatch
-                or (dispatch == best_dispatch and thread.ready_time < best_ready)
-            ):
-                best = thread
-                best_dispatch = dispatch
-                best_ready = thread.ready_time
-        if best is None:  # pragma: no cover - manager is always READY
-            raise DeadlockError("no runnable simulation thread")
-        return best, best_dispatch
+                target = self._migrate_min
+                if target is None:
+                    target = min(self.contexts, key=_CLOCK_KEY)
+                    self._migrate_min = target
+                if target is not manager.context:
+                    manager.context.threads.remove(manager)
+                    target.threads.append(manager)
+                    manager.context = target
+            m_ready = manager.ready_time
+            m_dispatch = manager.context.clock
+            if m_ready > m_dispatch:
+                m_dispatch = m_ready
+
+        heap = self._heap
+        while heap:
+            dispatch, ready, pos, thread = heap[0]
+            if thread.state != _READY:
+                heappop(heap)
+                thread.queued = False
+                continue
+            cur_ready = thread.ready_time
+            cur_dispatch = thread.context.clock
+            if cur_ready > cur_dispatch:
+                cur_dispatch = cur_ready
+            if cur_dispatch != dispatch or cur_ready != ready:
+                heapreplace(heap, (cur_dispatch, cur_ready, pos, thread))
+                continue
+            # Validated minimum of the non-manager threads; the manager is
+            # last in thread order, so it wins only strictly.
+            if have_manager and (m_dispatch, m_ready) < (dispatch, ready):
+                return manager, m_dispatch
+            heappop(heap)
+            thread.queued = False
+            return thread, dispatch
+
+        if have_manager:
+            return manager, m_dispatch
+        raise DeadlockError("no runnable simulation thread")  # pragma: no cover
 
     def _wake_cores(self, manager_end: float) -> None:
         """Wake core threads whose blocking condition cleared.
@@ -200,38 +296,51 @@ class Scheduler:
         The manager raises max local times during its step; a woken thread
         resumes after the modeled futex wake latency.
         """
+        parked = self._parked
+        if not parked:
+            return
         wake_at = manager_end + self.host.cost.wake_latency_ns
-        for thread in self.threads:
-            if thread is self.manager_thread or thread.state == ThreadState.READY:
-                continue
-            cs = self.sim.state.cores[thread.runner.index]
-            if thread.state == ThreadState.DONE:
+        cores = self.sim.state.cores
+        done = ThreadState.DONE
+        ready = ThreadState.READY
+        still_parked: List[HostThread] = []
+        for thread in parked:
+            cs = cores[thread.runner.index]
+            if thread.state == done:
                 # A finished core thread briefly revives to drain coherence
                 # messages still addressed to it.
-                if cs.inq:
-                    thread.state = ThreadState.READY
-                    if thread.ready_time < wake_at:
-                        thread.ready_time = wake_at
+                if not cs.inq:
+                    still_parked.append(thread)
+                    continue
+            elif not self._core_runnable(cs):
+                still_parked.append(thread)
                 continue
-            if self._core_runnable(cs):
-                thread.state = ThreadState.READY
-                if thread.ready_time < wake_at:
-                    thread.ready_time = wake_at
+            else:
                 self.stats.wakeups += 1
+            thread.state = ready
+            if thread.ready_time < wake_at:
+                thread.ready_time = wake_at
+            self._enqueue(thread)
+        self._parked = still_parked
 
     @staticmethod
     def _core_runnable(cs) -> bool:
         """True when a core thread can make progress right now."""
-        if cs.finished:
+        model = cs.model
+        if model.finished:
             return True  # let its runner report done and retire
-        if cs.model.waiting_sync:
-            return bool(cs.inq)  # descheduled until something is delivered
-        if cs.inq and cs.inq[0].ts <= cs.local_time:
+        inq = cs.inq
+        if model.waiting_sync:
+            return bool(inq)  # descheduled until something is delivered
+        local = cs.local_time
+        if inq and inq[0].ts <= local:
             return True
-        return not cs.at_limit
+        max_local = cs.max_local_time
+        return max_local is None or local < max_local
 
     def wake_all(self, at_time: float) -> None:
         """Used by the speculative controller after checkpoint/rollback."""
+        parked: List[HostThread] = []
         for thread in self.threads:
             if thread is self.manager_thread:
                 thread.ready_time = max(thread.ready_time, at_time)
@@ -239,6 +348,11 @@ class Scheduler:
             cs = self.sim.state.cores[thread.runner.index]
             thread.state = ThreadState.DONE if cs.finished else ThreadState.READY
             thread.ready_time = max(thread.ready_time, at_time)
+            if thread.state == ThreadState.READY:
+                self._enqueue(thread)
+            else:
+                parked.append(thread)
+        self._parked = parked
 
     def pause_all_contexts(self, cost_ns: float) -> float:
         """Global pause: synchronize every context, charge ``cost_ns``.
@@ -251,6 +365,7 @@ class Scheduler:
         resume = barrier_time + cost_ns
         for context in self.contexts:
             context.clock = resume
+        self._migrate_min = None  # every clock changed; recompute the min
         return resume
 
     def simulation_time_ns(self) -> float:

@@ -31,6 +31,14 @@ class SchemePolicy:
 
     barrier_sync: bool = False
     conservative_service: bool = False
+    #: True for schemes whose :meth:`on_global_advance` actually consumes
+    #: the per-core clock snapshot; the manager skips building it otherwise.
+    wants_core_clocks: bool = False
+    #: True when :meth:`max_local_for` is the default global-window
+    #: derivation (identical for every core); the manager then evaluates
+    #: :meth:`window` once per service step instead of per core.  Schemes
+    #: with per-core constraints (p2p) must clear it.
+    uniform_window: bool = True
 
     @property
     def kind(self) -> str:

@@ -42,6 +42,9 @@ class P2PPolicy(SchemePolicy):
     def kind(self) -> str:
         return self.config.kind
 
+    wants_core_clocks = True
+    uniform_window = False  # per-core peer constraints
+
     def window(self) -> Optional[int]:
         return None  # no global window; constraints are per-core
 

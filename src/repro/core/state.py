@@ -79,13 +79,15 @@ class SimulationState:
         """
         if not self.cores:
             raise SimulationError("simulation has no cores")
-        running = [
-            cs.local_time
-            for cs in self.cores
-            if not cs.finished and not cs.model.waiting_sync
-        ]
-        if running:
-            return min(running)
+        running: Optional[int] = None
+        for cs in self.cores:
+            model = cs.model
+            if not model.finished and not model.waiting_sync:
+                local = cs.local_time
+                if running is None or local < running:
+                    running = local
+        if running is not None:
+            return running
         unfinished = [cs.local_time for cs in self.cores if not cs.finished]
         if unfinished:
             return min(unfinished)

@@ -15,7 +15,20 @@ from repro.config import HostConfig, HostCostModel
 from repro.core.events import InMsg, InMsgKind, OutMsg
 from repro.core.manager import ServiceOutcome
 from repro.core.state import CoreState
+from repro.cpu.core import _ILP_RATE, CoreRequest, RequestKind
 from repro.errors import SimulationError
+from repro.isa.operations import OpKind
+from repro.memory.l1 import L1Outcome
+
+# Aliases for the inlined pipeline fast path in CoreRunner.step (module
+# loads beat enum attribute lookups per issued instruction).
+_LOAD = OpKind.LOAD
+_STORE = OpKind.STORE
+_COMPUTE = OpKind.COMPUTE
+_HIT = L1Outcome.HIT
+_MISS = L1Outcome.MISS
+_MERGED = L1Outcome.MERGED
+_BUS = RequestKind.BUS
 
 
 class StepResult:
@@ -51,6 +64,14 @@ class CoreRunner:
         self.sim = sim  # Simulation facade; state accessed via sim.state
         self.host = host
         self.cost = host.cost
+        # Reused result record: one step's result is consumed by the
+        # scheduler before the next step runs, so a single instance per
+        # runner avoids an allocation per scheduling step.
+        self._result = StepResult(0.0)
+        # barrier_sync is fixed when the policy is constructed (and
+        # preserved across rollback snapshots), so the per-step barrier
+        # check can cache it instead of re-deriving it from the state.
+        self._barrier_static = sim.state.scheme.barrier_sync
 
     @property
     def name(self) -> str:
@@ -61,55 +82,197 @@ class CoreRunner:
 
     def step(self, host_now: float) -> StepResult:
         cost_model: HostCostModel = self.cost
-        cs = self._core_state()
+        cs = self.sim.state.cores[self.index]
         model = cs.model
         cost = 0.0
         cycles = 0
         batch = self.host.max_batch_cycles
+        # Hot loop: bind the per-event costs and queues once per step.
+        per_mem_event_ns = cost_model.per_mem_event_ns
+        core_cycle_ns = cost_model.core_cycle_ns
+        per_instruction_ns = cost_model.per_instruction_ns
+        stall_cycle_ns = cost_model.stall_cycle_ns
+        slack_check_ns = cost_model.slack_check_ns
+        inq = cs.inq
+        outbox = model.outbox
+        apply = self._apply
+        # Pipeline hot-path binds for the inlined cycle body below.  All of
+        # these objects are stable for the life of the model except
+        # ``_pending_loads``, which complete_fill may rebind during an InQ
+        # delivery — it is re-read after every delivery point.
+        fast_pipeline = model._icache is None
+        issue_width = model._issue_width
+        window_size = model._window_size
+        program = model.program
+        op_buffer = program._buffer
+        l1 = model.l1
+        access_line = l1.access_line
+        line_bits = l1._line_bits
+        pending = model._pending_loads
+        pages_touched = model.pages_touched
+        page_shift = model._page_shift
 
+        result = self._result
+        result.outcome = None
         if model.finished:
             # The workload thread has exited; drain any coherence traffic
             # still addressed to this core so its L1 state stays coherent
             # with the rest of the machine.
-            while cs.inq:
-                self._apply(cs, cs.inq.popleft())
-                cost += cost_model.per_mem_event_ns
-            return StepResult(max(cost, cost_model.slack_check_ns), done=True)
+            while inq:
+                apply(cs, inq.popleft())
+                cost += per_mem_event_ns
+            result.cost_ns = max(cost, slack_check_ns)
+            result.blocked = False
+            result.done = True
+            return result
 
+        # The InQ only grows between steps (the manager runs then), so the
+        # next due timestamp can be cached across cycles and refreshed only
+        # after deliveries.
+        next_due = inq[0].ts if inq else None
         while cycles < batch:
             # Deliver every InQ entry whose timestamp has been reached (or
             # passed: the slack time-distortion case).
-            while cs.inq and cs.inq[0].ts <= cs.local_time:
-                self._apply(cs, cs.inq.popleft())
-                cost += cost_model.per_mem_event_ns
+            local = cs.local_time
+            if next_due is not None and next_due <= local:
+                while inq and inq[0].ts <= local:
+                    apply(cs, inq.popleft())
+                    cost += per_mem_event_ns
+                next_due = inq[0].ts if inq else None
+                pending = model._pending_loads  # a FILL may have rebound it
             if model.waiting_sync:
                 # A thread blocked on workload synchronization is
                 # descheduled (MP_Simplesim executes sync inside the
                 # simulator): its clock does not tick.  Drain the InQ —
                 # the grant warps the local clock to the grant timestamp.
                 cost += self._drain_while_sync_blocked(cs)
+                next_due = inq[0].ts if inq else None
+                pending = model._pending_loads
                 if model.waiting_sync:
                     break  # wait for the manager's grant delivery
                 continue
             if model.finished:
                 break
-            if cs.at_limit:
-                break
+            max_local = cs.max_local_time
+            if max_local is not None and local >= max_local:
+                break  # at_limit: the slack window forbids another cycle
 
-            committed = model.cycle(cs.local_time)
-            emitted = bool(model.outbox)
+            if model._compute_remaining > 1 and not outbox:
+                # Inside a compute burst with no due delivery and nothing
+                # waiting in the outbox (a FILL delivery can leave a dirty-
+                # victim WRITEBACK there, which the next cycle must emit):
+                # commit the burst body in bulk (cost accrues per cycle, so
+                # modeled host time is bit-for-bit what the per-cycle loop
+                # charges).
+                m_cap = batch - cycles
+                if max_local is not None and max_local - local < m_cap:
+                    m_cap = max_local - local
+                if next_due is not None:
+                    lim = next_due - local
+                    if lim < m_cap:
+                        m_cap = lim
+                if m_cap > 1:
+                    m, instrs = model.commit_burst(m_cap)
+                    if m:
+                        cs.local_time = local + m
+                        cycles += m
+                        cost += (
+                            m * (core_cycle_ns + slack_check_ns)
+                            + instrs * per_instruction_ns
+                        )
+                        continue
+
+            if fast_pipeline:
+                # CoreModel.cycle inlined for the default (no-icache)
+                # configuration: the per-cycle call and its prologue binds
+                # are the hottest fixed overhead in the whole run.  Keep in
+                # lockstep with CoreModel.cycle — the determinism digest
+                # tests pin the equivalence.
+                model.cycles += 1
+                committed = 0
+                slots = issue_width
+                issue_seq = model._issue_seq
+                while slots > 0:
+                    if pending and issue_seq - pending[0][0] >= window_size:
+                        break  # reorder window full behind the oldest miss
+                    remaining = model._compute_remaining
+                    if remaining > 0:
+                        take = model._compute_rate
+                        if slots < take:
+                            take = slots
+                        if remaining < take:
+                            take = remaining
+                        model._compute_remaining = remaining - take
+                        issue_seq += take
+                        committed += take
+                        slots -= take
+                        if remaining > take:
+                            break
+                        continue
+                    op = model._current_op
+                    if op is None:
+                        op = op_buffer.popleft() if op_buffer else program.next_op()
+                        model._current_op = op
+                        if op is None:
+                            break
+                    kind = op.kind
+                    if kind is _LOAD or kind is _STORE:
+                        addr = op.arg1
+                        is_store = kind is _STORE
+                        if is_store:
+                            pages_touched.add(addr >> page_shift)
+                        line_addr = addr >> line_bits
+                        outcome = access_line(line_addr, is_store, local)
+                        if outcome is _HIT:
+                            pass
+                        elif outcome is _MISS or outcome is _MERGED:
+                            if outcome is _MISS:
+                                outbox.append(
+                                    CoreRequest(_BUS, line_addr, l1.last_bus_op)
+                                )
+                            if not is_store:
+                                pending.append((issue_seq, line_addr))
+                        else:
+                            break  # BLOCKED or MSHR_FULL: stall this cycle
+                        issue_seq += 1
+                        model._current_op = None
+                        committed += 1
+                        slots -= 1
+                        continue
+                    if kind is _COMPUTE:
+                        model._compute_remaining = op.arg1
+                        model._compute_rate = _ILP_RATE[op.arg2]
+                        model._current_op = None
+                        continue
+                    model._issue_seq = issue_seq  # _issue_op reads/advances
+                    ok = model._issue_op(op, local)
+                    issue_seq = model._issue_seq
+                    if not ok:
+                        break  # structural stall
+                    committed += 1
+                    slots -= 1
+                    if model.waiting_sync or model.finished:
+                        break
+                model._issue_seq = issue_seq
+                model.instructions += committed
+                model._fetch_seq += committed
+                if committed == 0:
+                    model.stall_cycles += 1
+            else:
+                committed = model.cycle(local)
+            emitted = bool(outbox)
             if emitted:
-                for request in model.outbox:
-                    cs.outq.append(OutMsg(self.index, cs.local_time, host_now + cost, request))
-                    cost += cost_model.per_mem_event_ns
-                model.outbox.clear()
-            cs.local_time += 1
+                for request in outbox:
+                    cs.outq.append(OutMsg(self.index, local, host_now + cost, request))
+                    cost += per_mem_event_ns
+                outbox.clear()
+            cs.local_time = local + 1
             cycles += 1
             if committed:
-                cost += cost_model.core_cycle_ns + committed * cost_model.per_instruction_ns
+                cost += core_cycle_ns + committed * per_instruction_ns
             else:
-                cost += cost_model.stall_cycle_ns
-            cost += cost_model.slack_check_ns
+                cost += stall_cycle_ns
+            cost += slack_check_ns
 
             if committed == 0 and not emitted and not model.finished:
                 # The pipeline can only resume after an InQ delivery;
@@ -120,20 +283,27 @@ class CoreRunner:
         if cost <= 0.0:
             cost = cost_model.slack_check_ns  # every step consumes host time
         if model.finished:
-            return StepResult(cost, done=True)
-        blocked = cs.at_limit or (model.waiting_sync and not cs.inq)
-        if blocked and cs.at_limit and self._barrier_mode():
-            cost += cost_model.barrier_ns  # futex sleep at the barrier
-        return StepResult(cost, blocked=blocked)
-
-    def _barrier_mode(self) -> bool:
-        """True when window edges synchronize with a heavyweight barrier:
-        cycle-by-cycle/quantum schemes, and the forced cycle-by-cycle
-        replay after a speculative rollback."""
-        if self.sim.state.scheme.barrier_sync:
-            return True
-        controller = self.sim.controller
-        return controller is not None and controller.replaying
+            result.cost_ns = cost
+            result.blocked = False
+            result.done = True
+            return result
+        max_local = cs.max_local_time
+        at_limit = max_local is not None and cs.local_time >= max_local
+        blocked = at_limit or (model.waiting_sync and not inq)
+        if blocked and at_limit:
+            # Window edges synchronize with a heavyweight barrier under
+            # cycle-by-cycle/quantum schemes and during the forced
+            # cycle-by-cycle replay after a speculative rollback.
+            if self._barrier_static:
+                cost += cost_model.barrier_ns  # futex sleep at the barrier
+            else:
+                controller = self.sim.controller
+                if controller is not None and controller.replaying:
+                    cost += cost_model.barrier_ns
+        result.cost_ns = cost
+        result.blocked = blocked
+        result.done = False
+        return result
 
     def _drain_while_sync_blocked(self, cs: CoreState) -> float:
         """Apply all InQ entries while descheduled on a sync wait.
@@ -156,10 +326,13 @@ class CoreRunner:
     def _skip_stalls(self, cs: CoreState) -> float:
         """Bulk-advance known-stalled cycles; return the host cost."""
         target = cs.local_time + self.host.max_stall_batch
-        if cs.max_local_time is not None:
-            target = min(target, cs.max_local_time)
+        max_local = cs.max_local_time
+        if max_local is not None and max_local < target:
+            target = max_local
         if cs.inq:
-            target = min(target, cs.inq[0].ts)
+            due = cs.inq[0].ts
+            if due < target:
+                target = due
         skip = target - cs.local_time
         if skip <= 0:
             return 0.0
@@ -201,27 +374,39 @@ class ManagerRunner:
         self.host = host
         self.cost = host.cost
         self.direct_cores = direct_cores  # None = drain every core
+        self._result = StepResult(0.0)
 
     def step(self, host_now: float) -> StepResult:
         sim = self.sim
+        state = sim.state
+        manager = state.manager
         controller = sim.controller
-        overrides = controller.overrides() if controller is not None else {}
-        detection = sim.state.manager.detector.enabled
+        if controller is None:
+            outcome = manager.service(state, drain_cores=self.direct_cores)
+        else:
+            outcome = manager.service(
+                state, drain_cores=self.direct_cores, **controller.overrides()
+            )
 
-        outcome = sim.state.manager.service(
-            sim.state, drain_cores=self.direct_cores, **overrides
-        )
-
-        cost = self.cost.manager_cycle_ns
-        cost += outcome.events_served * self.cost.per_gq_event_ns
-        cost += outcome.events_merged * self.cost.per_mem_event_ns
-        if detection:
-            cost += outcome.events_served * self.cost.violation_tracking_ns
+        cost_model = self.cost
+        cost = cost_model.manager_cycle_ns
+        served = outcome.events_served
+        if served:
+            cost += served * cost_model.per_gq_event_ns
+            if manager.detector.enabled:
+                cost += served * cost_model.violation_tracking_ns
+        if outcome.events_merged:
+            cost += outcome.events_merged * cost_model.per_mem_event_ns
         if outcome.adjusted:
-            cost += self.cost.adaptive_adjust_ns
+            cost += cost_model.adaptive_adjust_ns
         if outcome.idle:
             cost += self.host.manager_poll_ns
-        return StepResult(cost, outcome=outcome)
+        result = self._result
+        result.cost_ns = cost
+        result.blocked = False
+        result.done = False
+        result.outcome = outcome
+        return result
 
 
 class SubManagerRunner:
@@ -235,6 +420,7 @@ class SubManagerRunner:
         self.host = host
         self.cost = host.cost
         self.core_ids = list(core_ids)
+        self._result = StepResult(0.0)
 
     @property
     def name(self) -> str:
@@ -246,4 +432,9 @@ class SubManagerRunner:
         cost = self.cost.manager_cycle_ns + forwarded * self.cost.per_mem_event_ns
         if forwarded == 0:
             cost += self.host.manager_poll_ns
-        return StepResult(cost)
+        result = self._result
+        result.cost_ns = cost
+        result.blocked = False
+        result.done = False
+        result.outcome = None
+        return result

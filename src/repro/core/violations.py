@@ -25,6 +25,9 @@ from typing import Dict, List, Optional
 BUS = "bus"
 MAP = "map"
 
+#: Shared empty drain result (most service steps see no violations).
+_NO_VIOLATIONS: List["ViolationRecord"] = []
+
 
 class TimestampMonitor:
     """One monitoring variable guarding one resource."""
@@ -130,7 +133,10 @@ class ViolationDetector:
 
     def drain_pending(self) -> List[ViolationRecord]:
         """Return and clear violations recorded since the last drain."""
-        pending, self._pending = self._pending, []
+        pending = self._pending
+        if not pending:
+            return _NO_VIOLATIONS  # shared: callers never mutate the list
+        self._pending = []
         return pending
 
     # ------------------------------------------------------------------ #

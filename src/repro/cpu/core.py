@@ -70,8 +70,23 @@ class CoreRequest:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CoreRequest({self.kind.name}, line={self.line_addr}, bus={self.bus_op})"
 
+    def __deepcopy__(self, memo) -> "CoreRequest":
+        # Immutable once posted: snapshots share requests instead of
+        # copying.
+        return self
+
 
 _ILP_RATE = {ILP_LOW: 1, ILP_MED: 2, ILP_HIGH: 64}
+
+# Hot-loop aliases (module-level loads are cheaper than enum attribute
+# lookups inside the per-cycle issue loop).
+_LOAD = OpKind.LOAD
+_STORE = OpKind.STORE
+_COMPUTE = OpKind.COMPUTE
+_HIT = L1Outcome.HIT
+_MISS = L1Outcome.MISS
+_MERGED = L1Outcome.MERGED
+_BUS = RequestKind.BUS
 
 #: Base byte address of the shared code region (all threads run one
 #: binary, as the SPLASH programs do).
@@ -92,6 +107,9 @@ class CoreModel:
         self.l1 = L1Cache(core_id, target.l1d, target.core)
         self.program = program
         self.outbox: List[CoreRequest] = []  # drained by the core thread
+        # Per-cycle hot constants, denormalized off the frozen config.
+        self._issue_width = target.core.issue_width
+        self._window_size = target.core.window_size
 
         # Optional instruction-fetch model: the committed stream walks a
         # *shared* wrapping code region (SPLASH threads run one binary);
@@ -145,44 +163,115 @@ class CoreModel:
             self.sync_stall_cycles += self.waiting_sync
             self.stall_cycles += 1
             return 0
-        if self._icache is not None and not self._fetch_ready():
-            self.ifetch_stall_cycles += 1
-            self.stall_cycles += 1
-            return 0
+        if self._icache is not None:
+            # _fetch_ready inlined (checked every cycle; almost always the
+            # resident-line fast path).
+            if self._ifetch_pending is not None:
+                self.ifetch_stall_cycles += 1
+                self.stall_cycles += 1
+                return 0
+            line = (
+                self._code_base_line
+                + (self._fetch_seq // self._instrs_per_line) % self._code_lines
+            )
+            if line != self._fetch_line:
+                if self._icache.lookup(line) is not None:
+                    self._fetch_line = line
+                else:
+                    self.outbox.append(
+                        CoreRequest(RequestKind.IFETCH, line_addr=line)
+                    )
+                    self._ifetch_pending = line
+                    self.ifetch_stall_cycles += 1
+                    self.stall_cycles += 1
+                    return 0
 
         committed = 0
-        slots = self.config.issue_width
+        slots = self._issue_width
+        window_size = self._window_size
+        pending = self._pending_loads
+        program = self.program
+        l1 = self.l1
+        line_bits = l1._line_bits
+        outbox = self.outbox
+        pages_touched = self.pages_touched
+        page_shift = self._page_shift
+        issue_seq = self._issue_seq
         while slots > 0:
-            if self._window_full():
-                break
-            if self._compute_remaining > 0:
-                take = min(slots, self._compute_rate, self._compute_remaining)
-                self._compute_remaining -= take
-                self._issue_seq += take
+            if pending and issue_seq - pending[0][0] >= window_size:
+                break  # reorder window full behind the oldest load miss
+            remaining = self._compute_remaining
+            if remaining > 0:
+                take = self._compute_rate
+                if slots < take:
+                    take = slots
+                if remaining < take:
+                    take = remaining
+                self._compute_remaining = remaining - take
+                issue_seq += take
                 committed += take
                 slots -= take
-                if self._compute_remaining > 0:
+                if remaining > take:
                     # The burst's dependence chain caps this cycle's issue;
                     # later program-order ops cannot bypass it either.
                     break
                 continue
-            op = self._fetch_op()
+            op = self._current_op
             if op is None:
-                break
-            if op.kind == OpKind.COMPUTE:
+                buffer = program._buffer
+                op = buffer.popleft() if buffer else program.next_op()
+                self._current_op = op
+                if op is None:
+                    break
+            kind = op.kind
+            if kind is _LOAD or kind is _STORE:
+                # _issue_memory inlined: memory ops are ~half of all issued
+                # instructions, and they never finish or block the thread.
+                addr = op.arg1
+                is_store = kind is _STORE
+                if is_store:
+                    pages_touched.add(addr >> page_shift)
+                line_addr = addr >> line_bits
+                outcome = l1.access_line(line_addr, is_store, now)
+                if outcome is _HIT:
+                    pass
+                elif outcome is _MISS or outcome is _MERGED:
+                    if outcome is _MISS:
+                        outbox.append(
+                            CoreRequest(_BUS, line_addr, l1.last_bus_op)
+                        )
+                    if not is_store:
+                        pending.append((issue_seq, line_addr))
+                else:
+                    # BLOCKED or MSHR_FULL: leave the op in place and
+                    # stall this cycle.
+                    break
+                issue_seq += 1
+                self._current_op = None
+                committed += 1
+                slots -= 1
+                continue
+            if kind is _COMPUTE:
                 # Burst setup: record the burst; its instructions issue via
                 # the branch above (no slot is charged for the setup itself).
                 self._compute_remaining = op.arg1
                 self._compute_rate = _ILP_RATE[op.arg2]
-                self._consume_op()
+                self._current_op = None
                 continue
+            self._issue_seq = issue_seq  # _issue_op reads/advances it
             if not self._issue_op(op, now):
-                break  # structural stall
+                self._fetch_seq += committed
+                self.instructions += committed
+                if committed == 0:
+                    self.stall_cycles += 1
+                return committed  # structural stall
+            issue_seq = self._issue_seq
             committed += 1
             slots -= 1
             if self.waiting_sync or self.finished:
                 break
 
+        self._issue_seq = issue_seq
         self.instructions += committed
         self._fetch_seq += committed
         if committed == 0:
@@ -250,24 +339,26 @@ class CoreModel:
         raise SimulationError(f"core {self.core_id}: unknown op kind {kind}")
 
     def _issue_memory(self, op: Op, now: int) -> bool:
-        is_store = op.kind == OpKind.STORE
+        addr = op.arg1
+        is_store = op.kind == _STORE
         if is_store:
-            self.pages_touched.add(op.arg1 >> self._page_shift)
-        result = self.l1.access(op.arg1, is_store, now)
-        outcome = result.outcome
-        if outcome == L1Outcome.HIT:
+            self.pages_touched.add(addr >> self._page_shift)
+        l1 = self.l1
+        line_addr = addr >> l1._line_bits
+        outcome = l1.access_line(line_addr, is_store, now)
+        if outcome is _HIT:
             self._issue_seq += 1
-            self._consume_op()
+            self._current_op = None
             return True
-        if outcome in (L1Outcome.MISS, L1Outcome.MERGED):
-            if outcome == L1Outcome.MISS:
+        if outcome is _MISS or outcome is _MERGED:
+            if outcome is _MISS:
                 self.outbox.append(
-                    CoreRequest(RequestKind.BUS, line_addr=result.line_addr, bus_op=result.bus_op)
+                    CoreRequest(RequestKind.BUS, line_addr=line_addr, bus_op=l1.last_bus_op)
                 )
             if not is_store:
-                self._pending_loads.append((self._issue_seq, result.line_addr))
+                self._pending_loads.append((self._issue_seq, line_addr))
             self._issue_seq += 1
-            self._consume_op()
+            self._current_op = None
             return True
         # BLOCKED or MSHR_FULL: leave the op in place and stall this cycle.
         return False
@@ -277,6 +368,62 @@ class CoreModel:
             return False
         oldest_seq = self._pending_loads[0][0]
         return self._issue_seq - oldest_seq >= self.config.window_size
+
+    def commit_burst(self, max_cycles: int) -> Tuple[int, int]:
+        """Commit up to ``max_cycles`` full-rate compute-burst cycles at once.
+
+        A cycle qualifies when the whole cycle is the compute-burst branch
+        of :meth:`cycle` and nothing else: the burst's dependence chain
+        caps issue at ``k = min(issue_width, rate)`` instructions, no other
+        op issues, no request is emitted, and the burst continues past the
+        cycle.  Every counter advances exactly as ``m`` individual
+        :meth:`cycle` calls would (bit-for-bit); the final burst cycle is
+        always left to :meth:`cycle`, because its leftover slots may issue
+        subsequent program ops.
+
+        Returns ``(cycles_committed, instructions_committed)``.
+        """
+        remaining = self._compute_remaining
+        if remaining <= 1 or self.finished or self.waiting_sync:
+            return 0, 0
+        k = self.config.issue_width
+        if self._compute_rate < k:
+            k = self._compute_rate
+        m = (remaining - 1) // k
+        if m > max_cycles:
+            m = max_cycles
+        if self._pending_loads:
+            # Stop one cycle short of filling the reorder window.
+            avail = self.config.window_size - (
+                self._issue_seq - self._pending_loads[0][0]
+            )
+            if avail <= 0:
+                return 0, 0  # stalled: the normal path accounts for it
+            cap = (avail - 1) // k + 1
+            if m > cap:
+                m = cap
+        if self._icache is not None:
+            # Fetch must stay inside the currently-resident code line for
+            # every bulk cycle; crossing a line boundary goes through
+            # _fetch_ready (lookup side effects, possible IFETCH miss).
+            if self._ifetch_pending is not None:
+                return 0, 0
+            ipl = self._instrs_per_line
+            line = self._code_base_line + (self._fetch_seq // ipl) % self._code_lines
+            if line != self._fetch_line:
+                return 0, 0
+            cap = (ipl - 1 - self._fetch_seq % ipl) // k + 1
+            if m > cap:
+                m = cap
+        if m <= 0:
+            return 0, 0
+        instrs = m * k
+        self._compute_remaining = remaining - instrs
+        self._issue_seq += instrs
+        self._fetch_seq += instrs
+        self.instructions += instrs
+        self.cycles += m
+        return m, instrs
 
     def skip_stall_cycles(self, count: int) -> None:
         """Account for ``count`` cycles in which the pipeline is known to be
@@ -297,10 +444,14 @@ class CoreModel:
         victim_addr, victim_dirty = self.l1.fill(line_addr, state)
         if victim_dirty and victim_addr is not None:
             self.outbox.append(CoreRequest(RequestKind.WRITEBACK, line_addr=victim_addr))
-        if self._pending_loads:
-            self._pending_loads = deque(
-                entry for entry in self._pending_loads if entry[1] != line_addr
-            )
+        pending = self._pending_loads
+        for entry in pending:
+            if entry[1] == line_addr:
+                # Rebuild only when the filled line is actually pending.
+                self._pending_loads = deque(
+                    e for e in pending if e[1] != line_addr
+                )
+                break
 
     def complete_sync(self) -> None:
         """A lock grant or barrier release arrived; resume the pipeline."""

@@ -7,6 +7,7 @@ rows and printing the same series the paper reports.  ``benchmarks/`` wraps
 these in pytest-benchmark targets.
 """
 
+from repro.harness.bench import run_bench
 from repro.harness.runner import ExperimentRunner
 from repro.harness.experiments import (
     ablation_detection,
@@ -29,6 +30,7 @@ from repro.harness.tables import format_table
 
 __all__ = [
     "ExperimentRunner",
+    "run_bench",
     "table1",
     "figure3",
     "figure4",

@@ -1,0 +1,220 @@
+"""Kernel-throughput benchmark with a digest-checked golden matrix.
+
+The simulator's ROADMAP promises runs "as fast as the hardware allows" —
+but only if optimizations never change simulation results.  This module
+pins both halves of that contract:
+
+- **speed**: a fixed workload matrix (CC / bounded / adaptive /
+  speculative x 4-16 cores) is timed and the wall-clock, steps/s, and
+  cycles/s figures are written to ``BENCH_kernel.json`` so the perf
+  trajectory is tracked PR over PR;
+- **determinism**: every run's :meth:`SimulationReport.digest` is checked
+  against golden values recorded in ``benchmarks/golden_kernel.json``.  A
+  perf PR that drifts any digest fails the bench (and CI).
+
+Run it as ``python -m repro bench`` (add ``--smoke`` for the small CI
+matrix, ``--update-golden`` to re-record goldens after an *intentional*
+simulation-semantics change).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Dict, List, Optional
+
+from repro.config import (
+    AdaptiveConfig,
+    CheckpointConfig,
+    SchemeConfig,
+    SlackConfig,
+    SpeculativeConfig,
+    paper_target_config,
+)
+from repro.core.simulation import Simulation
+from repro.workloads import make_workload
+
+#: Scheme factories for the benchmark matrix.  Factories (not instances)
+#: because each run must get a fresh config-derived policy.
+SCHEMES = {
+    "cc": lambda: SlackConfig(bound=0),
+    "bounded": lambda: SlackConfig(bound=16),
+    "adaptive": lambda: AdaptiveConfig(target_rate=1e-3, adjust_period=250),
+    "speculative": lambda: SpeculativeConfig(
+        base=AdaptiveConfig(target_rate=1e-3, adjust_period=250),
+        checkpoint=CheckpointConfig(interval=5000),
+    ),
+}
+
+#: The profiled reference run quoted in README "Performance": 8-core fft,
+#: SlackConfig(bound=16), full scale.
+REFERENCE_CASE = {"scheme": "bounded", "cores": 8, "scale": 1.0}
+
+_SEED = 12345
+_BENCHMARK = "fft"
+
+
+class BenchCase:
+    """One cell of the benchmark matrix."""
+
+    __slots__ = ("scheme", "cores", "scale")
+
+    def __init__(self, scheme: str, cores: int, scale: float) -> None:
+        self.scheme = scheme
+        self.cores = cores
+        self.scale = scale
+
+    @property
+    def case_id(self) -> str:
+        return f"{_BENCHMARK}-{self.scheme}-c{self.cores}-s{self.scale:g}"
+
+    def scheme_config(self) -> SchemeConfig:
+        return SCHEMES[self.scheme]()
+
+
+def full_matrix() -> List[BenchCase]:
+    """The full matrix: every scheme x 4/8/16 cores at half scale, plus
+    the full-scale reference run."""
+    cases = [
+        BenchCase(scheme, cores, 0.5)
+        for cores in (4, 8, 16)
+        for scheme in SCHEMES
+    ]
+    cases.append(BenchCase(**REFERENCE_CASE))
+    return cases
+
+
+def smoke_matrix() -> List[BenchCase]:
+    """The quick CI matrix: every scheme at 4 and 8 cores, quarter scale."""
+    return [
+        BenchCase(scheme, cores, 0.25)
+        for cores in (4, 8)
+        for scheme in SCHEMES
+    ]
+
+
+def run_case(case: BenchCase) -> Dict[str, object]:
+    """Run one cell; return its measurement record."""
+    workload = make_workload(_BENCHMARK, num_threads=case.cores, scale=case.scale)
+    simulation = Simulation(
+        workload,
+        scheme=case.scheme_config(),
+        target=paper_target_config(num_cores=case.cores),
+        seed=_SEED,
+    )
+    start = time.perf_counter()
+    report = simulation.run()
+    wall_s = time.perf_counter() - start
+    steps = report.core_steps + report.manager_steps
+    return {
+        "case": case.case_id,
+        "scheme": case.scheme,
+        "cores": case.cores,
+        "scale": case.scale,
+        "wall_s": wall_s,
+        "target_cycles": report.target_cycles,
+        "instructions": report.instructions,
+        "steps": steps,
+        "steps_per_s": steps / wall_s if wall_s > 0 else 0.0,
+        "target_cycles_per_s": report.target_cycles / wall_s if wall_s > 0 else 0.0,
+        "digest": report.digest(),
+    }
+
+
+def golden_path(repo_root: Optional[pathlib.Path] = None) -> pathlib.Path:
+    root = repo_root or pathlib.Path(__file__).resolve().parents[3]
+    return root / "benchmarks" / "golden_kernel.json"
+
+
+def load_golden(path: pathlib.Path) -> Dict[str, str]:
+    if not path.exists():
+        return {}
+    return json.loads(path.read_text())
+
+
+def run_bench(
+    smoke: bool = False,
+    update_golden: bool = False,
+    output: Optional[str] = "BENCH_kernel.json",
+    profile_calls: bool = False,
+    golden_file: Optional[str] = None,
+) -> Dict[str, object]:
+    """Run the matrix; verify digests; write ``BENCH_kernel.json``.
+
+    Returns the result document.  Raises :class:`SystemExit` with a
+    non-zero code on digest drift (so CI fails loudly).
+    """
+    cases = smoke_matrix() if smoke else full_matrix()
+    gpath = pathlib.Path(golden_file) if golden_file else golden_path()
+    golden = load_golden(gpath)
+
+    results: List[Dict[str, object]] = []
+    drifted: List[str] = []
+    for case in cases:
+        record = run_case(case)
+        expected = golden.get(case.case_id)
+        if expected is None:
+            record["golden"] = "missing"
+        elif expected == record["digest"]:
+            record["golden"] = "ok"
+        else:
+            record["golden"] = "DRIFT"
+            drifted.append(case.case_id)
+        results.append(record)
+        print(
+            f"  {record['case']:<28} {record['wall_s']:7.2f}s "
+            f"{record['steps_per_s']:>10.0f} steps/s  [{record['golden']}]"
+        )
+
+    calls: Optional[int] = None
+    if profile_calls:
+        calls = _count_calls(BenchCase(**REFERENCE_CASE))
+        print(f"  reference-run function calls: {calls}")
+
+    total_wall = sum(r["wall_s"] for r in results)
+    doc = {
+        "benchmark": _BENCHMARK,
+        "matrix": "smoke" if smoke else "full",
+        "total_wall_s": total_wall,
+        "aggregate_steps_per_s": sum(r["steps"] for r in results) / total_wall,
+        "reference_calls": calls,
+        "results": results,
+    }
+    if output:
+        pathlib.Path(output).write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {output} (total {total_wall:.2f}s)")
+
+    if update_golden:
+        merged = dict(golden)
+        merged.update({r["case"]: r["digest"] for r in results})
+        gpath.parent.mkdir(parents=True, exist_ok=True)
+        gpath.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+        print(f"updated {gpath} ({len(merged)} golden digests)")
+    elif drifted:
+        raise SystemExit(
+            "report digests drifted from golden values: "
+            + ", ".join(drifted)
+            + " — simulation results changed; if intentional, rerun with "
+            "--update-golden"
+        )
+    return doc
+
+
+def _count_calls(case: BenchCase) -> int:
+    """Total Python function calls for one run of ``case`` (cProfile)."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    workload = make_workload(_BENCHMARK, num_threads=case.cores, scale=case.scale)
+    simulation = Simulation(
+        workload,
+        scheme=case.scheme_config(),
+        target=paper_target_config(num_cores=case.cores),
+        seed=_SEED,
+    )
+    profiler.enable()
+    simulation.run()
+    profiler.disable()
+    return int(pstats.Stats(profiler).total_calls)

@@ -67,6 +67,11 @@ class Op:
     def __hash__(self) -> int:
         return hash((self.kind, self.arg1, self.arg2))
 
+    def __deepcopy__(self, memo) -> "Op":
+        # Ops are immutable once constructed, so checkpoint snapshots share
+        # them instead of copying (they dominate interpreter buffers).
+        return self
+
     @property
     def is_memory(self) -> bool:
         """True for loads and stores."""

@@ -149,12 +149,20 @@ class ProgramInterpreter:
         return self._ended and not self._buffer
 
     def next_op(self) -> Optional[Op]:
-        """Return the next operation, or None when the thread is done."""
-        while not self._buffer:
+        """Return the next operation, or None when the thread is done.
+
+        Refills greedily: interpretation has no timing side effects (the
+        context is self-contained), so buffering a batch of ops per refill
+        amortizes the call overhead across the core model's consumption.
+        """
+        buffer = self._buffer
+        if not buffer:
             if self._ended:
                 return None
-            self._step()
-        return self._buffer.popleft()
+            step = self._step
+            while len(buffer) < 64 and not self._ended:
+                step()
+        return buffer.popleft()
 
     def peek_op(self) -> Optional[Op]:
         """Return the next operation without consuming it."""
@@ -200,10 +208,11 @@ class ProgramInterpreter:
             self._buffer.append(result)
             return True
         produced = False
+        append = self._buffer.append
         for op in result:
-            if not isinstance(op, Op):
+            if type(op) is not Op and not isinstance(op, Op):
                 raise WorkloadError(f"Emit produced a non-Op value: {op!r}")
-            self._buffer.append(op)
+            append(op)
             produced = True
         return produced
 

@@ -5,6 +5,13 @@ states but no data values: the simulator is timing-directed (workloads are
 synthetic operation streams, so there are no functional values to track —
 and the paper notes workload-state violations cannot occur anyway because
 synchronization executes inside the simulator).
+
+Lookups are O(1): each set keeps a ``{tag: line}`` dict alongside the way
+list, maintained through fill/invalidate.  The way list is retained for
+LRU victim selection (fills are miss-rate-rare) and for residency dumps;
+hit/miss decisions, eviction victims, and LRU ordering are bit-for-bit
+identical to an associativity-wide way scan (tests/test_cache_index.py
+checks this against a reference implementation over random streams).
 """
 
 from __future__ import annotations
@@ -14,6 +21,8 @@ from typing import Dict, List, Optional, Tuple
 from repro.config import CacheConfig
 from repro.memory.address import AddressMapper
 from repro.memory.mesi import MesiState
+
+_INVALID = MesiState.INVALID
 
 
 class CacheLine:
@@ -30,6 +39,10 @@ class CacheLine:
     def valid(self) -> bool:
         return self.state != MesiState.INVALID
 
+    def _sort_key(self) -> Tuple[bool, int]:
+        # Victim priority: invalid ways first, then least-recently used.
+        return (self.state != MesiState.INVALID, self.lru)
+
 
 class CacheArray:
     """Set-associative tag/state array with true-LRU replacement."""
@@ -41,11 +54,57 @@ class CacheArray:
             [CacheLine() for _ in range(config.associativity)]
             for _ in range(config.num_sets)
         ]
+        # Per-set tag index over *valid* lines only; the single source of
+        # truth for hit/miss decisions.
+        self._index: List[Dict[int, CacheLine]] = [
+            {} for _ in range(config.num_sets)
+        ]
+        self._set_mask = config.num_sets - 1
+        self._set_bits = self.mapper.set_bits
         self._clock = 0  # LRU stamp source
         # Statistics
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+
+    def __deepcopy__(self, memo) -> "CacheArray":
+        """Checkpoint fast path: copy lines directly, rebuild the index.
+
+        Cache arrays dominate snapshot cost (thousands of lines per L1/L2);
+        the generic deepcopy machinery spends most of its time reconstructing
+        them object by object.  Config and mapper are immutable and shared.
+        """
+        cls = self.__class__
+        new = cls.__new__(cls)
+        memo[id(self)] = new
+        new.config = self.config
+        new.mapper = self.mapper
+        new._set_mask = self._set_mask
+        new._set_bits = self._set_bits
+        new._clock = self._clock
+        new.hits = self.hits
+        new.misses = self.misses
+        new.evictions = self.evictions
+        invalid = _INVALID
+        new_line = CacheLine.__new__
+        new_sets: List[List[CacheLine]] = []
+        new_index: List[Dict[int, CacheLine]] = []
+        for ways in self._sets:
+            copies: List[CacheLine] = []
+            index: Dict[int, CacheLine] = {}
+            for line in ways:
+                copy = new_line(CacheLine)
+                copy.tag = line.tag
+                copy.state = line.state
+                copy.lru = line.lru
+                copies.append(copy)
+                if copy.state != invalid:
+                    index[copy.tag] = copy
+            new_sets.append(copies)
+            new_index.append(index)
+        new._sets = new_sets
+        new._index = new_index
+        return new
 
     def lookup(self, line_addr: int, touch: bool = True) -> Optional[CacheLine]:
         """Return the resident line for ``line_addr``, or None on miss.
@@ -53,15 +112,11 @@ class CacheArray:
         ``touch=False`` performs a snoop-style probe that does not perturb
         LRU state.
         """
-        set_index = self.mapper.set_index_of_line(line_addr)
-        tag = self.mapper.tag_of_line(line_addr)
-        for line in self._sets[set_index]:
-            if line.valid and line.tag == tag:
-                if touch:
-                    self._clock += 1
-                    line.lru = self._clock
-                return line
-        return None
+        line = self._index[line_addr & self._set_mask].get(line_addr >> self._set_bits)
+        if line is not None and touch:
+            self._clock += 1
+            line.lru = self._clock
+        return line
 
     def fill(self, line_addr: int, state: MesiState) -> Tuple[Optional[int], MesiState]:
         """Insert ``line_addr`` with ``state``; return the victim.
@@ -69,25 +124,34 @@ class CacheArray:
         Returns ``(victim_line_addr, victim_state)``; the victim address is
         None when an invalid way was used.  The caller is responsible for
         writing back Modified victims.
+
+        Precondition: ``line_addr`` is not resident.  Callers fill only
+        after a lookup miss; filling a resident line would duplicate its
+        tag across ways.
         """
-        set_index = self.mapper.set_index_of_line(line_addr)
-        ways = self._sets[set_index]
-        victim = min(ways, key=lambda ln: (ln.valid, ln.lru))
+        set_index = line_addr & self._set_mask
+        tag = line_addr >> self._set_bits
+        index = self._index[set_index]
+        victim = min(self._sets[set_index], key=CacheLine._sort_key)
         victim_addr: Optional[int] = None
-        victim_state = MesiState.INVALID
-        if victim.valid:
-            victim_addr = self.mapper.line_of(set_index, victim.tag)
-            victim_state = victim.state
+        victim_state = victim.state
+        if victim_state != _INVALID:
+            victim_addr = (victim.tag << self._set_bits) | set_index
             self.evictions += 1
-        victim.tag = self.mapper.tag_of_line(line_addr)
+            del index[victim.tag]
+        victim.tag = tag
         victim.state = state
         self._clock += 1
         victim.lru = self._clock
+        if state != _INVALID:
+            index[tag] = victim
         return victim_addr, victim_state
 
     def invalidate(self, line_addr: int) -> MesiState:
         """Invalidate ``line_addr`` if resident; return its prior state."""
-        line = self.lookup(line_addr, touch=False)
+        line = self._index[line_addr & self._set_mask].pop(
+            line_addr >> self._set_bits, None
+        )
         if line is None:
             return MesiState.INVALID
         prior = line.state
@@ -96,7 +160,12 @@ class CacheArray:
 
     def set_state(self, line_addr: int, state: MesiState) -> None:
         """Set the MESI state of a resident line (no-op if absent)."""
-        line = self.lookup(line_addr, touch=False)
+        if state == _INVALID:
+            self.invalidate(line_addr)
+            return
+        line = self._index[line_addr & self._set_mask].get(
+            line_addr >> self._set_bits
+        )
         if line is not None:
             line.state = state
 
@@ -105,6 +174,6 @@ class CacheArray:
         result: Dict[int, MesiState] = {}
         for set_index, ways in enumerate(self._sets):
             for line in ways:
-                if line.valid:
-                    result[self.mapper.line_of(set_index, line.tag)] = line.state
+                if line.state != _INVALID:
+                    result[(line.tag << self._set_bits) | set_index] = line.state
         return result

@@ -13,7 +13,7 @@ from typing import List, Optional, Tuple
 
 from repro.config import CacheConfig, CoreConfig
 from repro.memory.cache import CacheArray
-from repro.memory.mesi import BusOpKind, MesiState, store_transition
+from repro.memory.mesi import BusOpKind, MesiState
 from repro.memory.mshr import MshrEntry, MshrFile
 
 
@@ -43,6 +43,19 @@ class L1AccessResult:
         self.bus_op = bus_op
 
 
+# Hot-path aliases (module loads beat enum attribute lookups per access).
+_HIT = L1Outcome.HIT
+_MISS = L1Outcome.MISS
+_MERGED = L1Outcome.MERGED
+_BLOCKED = L1Outcome.BLOCKED
+_MSHR_FULL = L1Outcome.MSHR_FULL
+_GETS = BusOpKind.GETS
+_GETX = BusOpKind.GETX
+_UPGR = BusOpKind.UPGR
+_EXCLUSIVE = MesiState.EXCLUSIVE
+_MODIFIED = MesiState.MODIFIED
+
+
 class L1Cache:
     """Private L1D with MSHRs, driven by one core's memory operations."""
 
@@ -51,6 +64,11 @@ class L1Cache:
         self.array = CacheArray(config)
         self.mshrs = MshrFile(core_config.num_mshrs)
         self.hit_latency = config.hit_latency
+        self._line_bits = self.array.mapper.line_bits
+        #: Bus op of the most recent :attr:`L1Outcome.MISS` from
+        #: :meth:`access_line` (valid only immediately after such a return;
+        #: lets the hot path avoid allocating an L1AccessResult per op).
+        self.last_bus_op: Optional[BusOpKind] = None
         # Statistics
         self.loads = 0
         self.stores = 0
@@ -70,52 +88,73 @@ class L1Cache:
 
         Returns the outcome; for :attr:`L1Outcome.MISS` the caller must
         allocate the bus transaction (the MSHR has already been charged).
+        Thin wrapper over :meth:`access_line` (the engine's entry point);
+        both share one implementation.
         """
-        line_addr = self.array.mapper.line_addr(addr)
-        if is_store:
-            self.stores += 1
-        else:
+        line_addr = addr >> self._line_bits
+        outcome = self.access_line(line_addr, is_store, now)
+        bus_op = self.last_bus_op if outcome is _MISS else None
+        return L1AccessResult(outcome, line_addr, bus_op)
+
+    def access_line(self, line_addr: int, is_store: bool, now: int) -> L1Outcome:
+        """Allocation-free access fast path; ``line_addr`` is pre-shifted.
+
+        Semantics are bit-for-bit those of :meth:`access`; for
+        :attr:`L1Outcome.MISS` the bus op to issue is left in
+        :attr:`last_bus_op`.  The tag lookup and its LRU touch are inlined
+        from :meth:`CacheArray.lookup` — this is the only such duplicate.
+        """
+        array = self.array
+        line = array._index[line_addr & array._set_mask].get(
+            line_addr >> array._set_bits
+        )
+        if not is_store:
             self.loads += 1
-
-        line = self.array.lookup(line_addr)
-        if line is not None:
-            if not is_store:
-                self.array.hits += 1
-                return L1AccessResult(L1Outcome.HIT, line_addr)
-            if line.state.writable:
-                line.state = store_transition(line.state)
-                self.array.hits += 1
-                return L1AccessResult(L1Outcome.HIT, line_addr)
-            # Store to a Shared line: needs an upgrade transaction.
-            return self._miss(line_addr, BusOpKind.UPGR, now, is_store=True)
-
-        kind = BusOpKind.GETX if is_store else BusOpKind.GETS
-        return self._miss(line_addr, kind, now, is_store)
-
-    def _miss(
-        self, line_addr: int, kind: BusOpKind, now: int, is_store: bool
-    ) -> L1AccessResult:
-        outstanding = self.mshrs.get(line_addr)
+            if line is not None:
+                array._clock += 1
+                line.lru = array._clock
+                array.hits += 1
+                return _HIT
+            kind = _GETS
+        else:
+            self.stores += 1
+            if line is not None:
+                array._clock += 1
+                line.lru = array._clock
+                if line.state >= _EXCLUSIVE:  # writable (E or M) -> M
+                    line.state = _MODIFIED
+                    array.hits += 1
+                    return _HIT
+                # Store to a Shared line: needs an upgrade transaction.
+                kind = _UPGR
+            else:
+                kind = _GETX
+        mshrs = self.mshrs
+        outstanding = mshrs._entries.get(line_addr)
         if outstanding is not None:
             # Loads merge into any outstanding miss; stores only into a
-            # transaction that will grant write permission.
-            if not is_store or outstanding.kind in (BusOpKind.GETX, BusOpKind.UPGR):
-                self.mshrs.merge(line_addr, 0)
-                return L1AccessResult(L1Outcome.MERGED, line_addr)
-            return L1AccessResult(L1Outcome.BLOCKED, line_addr)
-        if self.mshrs.full:
-            self.mshrs.full_stalls += 1
-            return L1AccessResult(L1Outcome.MSHR_FULL, line_addr)
-        self.mshrs.allocate(line_addr, kind, now)
-        self.array.misses += 1
+            # transaction that will grant write permission.  (MshrFile.merge
+            # inlined: it would re-do the entry lookup we just did.)
+            ok = outstanding.kind
+            if not is_store or ok is _GETX or ok is _UPGR:
+                outstanding.merged_rob_ids.append(0)
+                mshrs.merges += 1
+                return _MERGED
+            return _BLOCKED
+        if len(mshrs._entries) >= mshrs.capacity:
+            mshrs.full_stalls += 1
+            return _MSHR_FULL
+        mshrs.allocate(line_addr, kind, now)
+        array.misses += 1
         if is_store:
-            if kind == BusOpKind.UPGR:
+            if kind is _UPGR:
                 self.upgrades += 1
             else:
                 self.store_misses += 1
         else:
             self.load_misses += 1
-        return L1AccessResult(L1Outcome.MISS, line_addr, kind)
+        self.last_bus_op = kind
+        return _MISS
 
     # ------------------------------------------------------------------ #
     # Fill path (called when the manager's response arrives)

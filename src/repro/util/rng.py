@@ -41,8 +41,16 @@ class SplitMix64:
         return self.next_u64() % bound
 
     def next_float(self) -> float:
-        """Return a uniform float in ``[0.0, 1.0)``."""
-        return (self.next_u64() >> 11) * (1.0 / (1 << 53))
+        """Return a uniform float in ``[0.0, 1.0)``.
+
+        The transition is inlined (identical to :meth:`next_u64`): this is
+        the per-scheduler-step jitter draw, the hottest RNG call site.
+        """
+        s = (self.state + 0x9E3779B97F4A7C15) & _MASK64
+        self.state = s
+        z = ((s ^ (s >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+        return ((z ^ (z >> 31)) >> 11) * (1.0 / (1 << 53))
 
     def fork(self) -> "SplitMix64":
         """Derive an independent child generator."""
@@ -78,3 +86,12 @@ class XorShift64(SplitMix64):
         x ^= (x << 17) & _MASK64
         self.state = x
         return (x * 0x2545F4914F6CDD1D) & _MASK64
+
+    def next_float(self) -> float:
+        """Return a uniform float in ``[0.0, 1.0)`` (xorshift transition)."""
+        x = self.state
+        x ^= (x << 13) & _MASK64
+        x ^= x >> 7
+        x ^= (x << 17) & _MASK64
+        self.state = x
+        return (((x * 0x2545F4914F6CDD1D) & _MASK64) >> 11) * (1.0 / (1 << 53))

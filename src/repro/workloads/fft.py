@@ -50,31 +50,46 @@ def fft_workload(
         my_data = data_base + tid * n_local * _POINT_BYTES
         my_scratch = scratch_base + tid * n_local * _POINT_BYTES
 
+        # Emit bodies are pure functions of the loop variables, and Ops are
+        # immutable, so each round reuses the op lists built by the first
+        # (the interpreter only reads them).
+        butterfly_cache = {}
+        transpose_cache = {}
+
         def butterfly(ctx):
-            addr = my_data + ctx["p"] * _POINT_BYTES
-            return [
-                load(addr),
-                load(addr + 4),
-                compute(6, ILP_HIGH),
-                store(addr),
-                store(addr + 4),
-            ]
+            p = ctx["p"]
+            ops = butterfly_cache.get(p)
+            if ops is None:
+                addr = my_data + p * _POINT_BYTES
+                ops = butterfly_cache[p] = [
+                    load(addr),
+                    load(addr + 4),
+                    compute(6, ILP_HIGH),
+                    store(addr),
+                    store(addr + 4),
+                ]
+            return ops
 
         def transpose(ctx):
-            peer = (tid + 1 + ctx["c"]) % num_threads
-            src = (
-                data_base
-                + peer * n_local * _POINT_BYTES
-                + (tid * stripe + ctx["q"]) * _POINT_BYTES
-            )
-            dst = my_scratch + (ctx["c"] * stripe + ctx["q"]) * _POINT_BYTES
-            return [
-                load(src),
-                load(src + 4),
-                compute(2, ILP_MED),
-                store(dst),
-                store(dst + 4),
-            ]
+            c = ctx["c"]
+            q = ctx["q"]
+            ops = transpose_cache.get((c, q))
+            if ops is None:
+                peer = (tid + 1 + c) % num_threads
+                src = (
+                    data_base
+                    + peer * n_local * _POINT_BYTES
+                    + (tid * stripe + q) * _POINT_BYTES
+                )
+                dst = my_scratch + (c * stripe + q) * _POINT_BYTES
+                ops = transpose_cache[(c, q)] = [
+                    load(src),
+                    load(src + 4),
+                    compute(2, ILP_MED),
+                    store(dst),
+                    store(dst + 4),
+                ]
+            return ops
 
         round_body = [
             Loop("p", n_local, [Emit(butterfly)]),

@@ -1,0 +1,97 @@
+"""Determinism contract: report digests are frozen across engine rewrites.
+
+The hot-path optimizations (tag-indexed cache lookup, heap scheduler,
+bulk compute-burst commit) must be *performance-only*: for a given seed,
+every scheme kind has to produce a bit-for-bit identical
+:class:`SimulationReport`.  The golden digests in
+``tests/data/determinism_golden.json`` were recorded from the pre-
+optimization engine; any drift here means an optimization changed
+simulation results, not just simulation speed.
+
+``python -m repro bench`` enforces the same contract on the full paper-
+sized matrix; this test covers every scheme kind on small workloads so
+the tier-1 suite catches drift quickly.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro import HostConfig, Simulation
+from repro.config import (
+    AdaptiveConfig,
+    AdaptiveQuantumConfig,
+    CheckpointConfig,
+    P2PConfig,
+    QuantumConfig,
+    SlackConfig,
+    SpeculativeConfig,
+    quick_target_config,
+)
+from repro.workloads import make_workload
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "determinism_golden.json"
+
+#: Scheme-kind matrix: every service discipline the manager implements.
+CASES = {
+    "cc": lambda: SlackConfig(bound=0),
+    "bounded": lambda: SlackConfig(bound=4),
+    "unbounded": lambda: SlackConfig(bound=None),
+    "quantum": lambda: QuantumConfig(quantum=10),
+    "adaptive": lambda: AdaptiveConfig(target_rate=1e-3, adjust_period=100),
+    "adaptive-quantum": lambda: AdaptiveQuantumConfig(),
+    "p2p": lambda: P2PConfig(),
+    "speculative": lambda: SpeculativeConfig(
+        base=AdaptiveConfig(target_rate=1e-3, adjust_period=100),
+        checkpoint=CheckpointConfig(interval=2000),
+    ),
+}
+
+
+def run_case(name: str):
+    """One small-but-busy run: 4 cores, shared lines, barriers."""
+    workload = make_workload(
+        "synthetic", num_threads=4, steps=60, shared_lines=8, barrier_every=20
+    )
+    return Simulation(
+        workload,
+        scheme=CASES[name](),
+        target=quick_target_config(num_cores=4),
+        host=HostConfig(num_contexts=4),
+        seed=99,
+    ).run()
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_digest_matches_golden(name, golden):
+    report = run_case(name)
+    assert report.digest() == golden[name], (
+        f"scheme {name!r}: simulation results drifted from the seed engine "
+        "(digest mismatch) — the determinism contract requires perf work "
+        "to be bit-for-bit result-preserving"
+    )
+
+
+def test_digest_is_reproducible():
+    """Same seed, same config => same digest (run-to-run determinism)."""
+    assert run_case("bounded").digest() == run_case("bounded").digest()
+
+
+def test_digest_sensitive_to_seed():
+    workload = make_workload("synthetic", num_threads=4, steps=60)
+    a = Simulation(
+        workload, scheme=SlackConfig(bound=4),
+        target=quick_target_config(num_cores=4), seed=1,
+    ).run()
+    workload = make_workload("synthetic", num_threads=4, steps=60)
+    b = Simulation(
+        workload, scheme=SlackConfig(bound=4),
+        target=quick_target_config(num_cores=4), seed=2,
+    ).run()
+    assert a.digest() != b.digest()

@@ -3,6 +3,7 @@
 Keeps the documentation honest — if the public API drifts, these fail.
 """
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -10,6 +11,20 @@ import sys
 import pytest
 
 REPO = pathlib.Path(__file__).resolve().parents[1]
+
+
+def _example_env() -> dict:
+    """Subprocess environment with the in-repo package importable.
+
+    The examples are run from a scratch cwd, so the interpreter does not
+    pick up ``src/`` automatically the way an installed package would be
+    found; extend PYTHONPATH explicitly.
+    """
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+    return env
 
 
 def test_readme_quickstart_snippet():
@@ -30,24 +45,36 @@ def test_readme_quickstart_snippet():
     assert "adaptive" in adaptive.summary()
 
 
-@pytest.mark.parametrize(
-    "script,args",
-    [
-        ("quickstart.py", ["0.25"]),
-        ("custom_workload.py", []),
-    ],
-)
+#: Fast arguments per example (small scales keep the suite quick); every
+#: script in examples/ must be listed — test_every_example_is_covered
+#: enforces it.
+EXAMPLE_ARGS = {
+    "quickstart.py": ["0.25"],
+    "custom_workload.py": [],
+    "adaptive_tuning.py": ["fft", "0.25"],
+    "speculative_study.py": ["lu", "0.25"],
+    "trace_and_export.py": [],
+}
+
+
+@pytest.mark.parametrize("script,args", sorted(EXAMPLE_ARGS.items()))
 def test_example_scripts_run(script, args, tmp_path):
-    """The lightweight example scripts execute end to end."""
+    """Every example script executes end to end."""
     result = subprocess.run(
         [sys.executable, str(REPO / "examples" / script), *args],
         capture_output=True,
         text=True,
         timeout=600,
         cwd=tmp_path,
+        env=_example_env(),
     )
     assert result.returncode == 0, result.stderr
     assert result.stdout.strip()
+
+
+def test_every_example_is_covered():
+    examples = {p.name for p in (REPO / "examples").glob("*.py")}
+    assert examples == set(EXAMPLE_ARGS)
 
 
 def test_all_examples_exist_and_are_documented():
