@@ -5,6 +5,9 @@
    as a trace-driven workload, and shows the runs are identical.
 2. Runs a small Figure-3-style sweep and exports it as CSV, JSON, and an
    ASCII scatter plot.
+3. Re-runs Barnes with a telemetry session attached: writes a
+   Perfetto-loadable Chrome trace plus a metrics/time-series document,
+   and shows the report digest is identical to the untraced run.
 
 Usage::
 
@@ -14,10 +17,11 @@ Usage::
 import pathlib
 import sys
 
-from repro import Simulation, SlackConfig
+from repro import Simulation, SlackConfig, TelemetrySession
 from repro.harness import ExperimentRunner, figure3
 from repro.harness.export import ascii_scatter, figure_series, to_csv, to_json
 from repro.isa.trace import record_workload, trace_workload
+from repro.telemetry import summarize_trace
 from repro.util import SplitMix64
 from repro.workloads import make_workload
 
@@ -63,11 +67,34 @@ def export_demo(out_dir: pathlib.Path) -> None:
     )
 
 
+def telemetry_demo(out_dir: pathlib.Path) -> None:
+    workload = make_workload("barnes", num_threads=8, scale=0.5)
+    baseline = Simulation(workload, scheme=SlackConfig(bound=4), seed=12345).run()
+
+    session = TelemetrySession(sample_period=1000)
+    traced = Simulation(
+        workload, scheme=SlackConfig(bound=4), seed=12345, telemetry=session
+    ).run()
+
+    trace_path = out_dir / "barnes_telemetry.json"
+    metrics_path = out_dir / "barnes_metrics.json"
+    session.tracer.write_chrome(trace_path)
+    session.write_metrics(
+        metrics_path, meta={"benchmark": "barnes", "digest": traced.digest()}
+    )
+    print(f"\nwrote {trace_path} (open in Perfetto / chrome://tracing) "
+          f"and {metrics_path}")
+    print("telemetry is observation-only: digest identical to untraced run:",
+          traced.digest() == baseline.digest())
+    print("\n" + summarize_trace(session.tracer.chrome_doc()))
+
+
 def main() -> None:
     out_dir = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else pathlib.Path(".")
     out_dir.mkdir(parents=True, exist_ok=True)
     trace_demo(out_dir)
     export_demo(out_dir)
+    telemetry_demo(out_dir)
 
 
 if __name__ == "__main__":

@@ -8,12 +8,15 @@ Subcommands::
                 figure4, speculative, p2p, adaptive-quantum, scaling,
                 hierarchy, ablation-detection, ablation-manager,
                 ablation-tracked)
+    trace       summarize or validate a recorded telemetry trace
     list        list available workloads and experiments
 
 Examples::
 
     python -m repro run fft --scheme slack:8
     python -m repro run barnes --scheme adaptive:1e-3 --scale 2
+    python -m repro run fft --scheme adaptive:1e-3 --trace out.json --metrics m.json
+    python -m repro trace summarize out.json
     python -m repro compare water --bounds 0,4,None
     python -m repro experiment table2 --format csv
 """
@@ -106,15 +109,68 @@ def _print_report(report) -> None:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    telemetry = None
+    want_trace = bool(args.trace or args.trace_jsonl)
+    want_metrics = bool(args.metrics)
+    if want_trace or want_metrics:
+        from repro.telemetry import TelemetrySession
+
+        telemetry = TelemetrySession(
+            trace=want_trace,
+            metrics=True,
+            sample_period=args.sample_period,
+        )
     workload = make_workload(args.benchmark, num_threads=args.threads, scale=args.scale)
     simulation = Simulation(
         workload,
         scheme=args.scheme,
         detection=not args.no_detection,
         seed=args.seed,
+        telemetry=telemetry,
     )
     report = simulation.run()
     _print_report(report)
+    if telemetry is not None:
+        tracer = telemetry.tracer
+        if args.trace:
+            tracer.write_chrome(args.trace)
+            print(f"  trace             : {args.trace} "
+                  f"({len(tracer)} events, {tracer.dropped} dropped)")
+        if args.trace_jsonl:
+            tracer.write_jsonl(args.trace_jsonl)
+            print(f"  trace (jsonl)     : {args.trace_jsonl}")
+        if args.metrics:
+            telemetry.write_metrics(
+                args.metrics,
+                meta={
+                    "benchmark": report.benchmark,
+                    "scheme": report.scheme,
+                    "cores": report.num_cores,
+                    "seed": report.seed,
+                    "digest": report.digest(),
+                },
+            )
+            print(f"  metrics           : {args.metrics}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry import load_trace, summarize_trace, validate_chrome_trace
+
+    doc = load_trace(args.file)
+    if args.action == "validate":
+        errors = validate_chrome_trace(doc)
+        if errors:
+            for err in errors[:20]:
+                print(f"  {err}", file=sys.stderr)
+            if len(errors) > 20:
+                print(f"  ... and {len(errors) - 20} more", file=sys.stderr)
+            print(f"error: {args.file}: {len(errors)} validation errors",
+                  file=sys.stderr)
+            return 1
+        print(f"{args.file}: valid ({len(doc.get('traceEvents', []))} events)")
+        return 0
+    print(summarize_trace(doc))
     return 0
 
 
@@ -153,8 +209,11 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    from repro.harness.bench import run_bench
+    from repro.harness.bench import run_bench, run_telemetry_guard
 
+    if args.telemetry_guard:
+        run_telemetry_guard(golden_file=args.golden)
+        return 0
     run_bench(
         smoke=args.smoke,
         update_golden=args.update_golden,
@@ -192,6 +251,16 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--seed", type=int, default=12345)
     run_parser.add_argument("--no-detection", action="store_true",
                             help="disable violation detection (ablation A1)")
+    run_parser.add_argument("--trace", metavar="FILE",
+                            help="record a Chrome-trace/Perfetto JSON trace")
+    run_parser.add_argument("--trace-jsonl", metavar="FILE",
+                            help="record the trace as compact JSONL")
+    run_parser.add_argument("--metrics", metavar="FILE",
+                            help="write counters/histograms/samples as JSON")
+    run_parser.add_argument("--sample-period", type=int, default=1000,
+                            metavar="CYCLES",
+                            help="time-series sampling period in target "
+                                 "cycles (0 disables sampling)")
     run_parser.set_defaults(func=cmd_run)
 
     compare_parser = sub.add_parser("compare", help="compare slack bounds vs CC")
@@ -226,7 +295,18 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--profile-calls", action="store_true",
                               help="also cProfile the reference run and "
                                    "record its total function calls")
+    bench_parser.add_argument("--telemetry-guard", action="store_true",
+                              help="instead of the matrix, bound the "
+                                   "disabled-telemetry overhead on the "
+                                   "reference case (digest-checked)")
     bench_parser.set_defaults(func=cmd_bench)
+
+    trace_parser = sub.add_parser(
+        "trace", help="summarize or validate a recorded telemetry trace"
+    )
+    trace_parser.add_argument("action", choices=("summarize", "validate"))
+    trace_parser.add_argument("file", help="trace file (.json or .jsonl)")
+    trace_parser.set_defaults(func=cmd_trace)
 
     list_parser = sub.add_parser("list", help="list workloads and experiments")
     list_parser.set_defaults(func=cmd_list)

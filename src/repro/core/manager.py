@@ -39,6 +39,10 @@ from repro.sync.primitives import BarrierTable, LockTable, SyncTimingConfig
 _ARRIVAL_ORDER = attrgetter("host_time", "core_id")
 _TIMESTAMP_ORDER = attrgetter("ts", "core_id", "host_time")
 
+#: Telemetry labels per request kind (enum .name lookups are too slow for
+#: the per-event probe).
+_KIND_NAMES = {kind: kind.name.lower() for kind in RequestKind}
+
 
 class ServiceOutcome:
     """What one manager service step did (drives host-cost charging)."""
@@ -71,6 +75,10 @@ class ServiceOutcome:
 
 class ManagerState:
     """All manager-owned simulation state plus the service logic."""
+
+    #: Optional TelemetrySession (instance attr set by Simulation when a
+    #: session is attached; shared across snapshots, never deep-copied).
+    telemetry = None
 
     def __init__(
         self,
@@ -244,6 +252,9 @@ class ManagerState:
 
     def _serve_one(self, sim: SimulationState, msg: OutMsg) -> None:
         kind = msg.request.kind
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            tel.on_gq_event(_KIND_NAMES[kind])
         if kind == RequestKind.BUS:
             self._serve_bus(sim, msg)
         elif kind == RequestKind.IFETCH:
@@ -309,9 +320,13 @@ class ManagerState:
             targets = self.cache_map.apply_upgr(line, core_id)
             for target in targets:
                 self._push(sim, target, InMsg(InMsgKind.INVALIDATE, snoop_seen, line))
+            done = snoop_seen
             self._push(sim, core_id, InMsg(InMsgKind.FILL, snoop_seen, line, MesiState.MODIFIED))
         else:  # pragma: no cover - guarded by BusOpKind
             raise SimulationError(f"unexpected bus op {bus_op}")
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            tel.on_bus_grant(core_id, ts, grant, done, line, bus_op.name)
 
     def _serve_ifetch(self, sim: SimulationState, msg: OutMsg) -> None:
         """An instruction-line fetch: a read-only GETS over the bus.
@@ -328,6 +343,9 @@ class ManagerState:
         data_ready = grant + self.l2.access(line, at=grant)
         _, done = self.bus.schedule_response(data_ready)
         self._push(sim, core_id, InMsg(InMsgKind.IFILL, done, line))
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            tel.on_bus_grant(core_id, ts, grant, done, line, "IFETCH")
 
     def _serve_writeback(self, msg: OutMsg) -> None:
         line = msg.request.line_addr
@@ -347,6 +365,9 @@ class ManagerState:
             grant_ts = self._grant_floor
         if self._batch_grant_min is None or grant_ts < self._batch_grant_min:
             self._batch_grant_min = grant_ts
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            tel.on_sync_grant(core_id, grant_ts)
         self._push(sim, core_id, InMsg(InMsgKind.SYNC_GRANT, grant_ts))
 
     # ------------------------------------------------------------------ #

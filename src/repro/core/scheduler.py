@@ -62,6 +62,8 @@ class Scheduler:
         self.host = host
         self.contexts = [HostContext(i) for i in range(host.num_contexts)]
         self.stats = HostStats(host.num_contexts)
+        # Telemetry (host-side, observation only; None when not attached).
+        self._telemetry = getattr(sim, "telemetry", None)
 
         seed_root = SplitMix64(host.seed)
         self.threads: List[HostThread] = []
@@ -150,6 +152,7 @@ class Scheduler:
         num_cores = len(sim.state.cores)
         heap = self._heap
         controller = sim.controller  # fixed for the life of the Simulation
+        telemetry = self._telemetry
         idle_manager_steps = 0
         while True:
             state = sim.state
@@ -195,6 +198,12 @@ class Scheduler:
                 if not outcome.idle:
                     stats.manager_busy_ns += cost
                 stats.violations_observed += len(outcome.violations)
+                if telemetry is not None and telemetry.enabled:
+                    for violation in outcome.violations:
+                        telemetry.on_violation(violation)
+                    sampler = telemetry.sampler
+                    if sampler is not None:
+                        sampler.maybe_sample(self, outcome, context.clock)
                 if controller is not None:
                     controller.after_manager_step(self, outcome, context.clock)
                 self._wake_cores(context.clock)

@@ -90,6 +90,9 @@ class AdaptiveSlackPolicy(SchemePolicy):
         self.adjustments += 1
         self.bound = new_bound
         self.history.append((global_time, new_bound))
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            tel.on_window_adjust(self.kind, global_time, new_bound)
         return True
 
     def average_bound(self, global_time: int) -> float:

@@ -64,4 +64,7 @@ class AdaptiveQuantumPolicy(SchemePolicy):
         self.quantum = new_quantum
         self.adjustments += 1
         self.history.append((global_time, new_quantum))
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            tel.on_window_adjust(self.kind, global_time, new_quantum)
         return True

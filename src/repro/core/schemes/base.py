@@ -31,6 +31,11 @@ class SchemePolicy:
 
     barrier_sync: bool = False
     conservative_service: bool = False
+    #: Optional :class:`~repro.telemetry.TelemetrySession`, attached by
+    #: :class:`~repro.core.simulation.Simulation` when tracing is on.
+    #: Observation-only: policies may report window adjustments through it
+    #: but must never let it influence a control decision.
+    telemetry = None
     #: True for schemes whose :meth:`on_global_advance` actually consumes
     #: the per-core clock snapshot; the manager skips building it otherwise.
     wants_core_clocks: bool = False

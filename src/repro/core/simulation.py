@@ -43,6 +43,7 @@ from repro.cpu.core import CoreModel
 from repro.errors import ConfigError
 from repro.isa.program import ProgramInterpreter
 from repro.sync.primitives import SyncTimingConfig
+from repro.telemetry import TelemetrySession
 from repro.util import SplitMix64
 
 #: Default runaway-simulation guard, in target cycles.
@@ -62,11 +63,16 @@ class Simulation:
         checkpoint: Optional[CheckpointConfig] = None,
         sync_timing: Optional[SyncTimingConfig] = None,
         seed: int = 12345,
+        telemetry: Optional[TelemetrySession] = None,
     ) -> None:
         self.workload = workload
         self.target = target or paper_target_config()
         self.host = host or paper_host_config()
         self.seed = seed
+        # Telemetry is observation-only: probes never touch simulation
+        # state, RNG draws, or modeled host costs, so the report digest is
+        # identical whether a session is attached, disabled, or absent.
+        self.telemetry = telemetry
         self.scheme_config = scheme if scheme is not None else SlackConfig(bound=0)
 
         speculate = False
@@ -106,6 +112,15 @@ class Simulation:
         ]
         manager = ManagerState(self.target, detector, sync_timing)
         self.state = SimulationState(self.target, cores, manager, policy)
+
+        if telemetry is not None:
+            # Probe wiring: the session is shared (its __deepcopy__ returns
+            # self), so checkpoints snapshot around it, never through it.
+            telemetry.attach(self.target.num_cores)
+            manager.telemetry = telemetry
+            policy.telemetry = telemetry
+            for cs in cores:
+                cs.model.telemetry = telemetry
 
         self.controller: Optional[CheckpointController] = None
         if checkpoint is not None:

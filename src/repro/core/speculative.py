@@ -83,6 +83,9 @@ class CheckpointController:
         self.snapshot = take_snapshot(self.sim.state, 0, resume)
         scheduler.stats.checkpoints += 1
         scheduler.stats.checkpoint_cost_ns += cost
+        tel = self.sim.telemetry
+        if tel is not None and tel.enabled:
+            tel.on_checkpoint(resume - cost, cost, 0, pages)
         scheduler.wake_all(resume)
 
     def overrides(self) -> Dict[str, object]:
@@ -156,12 +159,19 @@ class CheckpointController:
         pages = sum(len(cs.model.pages_touched) for cs in self.sim.state.cores)
         cost = checkpoint_cost_ns(self.cost, pages)
         resume = scheduler.pause_all_contexts(cost)
+        tel = self.sim.telemetry
         if self.replaying:
             scheduler.stats.replay_target_cycles += self.config.interval
             self.replaying = False
+            if tel is not None and tel.enabled:
+                # Close the replay span before the checkpoint span opens so
+                # the controller track stays in timestamp order.
+                tel.on_replay_end(resume - cost)
         self.snapshot = take_snapshot(self.sim.state, self.next_boundary, resume)
         scheduler.stats.checkpoints += 1
         scheduler.stats.checkpoint_cost_ns += cost
+        if tel is not None and tel.enabled:
+            tel.on_checkpoint(resume - cost, cost, self.next_boundary, pages)
 
         self.records.append(self._current)
         start = self.next_boundary
@@ -185,6 +195,12 @@ class CheckpointController:
         self._throttle_after_rollback()
         resume = scheduler.pause_all_contexts(self.cost.rollback_ns)
         self.replaying = True
+        tel = self.sim.telemetry
+        if tel is not None and tel.enabled:
+            tel.on_rollback(
+                resume - self.cost.rollback_ns, self.cost.rollback_ns,
+                outcome.global_time, wasted,
+            )
         scheduler.wake_all(resume)
 
     def _throttle_after_rollback(self) -> None:

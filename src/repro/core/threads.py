@@ -29,6 +29,11 @@ _HIT = L1Outcome.HIT
 _MISS = L1Outcome.MISS
 _MERGED = L1Outcome.MERGED
 _BUS = RequestKind.BUS
+_LOCK_ACQ = RequestKind.LOCK_ACQUIRE
+_BARRIER_ARR = RequestKind.BARRIER_ARRIVE
+
+#: Telemetry labels per request kind (see repro.telemetry).
+_KIND_NAMES = {kind: kind.name.lower() for kind in RequestKind}
 
 
 class StepResult:
@@ -72,6 +77,9 @@ class CoreRunner:
         # preserved across rollback snapshots), so the per-step barrier
         # check can cache it instead of re-deriving it from the state.
         self._barrier_static = sim.state.scheme.barrier_sync
+        # Telemetry (host-side, observation only; None when not attached).
+        self._tel = getattr(sim, "telemetry", None)
+        self._sync_wait_start: Optional[int] = None
 
     @property
     def name(self) -> str:
@@ -180,6 +188,9 @@ class CoreRunner:
                             m * (core_cycle_ns + slack_check_ns)
                             + instrs * per_instruction_ns
                         )
+                        tel = self._tel
+                        if tel is not None and tel.enabled:
+                            tel.on_compute_burst(self.index, local, m, instrs)
                         continue
 
             if fast_pipeline:
@@ -265,6 +276,15 @@ class CoreRunner:
                 for request in outbox:
                     cs.outq.append(OutMsg(self.index, local, host_now + cost, request))
                     cost += per_mem_event_ns
+                tel = self._tel
+                if tel is not None and tel.enabled:
+                    for request in outbox:
+                        kind = request.kind
+                        tel.on_core_request(
+                            self.index, local, _KIND_NAMES[kind], request.line_addr
+                        )
+                        if kind is _LOCK_ACQ or kind is _BARRIER_ARR:
+                            self._sync_wait_start = local
                 outbox.clear()
             cs.local_time = local + 1
             cycles += 1
@@ -291,6 +311,9 @@ class CoreRunner:
         at_limit = max_local is not None and cs.local_time >= max_local
         blocked = at_limit or (model.waiting_sync and not inq)
         if blocked and at_limit:
+            tel = self._tel
+            if tel is not None and tel.enabled:
+                tel.on_slack_stall(self.index, cs.local_time, max_local)
             # Window edges synchronize with a heavyweight barrier under
             # cycle-by-cycle/quantum schemes and during the forced
             # cycle-by-cycle replay after a speculative rollback.
@@ -316,9 +339,16 @@ class CoreRunner:
         cost = 0.0
         while cs.inq and cs.model.waiting_sync:
             msg = cs.inq.popleft()
-            if msg.kind == InMsgKind.SYNC_GRANT and msg.ts > cs.local_time:
-                cs.model.skip_stall_cycles(msg.ts - cs.local_time)
-                cs.local_time = msg.ts
+            if msg.kind == InMsgKind.SYNC_GRANT:
+                if msg.ts > cs.local_time:
+                    cs.model.skip_stall_cycles(msg.ts - cs.local_time)
+                    cs.local_time = msg.ts
+                tel = self._tel
+                if tel is not None and tel.enabled:
+                    start = self._sync_wait_start
+                    if start is not None:
+                        tel.on_sync_wait(self.index, start, msg.ts)
+                        self._sync_wait_start = None
             self._apply(cs, msg)
             cost += self.cost.per_mem_event_ns
         return cost
@@ -336,6 +366,9 @@ class CoreRunner:
         skip = target - cs.local_time
         if skip <= 0:
             return 0.0
+        tel = self._tel
+        if tel is not None and tel.enabled:
+            tel.on_stall_skip(self.index, cs.local_time, skip)
         cs.model.skip_stall_cycles(skip)
         cs.local_time += skip
         per_cycle = self.cost.stall_cycle_ns + self.cost.slack_check_ns
@@ -375,6 +408,7 @@ class ManagerRunner:
         self.cost = host.cost
         self.direct_cores = direct_cores  # None = drain every core
         self._result = StepResult(0.0)
+        self._tel = getattr(sim, "telemetry", None)
 
     def step(self, host_now: float) -> StepResult:
         sim = self.sim
@@ -401,6 +435,13 @@ class ManagerRunner:
             cost += cost_model.adaptive_adjust_ns
         if outcome.idle:
             cost += self.host.manager_poll_ns
+        else:
+            tel = self._tel
+            if tel is not None and tel.enabled:
+                tel.on_manager_service(
+                    host_now, cost, served, outcome.events_merged,
+                    outcome.global_time,
+                )
         result = self._result
         result.cost_ns = cost
         result.blocked = False

@@ -96,6 +96,11 @@ _CODE_BASE = 0x0800_0000
 class CoreModel:
     """One target core plus its private L1 (the unit one core thread owns)."""
 
+    #: Optional :class:`~repro.telemetry.TelemetrySession`, attached by the
+    #: simulation façade.  The session deep-copies as itself, so checkpoint
+    #: snapshots of this model share the live session rather than forking it.
+    telemetry = None
+
     def __init__(
         self,
         core_id: int,
@@ -441,6 +446,9 @@ class CoreModel:
 
     def complete_fill(self, line_addr: int, state: MesiState) -> None:
         """A bus transaction for ``line_addr`` completed; fill the L1."""
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            tel.on_fill(self.core_id)
         victim_addr, victim_dirty = self.l1.fill(line_addr, state)
         if victim_dirty and victim_addr is not None:
             self.outbox.append(CoreRequest(RequestKind.WRITEBACK, line_addr=victim_addr))
@@ -455,6 +463,9 @@ class CoreModel:
 
     def complete_sync(self) -> None:
         """A lock grant or barrier release arrived; resume the pipeline."""
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            tel.on_sync_resume(self.core_id)
         self.waiting_sync = False
 
     def complete_ifill(self, line_addr: int) -> None:

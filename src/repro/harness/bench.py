@@ -20,6 +20,7 @@ simulation-semantics change).
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import time
 from typing import Dict, List, Optional
@@ -33,6 +34,7 @@ from repro.config import (
     paper_target_config,
 )
 from repro.core.simulation import Simulation
+from repro.telemetry import TelemetrySession
 from repro.workloads import make_workload
 
 #: Scheme factories for the benchmark matrix.  Factories (not instances)
@@ -94,7 +96,9 @@ def smoke_matrix() -> List[BenchCase]:
     ]
 
 
-def run_case(case: BenchCase) -> Dict[str, object]:
+def run_case(
+    case: BenchCase, telemetry: Optional[TelemetrySession] = None
+) -> Dict[str, object]:
     """Run one cell; return its measurement record."""
     workload = make_workload(_BENCHMARK, num_threads=case.cores, scale=case.scale)
     simulation = Simulation(
@@ -102,6 +106,7 @@ def run_case(case: BenchCase) -> Dict[str, object]:
         scheme=case.scheme_config(),
         target=paper_target_config(num_cores=case.cores),
         seed=_SEED,
+        telemetry=telemetry,
     )
     start = time.perf_counter()
     report = simulation.run()
@@ -197,6 +202,78 @@ def run_bench(
             + ", ".join(drifted)
             + " — simulation results changed; if intentional, rerun with "
             "--update-golden"
+        )
+    return doc
+
+
+#: Default ceiling for disabled-telemetry overhead on the reference case.
+#: Override with ``REPRO_TELEMETRY_GUARD_THRESHOLD`` (a ratio, e.g. 1.08)
+#: when a CI host is too noisy for the default.
+TELEMETRY_GUARD_THRESHOLD = 1.05
+
+
+def run_telemetry_guard(
+    threshold: Optional[float] = None,
+    repeats: int = 2,
+    golden_file: Optional[str] = None,
+) -> Dict[str, object]:
+    """Bound the cost of *disabled* telemetry on the reference case.
+
+    Probe sites stay in the hot loop even when no session is attached, so
+    this guard times the reference run both ways — ``telemetry=None``
+    versus an attached-but-disabled :class:`TelemetrySession` — taking the
+    best of ``repeats`` walls each to damp scheduler noise.  Both variants
+    are digest-checked against the golden matrix; the guard fails (raises
+    :class:`SystemExit`) on digest drift or when the disabled/baseline
+    wall ratio exceeds the threshold.
+    """
+    if threshold is None:
+        threshold = float(
+            os.environ.get(
+                "REPRO_TELEMETRY_GUARD_THRESHOLD", TELEMETRY_GUARD_THRESHOLD
+            )
+        )
+    case = BenchCase(**REFERENCE_CASE)
+    golden = load_golden(
+        pathlib.Path(golden_file) if golden_file else golden_path()
+    )
+    expected = golden.get(case.case_id)
+
+    def best_of(make_session) -> Dict[str, object]:
+        best = None
+        for _ in range(repeats):
+            record = run_case(case, telemetry=make_session())
+            if expected is not None and record["digest"] != expected:
+                raise SystemExit(
+                    f"telemetry guard: digest drift on {case.case_id} "
+                    f"({record['digest']} != golden {expected})"
+                )
+            if best is None or record["wall_s"] < best["wall_s"]:
+                best = record
+        return best
+
+    baseline = best_of(lambda: None)
+    disabled = best_of(TelemetrySession.disabled)
+    ratio = (
+        disabled["wall_s"] / baseline["wall_s"] if baseline["wall_s"] > 0 else 1.0
+    )
+    doc = {
+        "case": case.case_id,
+        "baseline_wall_s": baseline["wall_s"],
+        "disabled_wall_s": disabled["wall_s"],
+        "overhead_ratio": ratio,
+        "threshold": threshold,
+        "digest_checked": expected is not None,
+    }
+    print(
+        f"  telemetry guard: baseline {baseline['wall_s']:.2f}s, "
+        f"disabled {disabled['wall_s']:.2f}s, "
+        f"overhead {100.0 * (ratio - 1.0):+.1f}% (limit +{100.0 * (threshold - 1.0):.0f}%)"
+    )
+    if ratio > threshold:
+        raise SystemExit(
+            f"telemetry guard: disabled-telemetry overhead {ratio:.3f}x exceeds "
+            f"{threshold:.3f}x on {case.case_id}"
         )
     return doc
 

@@ -8,6 +8,7 @@ external plotting.
 
 from __future__ import annotations
 
+import itertools
 import json
 import math
 from typing import List, Optional, Sequence, Tuple
@@ -56,9 +57,11 @@ def ascii_scatter(
 ) -> str:
     """Render labelled point series as an ASCII scatter plot.
 
-    Multiple series get distinct markers with a legend.  ``log_x`` uses a
-    log10 x-axis (useful for violation rates spanning decades; zero x
-    values are clamped to the smallest positive point).
+    Multiple series get distinct markers with a legend (markers cycle when
+    there are more series than markers).  ``log_x`` uses a log10 x-axis
+    (useful for violation rates spanning decades; non-positive x values
+    are clamped to half the smallest positive x across *all* series, so
+    every series shares one axis transform).
     """
     points = [(x, y) for _, pts in series for x, y in pts]
     if not points:
@@ -77,16 +80,16 @@ def ascii_scatter(
     y_span = (y_hi - y_lo) or 1.0
 
     grid = [[" "] * width for _ in range(height)]
-    flat_index = 0
-    for (label, pts), marker in zip(series, _MARKERS):
+    for (label, pts), marker in zip(series, itertools.cycle(_MARKERS)):
         for x, y in pts:
             if log_x:
-                positive = [p for p, _ in ((a, b) for a, b in pts) if p > 0]
-                x = math.log10(max(x, (min(positive) / 2) if positive else 1e-9))
+                # Same global floor as the axis-range pass above: a
+                # per-series floor would place equal x values in
+                # different columns depending on their series.
+                x = math.log10(max(x, floor))
             col = int((x - x_lo) / x_span * (width - 1))
             row = int((y - y_lo) / y_span * (height - 1))
             grid[height - 1 - row][col] = marker
-            flat_index += 1
 
     lines = []
     if title:
@@ -100,7 +103,8 @@ def ascii_scatter(
     axis = f"{x_lo_label} {'<- ' + x_label + ' ->':^{width - 8}} {x_hi_label}"
     lines.append(" " * 12 + axis)
     legend = "   ".join(
-        f"{marker}={label}" for (label, _), marker in zip(series, _MARKERS)
+        f"{marker}={label}"
+        for (label, _), marker in zip(series, itertools.cycle(_MARKERS))
     )
     lines.append(" " * 12 + f"[{y_label}]  " + legend)
     return "\n".join(lines)

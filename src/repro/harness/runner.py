@@ -47,8 +47,16 @@ class ExperimentRunner:
         scale: float = 1.0,
         checkpoint: Optional[CheckpointConfig] = None,
         detection: bool = True,
+        telemetry=None,
     ) -> SimulationReport:
-        """Run (or fetch from cache) one configuration."""
+        """Run (or fetch from cache) one configuration.
+
+        When a :class:`~repro.telemetry.TelemetrySession` is supplied the
+        cache is bypassed entirely: a memoized report carries no trace, and
+        the caller attached the session precisely to observe a fresh run.
+        Telemetry never changes the report (digest-invariance contract), so
+        skipping the cache write would only waste the run — it is kept.
+        """
         key = (
             benchmark,
             scale,
@@ -57,9 +65,10 @@ class ExperimentRunner:
             detection,
             self.seed,
         )
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
+        if telemetry is None:
+            cached = self._cache.get(key)
+            if cached is not None:
+                return cached
         workload = make_workload(benchmark, num_threads=self.num_threads, scale=scale)
         simulation = Simulation(
             workload,
@@ -69,6 +78,7 @@ class ExperimentRunner:
             checkpoint=checkpoint,
             detection=detection,
             seed=self.seed,
+            telemetry=telemetry,
         )
         report = simulation.run()
         self._cache[key] = report

@@ -1,0 +1,194 @@
+"""Metrics instruments: counters, gauges, histograms, and their registry.
+
+The design constraint is the PR-1 hot loop: a probe site that fires
+millions of times per run must cost near zero when telemetry is off.  Two
+layers provide that:
+
+- probe sites guard on ``session is not None and session.enabled`` (a
+  couple of attribute loads) before touching any instrument;
+- code that holds an instrument reference unconditionally can be handed
+  the :data:`NULL_REGISTRY`, whose instruments are shared no-op objects,
+  so the reference stays valid and every call is a cheap no-op.
+
+Instruments are host-side accounting: they are never part of the
+snapshot-able :class:`~repro.core.state.SimulationState` and are never
+rolled back (mirroring :class:`~repro.core.scheduler.HostStats`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_REGISTRY",
+]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+#: Default histogram bucket upper bounds: powers of two up to 64K plus a
+#: catch-all — wide enough for cycle latencies and batch sizes alike.
+_DEFAULT_BUCKETS = tuple(2 ** i for i in range(17))
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative-style, like Prometheus).
+
+    ``buckets`` are inclusive upper bounds in ascending order; one
+    implicit +inf bucket catches the rest.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "total", "count")
+
+    def __init__(self, name: str, buckets: Optional[Sequence[float]] = None) -> None:
+        self.name = name
+        self.buckets = tuple(buckets) if buckets is not None else _DEFAULT_BUCKETS
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.total += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class _NullInstrument:
+    """Shared no-op stand-in for every instrument kind."""
+
+    __slots__ = ()
+    name = "null"
+    value = 0
+    total = 0.0
+    count = 0
+    buckets: tuple = ()
+    counts: List[int] = []
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def mean(self) -> float:
+        return 0.0
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Creates and holds named instruments; renders them as plain data.
+
+    Instrument accessors are idempotent: asking twice for the same name
+    returns the same object (so probe sites can pre-bind references).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(self, name: str, buckets: Optional[Sequence[float]] = None) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram(name, buckets)
+        return inst
+
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        """Plain-data (JSON-serializable) view of every instrument."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: {
+                    "buckets": list(h.buckets),
+                    "counts": list(h.counts),
+                    "sum": h.total,
+                    "count": h.count,
+                    "mean": h.mean(),
+                }
+                for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def __deepcopy__(self, memo) -> "MetricsRegistry":
+        # Host-side accounting is shared, never checkpointed/rolled back.
+        return self
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """A registry whose instruments are shared no-ops (disabled sink)."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, buckets=None):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+
+#: Shared disabled registry: hand this out wherever a real one is absent.
+NULL_REGISTRY = NullMetricsRegistry()

@@ -1,0 +1,113 @@
+"""Periodic time-series sampler for a running simulation.
+
+Pac-Sim-style live monitoring: every ``period`` target cycles (checked
+after each manager service step, the natural heartbeat of the paradigm)
+one row of simulation dynamics is appended — violation rate, the adaptive
+slack-bound trajectory, global-time progress, and scheduler queue depths.
+Rows are plain tuples; the whole series exports as a columns+rows table
+inside the metrics document.
+
+The sampler only *reads* simulation state.  It is host-side: samples
+taken inside a speculative interval that later rolls back are kept (they
+describe what the simulation actually did, wasted work included).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+__all__ = ["Sampler", "SAMPLE_COLUMNS"]
+
+#: Column names, in row order.
+SAMPLE_COLUMNS = (
+    "global_time",
+    "host_ns",
+    "violations_total",
+    "violation_rate",
+    "window",
+    "gq_depth",
+    "inq_total",
+    "outq_total",
+    "ready_threads",
+    "events_served",
+    "checkpoints",
+    "rollbacks",
+)
+
+
+class Sampler:
+    """Collects one metrics row every ``period`` target cycles."""
+
+    __slots__ = ("period", "rows", "_next_at")
+
+    def __init__(self, period: int = 1000) -> None:
+        if period <= 0:
+            raise ValueError("sample period must be positive")
+        self.period = period
+        self.rows: List[Tuple] = []
+        self._next_at = 0  # sample immediately on the first heartbeat
+
+    def maybe_sample(self, scheduler, outcome, host_now: float) -> bool:
+        """Record a row if the sampling period has elapsed.
+
+        Called after every manager service step with the step's
+        :class:`~repro.core.manager.ServiceOutcome`; returns True when a
+        row was recorded.
+        """
+        global_time = outcome.global_time
+        if global_time < self._next_at:
+            return False
+        self._next_at = global_time + self.period
+        self._sample(scheduler, global_time, host_now)
+        return True
+
+    def _sample(self, scheduler, global_time: int, host_now: float) -> None:
+        state = scheduler.sim.state
+        manager = state.manager
+        detector = manager.detector
+        violations = detector.total
+        window = state.scheme.window()
+        inq_total = 0
+        outq_total = 0
+        for cs in state.cores:
+            inq_total += len(cs.inq)
+            outq_total += len(cs.outq)
+        stats = scheduler.stats
+        self.rows.append(
+            (
+                global_time,
+                host_now,
+                violations,
+                violations / global_time if global_time > 0 else 0.0,
+                window,  # None = unbounded slack
+                len(manager.gq),
+                inq_total,
+                outq_total,
+                len(scheduler._heap),
+                manager.events_served,
+                stats.checkpoints,
+                stats.rollbacks,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        """The series as a JSON-serializable columns+rows table."""
+        return {
+            "period": self.period,
+            "columns": list(SAMPLE_COLUMNS),
+            "rows": [list(row) for row in self.rows],
+        }
+
+    def series(self, column: str) -> List[Tuple[int, Optional[float]]]:
+        """One column as ``(global_time, value)`` pairs (for plotting)."""
+        index = SAMPLE_COLUMNS.index(column)
+        return [(row[0], row[index]) for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __deepcopy__(self, memo) -> "Sampler":
+        # Host-side recording is shared, never checkpointed/rolled back.
+        return self

@@ -1,0 +1,300 @@
+"""Event tracer: per-thread spans exported as Chrome trace / Perfetto JSON.
+
+Two synthetic trace "processes" separate the simulation's two clock
+domains (open either in Perfetto or ``chrome://tracing``):
+
+- **pid 1 — target**: the simulated CMP's timeline in target cycles
+  (rendered as microseconds: 1 cycle = 1 us tick).  One track per core
+  carries compute bursts, L1 miss requests, stall skips, slack stalls,
+  and sync waits; the manager track carries bus grants, sync grants,
+  violations, and global-time counters.
+- **pid 2 — host**: the *modeled* host timeline in nanoseconds
+  (``ts`` in microseconds).  Manager service spans and the
+  checkpoint/rollback/replay spans of the speculative controller live
+  here.
+
+Events are buffered as compact tuples and serialized on export, so the
+recording cost per event is an append.  A hard ``max_events`` cap bounds
+memory; dropped events are *counted*, never silently discarded
+(``dropped`` lands in the exported metadata).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Tracer",
+    "PID_TARGET",
+    "PID_HOST",
+    "TID_MANAGER",
+    "TID_CONTROLLER",
+    "load_trace",
+    "validate_chrome_trace",
+    "summarize_trace",
+]
+
+#: Synthetic process ids (clock domains).
+PID_TARGET = 1
+PID_HOST = 2
+
+#: Synthetic thread ids for non-core tracks (cores use their core id).
+TID_MANAGER = 1000
+TID_CONTROLLER = 1001
+
+#: Schema tag written into exported documents.
+TRACE_SCHEMA = "repro.telemetry.trace/v1"
+
+#: Phases we emit (and accept in validation): complete, instant, counter,
+#: and metadata.
+_KNOWN_PHASES = frozenset("XiCM")
+
+
+class Tracer:
+    """Records trace events; exports Chrome-trace JSON and JSONL."""
+
+    __slots__ = ("events", "max_events", "dropped", "_thread_names")
+
+    def __init__(self, max_events: int = 2_000_000) -> None:
+        #: Buffered events: (ph, pid, tid, name, ts, dur, args) tuples.
+        self.events: List[Tuple] = []
+        self.max_events = max_events
+        self.dropped = 0
+        self._thread_names: Dict[Tuple[int, int], str] = {}
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
+    def set_thread_name(self, pid: int, tid: int, name: str) -> None:
+        self._thread_names[(pid, tid)] = name
+
+    def complete(
+        self,
+        pid: int,
+        tid: int,
+        name: str,
+        ts: float,
+        dur: float,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record a complete span (``ph: X``)."""
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(("X", pid, tid, name, ts, dur, args))
+
+    def instant(
+        self, pid: int, tid: int, name: str, ts: float, args: Optional[dict] = None
+    ) -> None:
+        """Record an instant event (``ph: i``)."""
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(("i", pid, tid, name, ts, None, args))
+
+    def counter(self, pid: int, tid: int, name: str, ts: float, values: dict) -> None:
+        """Record a counter sample (``ph: C``)."""
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(("C", pid, tid, name, ts, None, values))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __deepcopy__(self, memo) -> "Tracer":
+        # Host-side recording is shared, never checkpointed/rolled back.
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+
+    def _iter_chrome_events(self) -> Iterable[dict]:
+        for (pid, tid), name in sorted(self._thread_names.items()):
+            yield {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        for ph, pid, tid, name, ts, dur, args in self.events:
+            event = {"ph": ph, "pid": pid, "tid": tid, "name": name, "ts": ts}
+            if dur is not None:
+                event["dur"] = dur
+            if args is not None:
+                event["args"] = args
+            if ph == "i":
+                event["s"] = "t"  # thread-scoped instant
+            yield event
+
+    def chrome_doc(self) -> dict:
+        """The trace as a Chrome-trace JSON object (Perfetto-loadable)."""
+        events = [
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": PID_TARGET,
+                "tid": 0,
+                "args": {"name": "target (cycles)"},
+            },
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": PID_HOST,
+                "tid": 0,
+                "args": {"name": "host (modeled)"},
+            },
+        ]
+        events.extend(self._iter_chrome_events())
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "schema": TRACE_SCHEMA,
+                "recorded_events": len(self.events),
+                "dropped_events": self.dropped,
+            },
+        }
+
+    def write_chrome(self, path) -> None:
+        """Write the Chrome-trace JSON document to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.chrome_doc(), fh, separators=(",", ":"))
+            fh.write("\n")
+
+    def write_jsonl(self, path) -> None:
+        """Write a compact JSONL stream: header line, then one event/line."""
+        with open(path, "w", encoding="utf-8") as fh:
+            header = {
+                "schema": TRACE_SCHEMA,
+                "recorded_events": len(self.events),
+                "dropped_events": self.dropped,
+            }
+            fh.write(json.dumps(header, separators=(",", ":")) + "\n")
+            for event in self._iter_chrome_events():
+                fh.write(json.dumps(event, separators=(",", ":")) + "\n")
+
+
+# ---------------------------------------------------------------------- #
+# Loading / validation / summary (used by ``repro trace`` and the tests)
+# ---------------------------------------------------------------------- #
+
+
+def load_trace(path) -> dict:
+    """Load a trace file written by :class:`Tracer` (JSON or JSONL)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        first = fh.read(1)
+        fh.seek(0)
+        if first == "{":
+            try:
+                return json.load(fh)
+            except json.JSONDecodeError:
+                fh.seek(0)
+        events = []
+        meta: dict = {}
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if "ph" in record:
+                events.append(record)
+            else:
+                meta = record
+        return {"traceEvents": events, "otherData": meta}
+
+
+def validate_chrome_trace(doc: dict) -> List[str]:
+    """Structural validation; returns a list of error strings (empty = ok).
+
+    Checks the Chrome-trace contract every consumer relies on: a
+    ``traceEvents`` list whose entries carry ``ph``/``name``/``pid``/
+    ``tid`` (plus numeric ``ts`` and non-negative ``dur`` where the phase
+    requires them), and — for the host process, whose modeled clock is
+    monotone per thread — that spans are emitted in non-decreasing
+    timestamp order per thread.
+    """
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["trace document is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    last_host_ts: Dict[Tuple[object, object], float] = {}
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if not isinstance(ph, str) or ph not in _KNOWN_PHASES:
+            errors.append(f"{where}: bad or unknown ph {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str):
+            errors.append(f"{where}: missing name")
+        if "pid" not in event or "tid" not in event:
+            errors.append(f"{where}: missing pid/tid")
+            continue
+        if ph == "M":
+            continue  # metadata carries no timestamp
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            errors.append(f"{where}: missing or non-numeric ts")
+            continue
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: X event needs dur >= 0 (got {dur!r})")
+            if event["pid"] == PID_HOST:
+                key = (event["pid"], event["tid"])
+                last = last_host_ts.get(key)
+                if last is not None and ts < last:
+                    errors.append(
+                        f"{where}: host span ts went backwards on tid "
+                        f"{event['tid']} ({ts} < {last})"
+                    )
+                else:
+                    last_host_ts[key] = ts
+    return errors
+
+
+def summarize_trace(doc: dict) -> str:
+    """Human-readable roll-up of a trace document."""
+    events = doc.get("traceEvents", [])
+    meta = doc.get("otherData", {})
+    by_name: Dict[str, int] = {}
+    span_time: Dict[str, float] = {}
+    threads: Dict[Tuple[object, object], int] = {}
+    ts_lo: Optional[float] = None
+    ts_hi: Optional[float] = None
+    for event in events:
+        ph = event.get("ph")
+        if ph == "M":
+            continue
+        name = event.get("name", "?")
+        by_name[name] = by_name.get(name, 0) + 1
+        key = (event.get("pid"), event.get("tid"))
+        threads[key] = threads.get(key, 0) + 1
+        ts = event.get("ts")
+        if isinstance(ts, (int, float)):
+            ts_lo = ts if ts_lo is None or ts < ts_lo else ts_lo
+            end = ts + event.get("dur", 0) if ph == "X" else ts
+            ts_hi = end if ts_hi is None or end > ts_hi else ts_hi
+        if ph == "X":
+            span_time[name] = span_time.get(name, 0.0) + event.get("dur", 0)
+    lines = [
+        f"events   : {sum(by_name.values())} "
+        f"({meta.get('dropped_events', 0)} dropped at record time)",
+        f"threads  : {len(threads)}",
+        f"timespan : {ts_lo if ts_lo is not None else '-'} .. "
+        f"{ts_hi if ts_hi is not None else '-'}",
+        "by event name:",
+    ]
+    for name in sorted(by_name, key=lambda n: -by_name[n]):
+        extra = f"  (total dur {span_time[name]:.1f})" if name in span_time else ""
+        lines.append(f"  {name:<20} {by_name[name]:>9}{extra}")
+    return "\n".join(lines)

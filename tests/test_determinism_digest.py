@@ -49,7 +49,7 @@ CASES = {
 }
 
 
-def run_case(name: str):
+def run_case(name: str, telemetry=None):
     """One small-but-busy run: 4 cores, shared lines, barriers."""
     workload = make_workload(
         "synthetic", num_threads=4, steps=60, shared_lines=8, barrier_every=20
@@ -60,6 +60,7 @@ def run_case(name: str):
         target=quick_target_config(num_cores=4),
         host=HostConfig(num_contexts=4),
         seed=99,
+        telemetry=telemetry,
     ).run()
 
 
@@ -76,6 +77,25 @@ def test_digest_matches_golden(name, golden):
         "(digest mismatch) — the determinism contract requires perf work "
         "to be bit-for-bit result-preserving"
     )
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_digest_invariant_under_telemetry(name, golden):
+    """Telemetry is observation-only: attaching a full recording session
+    (or a disabled one) must not perturb the report digest for any
+    scheme kind — probes read state, never mutate it, draw no RNG, and
+    charge no modeled host time."""
+    from repro.telemetry import TelemetrySession
+
+    recording = TelemetrySession(sample_period=100)
+    assert run_case(name, telemetry=recording).digest() == golden[name], (
+        f"scheme {name!r}: an enabled telemetry session changed results"
+    )
+    assert run_case(name, telemetry=TelemetrySession.disabled()).digest() == golden[name], (
+        f"scheme {name!r}: a disabled telemetry session changed results"
+    )
+    # The recording session actually observed the run (not a silent no-op).
+    assert recording.metrics.to_dict()["counters"]
 
 
 def test_digest_is_reproducible():

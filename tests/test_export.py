@@ -68,3 +68,33 @@ class TestAsciiScatter:
     def test_single_point(self):
         plot = ascii_scatter([("s", [(1.0, 1.0)])], width=20, height=5)
         assert "o" in plot
+
+    def test_log_x_floor_is_global_across_series(self):
+        # Regression: the plot loop used to recompute the zero-clamp floor
+        # per series, so a zero in a series whose smallest positive x
+        # differed from the global one landed in a different column than
+        # an identical zero in another series.
+        width, height = 41, 9
+        plot_a = ascii_scatter(
+            [("a", [(0.0, 0.0), (0.001, 1.0), (1.0, 2.0)]),
+             ("b", [(0.0, 0.0), (0.1, 1.0)])],
+            width=width, height=height, log_x=True,
+        )
+        rows = [line for line in plot_a.splitlines() if line.lstrip().startswith("|")]
+        bottom = rows[-1]  # both zeros have y == 0 -> bottom grid row
+        # The later series plots over the earlier one: both zero-x points
+        # clamp to the same (global-floor) column, so only "b"'s marker
+        # survives there and "a"'s zero marker is gone from that row.
+        assert "x" in bottom and "o" not in bottom
+
+    def test_more_series_than_markers_cycles(self):
+        # Regression: zip(series, _MARKERS) silently dropped series (and
+        # legend entries) beyond the 8 available markers.
+        many = [(f"s{i}", [(float(i), float(i))]) for i in range(10)]
+        plot = ascii_scatter(many, width=40, height=12)
+        for i in range(10):
+            assert f"s{i}" in plot  # complete legend
+        # Markers wrap around: series 8 and 9 reuse the first two markers.
+        legend_line = plot.splitlines()[-1]
+        assert "o=s0" in legend_line and "o=s8" in legend_line
+        assert "x=s1" in legend_line and "x=s9" in legend_line

@@ -1,0 +1,237 @@
+"""Tests for the repro.telemetry subsystem.
+
+Covers the three layers (metrics, tracer, sampler) plus the hard
+contracts: valid Chrome-trace structure with monotone host spans,
+bounded memory with counted drops, a disabled session being a pure
+no-op, and the ``repro trace`` CLI round trip.  (Digest invariance
+under telemetry is asserted per scheme in test_determinism_digest.py.)
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro import HostConfig, Simulation
+from repro.cli import main
+from repro.config import (
+    AdaptiveConfig,
+    CheckpointConfig,
+    SlackConfig,
+    SpeculativeConfig,
+    quick_target_config,
+)
+from repro.telemetry import (
+    PID_HOST,
+    PID_TARGET,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    Sampler,
+    TelemetrySession,
+    Tracer,
+    load_trace,
+    summarize_trace,
+    validate_chrome_trace,
+)
+from repro.workloads import make_workload
+
+
+def run_with(telemetry, scheme=None, **workload_kwargs):
+    workload_kwargs.setdefault("steps", 60)
+    workload_kwargs.setdefault("shared_lines", 8)
+    workload_kwargs.setdefault("barrier_every", 20)
+    workload = make_workload("synthetic", num_threads=4, **workload_kwargs)
+    return Simulation(
+        workload,
+        scheme=scheme or SlackConfig(bound=4),
+        target=quick_target_config(num_cores=4),
+        host=HostConfig(num_contexts=4),
+        seed=99,
+        telemetry=telemetry,
+    ).run()
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.counter("a").inc(4)
+        reg.gauge("g").set(2.5)
+        reg.histogram("h").observe(3)
+        reg.histogram("h").observe(100_000_000)  # lands in the +inf bucket
+        doc = reg.to_dict()
+        assert doc["counters"]["a"] == 5
+        assert doc["gauges"]["g"] == 2.5
+        assert doc["histograms"]["h"]["count"] == 2
+        assert doc["histograms"]["h"]["counts"][-1] == 1
+
+    def test_accessors_are_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_null_registry_is_noop(self):
+        reg = NullMetricsRegistry()
+        reg.counter("a").inc(10)
+        reg.histogram("h").observe(1)
+        assert reg.to_dict()["counters"] == {}
+
+    def test_deepcopy_shares(self):
+        reg = MetricsRegistry()
+        assert copy.deepcopy(reg) is reg
+
+
+class TestTracer:
+    def test_event_cap_counts_drops(self):
+        tracer = Tracer(max_events=2)
+        for i in range(5):
+            tracer.instant(PID_TARGET, 0, "e", i)
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+        doc = tracer.chrome_doc()
+        assert doc["otherData"]["dropped_events"] == 3
+
+    def test_chrome_doc_structure(self):
+        tracer = Tracer()
+        tracer.set_thread_name(PID_TARGET, 0, "core 0")
+        tracer.complete(PID_TARGET, 0, "span", 10, 5, {"k": 1})
+        tracer.instant(PID_TARGET, 0, "tick", 12)
+        doc = tracer.chrome_doc()
+        assert validate_chrome_trace(doc) == []
+        names = [e["name"] for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert "process_name" in names and "thread_name" in names
+        span = next(e for e in doc["traceEvents"] if e["ph"] == "X")
+        assert span["ts"] == 10 and span["dur"] == 5 and span["args"] == {"k": 1}
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        tracer = Tracer()
+        tracer.complete(PID_HOST, 1, "svc", 1.0, 2.0)
+        tracer.instant(PID_TARGET, 0, "tick", 3)
+        path = tmp_path / "t.jsonl"
+        tracer.write_jsonl(path)
+        doc = load_trace(path)
+        assert validate_chrome_trace(doc) == []
+        assert doc["otherData"]["recorded_events"] == 2
+        assert {e["name"] for e in doc["traceEvents"] if e["ph"] != "M"} == {
+            "svc", "tick",
+        }
+
+    def test_validate_catches_corruption(self):
+        bad = {
+            "traceEvents": [
+                {"ph": "Z", "pid": 1, "tid": 0, "name": "e", "ts": 0},
+                {"ph": "X", "pid": 1, "tid": 0, "name": "e", "ts": 0, "dur": -1},
+                {"ph": "i", "pid": 1, "tid": 0, "name": "e"},
+                {"ph": "X", "pid": PID_HOST, "tid": 0, "name": "a", "ts": 5, "dur": 1},
+                {"ph": "X", "pid": PID_HOST, "tid": 0, "name": "b", "ts": 2, "dur": 1},
+            ]
+        }
+        errors = validate_chrome_trace(bad)
+        assert len(errors) == 4
+        assert any("went backwards" in e for e in errors)
+        assert validate_chrome_trace({}) == ["missing or non-list 'traceEvents'"]
+
+
+class TestSessionRecording:
+    def test_trace_is_valid_and_covers_both_clock_domains(self):
+        session = TelemetrySession(sample_period=100)
+        run_with(session)
+        doc = session.tracer.chrome_doc()
+        assert validate_chrome_trace(doc) == []
+        pids = {e["pid"] for e in doc["traceEvents"] if e["ph"] != "M"}
+        assert pids == {PID_TARGET, PID_HOST}
+        counters = session.metrics.to_dict()["counters"]
+        assert counters["manager.bus_grants"] > 0
+        assert counters["core.requests.bus"] > 0
+        assert counters["core.sync_waits"] > 0
+
+    def test_spans_are_monotone_per_thread_on_host_pid(self):
+        session = TelemetrySession()
+        run_with(session)
+        last = {}
+        for ph, pid, tid, name, ts, dur, args in session.tracer.events:
+            if ph != "X" or pid != PID_HOST:
+                continue
+            assert ts >= last.get(tid, 0.0)
+            last[tid] = ts
+
+    def test_speculative_run_records_controller_activity(self):
+        session = TelemetrySession()
+        report = run_with(
+            session,
+            scheme=SpeculativeConfig(
+                base=AdaptiveConfig(target_rate=1e-3, adjust_period=100),
+                checkpoint=CheckpointConfig(interval=2000),
+            ),
+        )
+        counters = session.metrics.to_dict()["counters"]
+        assert counters["controller.checkpoints"] == report.checkpoints
+        if report.rollbacks:
+            assert counters["controller.rollbacks"] == report.rollbacks
+
+    def test_sampler_produces_time_series(self):
+        session = TelemetrySession(sample_period=50)
+        run_with(session)
+        doc = session.sampler.to_dict()
+        assert doc["period"] == 50
+        assert doc["rows"]
+        gt = session.sampler.series("global_time")
+        assert gt == sorted(gt)  # global time only moves forward
+        assert len(doc["columns"]) == len(doc["rows"][0])
+
+    def test_disabled_session_records_nothing(self):
+        session = TelemetrySession.disabled()
+        run_with(session)
+        assert session.tracer is None
+        assert session.sampler is None
+        assert session.metrics.to_dict()["counters"] == {}
+
+    def test_metrics_doc_shape(self):
+        session = TelemetrySession(sample_period=100)
+        run_with(session)
+        doc = session.to_metrics_doc(meta={"benchmark": "synthetic"})
+        assert doc["schema"] == "repro.telemetry.metrics/v1"
+        assert doc["meta"]["benchmark"] == "synthetic"
+        assert doc["trace"]["recorded_events"] == len(session.tracer)
+        json.dumps(doc)  # must be JSON-serializable
+
+    def test_session_is_checkpoint_transparent(self):
+        session = TelemetrySession()
+        assert copy.deepcopy(session) is session
+
+
+class TestSamplerUnit:
+    def test_deepcopy_shares(self):
+        sampler = Sampler(100)
+        assert copy.deepcopy(sampler) is sampler
+
+
+class TestCli:
+    def test_run_trace_metrics_and_subcommands(self, tmp_path, capsys):
+        trace = tmp_path / "out.json"
+        jsonl = tmp_path / "out.jsonl"
+        metrics = tmp_path / "metrics.json"
+        rc = main([
+            "run", "synthetic", "--threads", "4", "--scheme", "slack:4",
+            "--trace", str(trace), "--trace-jsonl", str(jsonl),
+            "--metrics", str(metrics),
+        ])
+        assert rc == 0
+        assert validate_chrome_trace(load_trace(trace)) == []
+        assert validate_chrome_trace(load_trace(jsonl)) == []
+        mdoc = json.loads(metrics.read_text())
+        assert mdoc["schema"] == "repro.telemetry.metrics/v1"
+        assert mdoc["meta"]["digest"]
+        capsys.readouterr()
+
+        assert main(["trace", "validate", str(trace)]) == 0
+        assert "valid" in capsys.readouterr().out
+
+        assert main(["trace", "summarize", str(trace)]) == 0
+        assert "by event name:" in capsys.readouterr().out
+
+    def test_trace_validate_rejects_corrupt_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"traceEvents": [{"ph": "X"}]}))
+        assert main(["trace", "validate", str(bad)]) == 1
+        assert "validation errors" in capsys.readouterr().err
