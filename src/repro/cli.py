@@ -7,8 +7,9 @@ Subcommands::
     experiment  regenerate one paper table/figure (table1..table5, figure3,
                 figure4, speculative, p2p, adaptive-quantum, scaling,
                 hierarchy, ablation-detection, ablation-manager,
-                ablation-tracked)
+                ablation-tracked) or 'all' of them
     trace       summarize or validate a recorded telemetry trace
+    cache       inspect or clear the persistent report cache
     list        list available workloads and experiments
 
 Examples::
@@ -19,6 +20,9 @@ Examples::
     python -m repro trace summarize out.json
     python -m repro compare water --bounds 0,4,None
     python -m repro experiment table2 --format csv
+    python -m repro experiment all -j 4 --output-dir out/
+    python -m repro bench -j 4
+    python -m repro cache info
 """
 
 from __future__ import annotations
@@ -197,19 +201,42 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
-    runner = ExperimentRunner(seed=args.seed, verbose=args.verbose)
-    result = EXPERIMENTS[args.name](runner)
-    if args.format == "csv":
-        print(to_csv(result))
-    elif args.format == "json":
-        print(to_json(result))
-    else:
-        print(result.render())
+    from repro.harness.pool import resolve_jobs
+
+    runner = ExperimentRunner(
+        seed=args.seed,
+        verbose=args.verbose,
+        jobs=resolve_jobs(args.jobs),
+        persistent_cache=not args.no_cache,
+    )
+    names = list(EXPERIMENTS) if args.name == "all" else [args.name]
+    out_dir = None
+    if args.output_dir:
+        import pathlib
+
+        out_dir = pathlib.Path(args.output_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+    extension = {"text": "txt", "csv": "csv", "json": "json"}[args.format]
+    for name in names:
+        result = EXPERIMENTS[name](runner)
+        if args.format == "csv":
+            rendered = to_csv(result)
+        elif args.format == "json":
+            rendered = to_json(result)
+        else:
+            rendered = result.render()
+        if out_dir is not None:
+            path = out_dir / f"{name}.{extension}"
+            path.write_text(rendered + "\n")
+            print(f"wrote {path}")
+        else:
+            print(rendered)
     return 0
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.harness.bench import run_bench, run_telemetry_guard
+    from repro.harness.pool import resolve_jobs
 
     if args.telemetry_guard:
         run_telemetry_guard(golden_file=args.golden)
@@ -220,7 +247,27 @@ def cmd_bench(args: argparse.Namespace) -> int:
         output=args.output,
         profile_calls=args.profile_calls,
         golden_file=args.golden,
+        jobs=resolve_jobs(args.jobs),
+        use_cache=args.cached,
     )
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.harness.cache import ReportCache
+
+    cache = ReportCache(pathlib.Path(args.dir) if args.dir else None)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached report(s) from {cache.root}")
+        return 0
+    info = cache.info()
+    print(f"report cache at {info['path']}")
+    print(f"  schema    : v{info['schema']} (semantics {info['semantics']})")
+    print(f"  entries   : {info['entries']}")
+    print(f"  size      : {info['bytes'] / 1024:.1f} KiB")
     return 0
 
 
@@ -273,11 +320,23 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.set_defaults(func=cmd_compare)
 
     experiment_parser = sub.add_parser("experiment", help="regenerate a paper table/figure")
-    experiment_parser.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment_parser.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"],
+                                   help="one experiment, or 'all' to regenerate "
+                                        "every registered table/figure")
     experiment_parser.add_argument("--format", choices=("text", "csv", "json"),
                                    default="text")
     experiment_parser.add_argument("--seed", type=int, default=2010)
     experiment_parser.add_argument("--verbose", action="store_true")
+    experiment_parser.add_argument("-j", "--jobs", type=int, default=1,
+                                   metavar="N",
+                                   help="fan independent runs out over N worker "
+                                        "processes (0 = all host CPUs)")
+    experiment_parser.add_argument("--output-dir", metavar="DIR",
+                                   help="write each experiment to DIR/<name>.<ext> "
+                                        "instead of stdout")
+    experiment_parser.add_argument("--no-cache", action="store_true",
+                                   help="bypass the persistent report cache "
+                                        "(~/.cache/repro)")
     experiment_parser.set_defaults(func=cmd_experiment)
 
     bench_parser = sub.add_parser(
@@ -299,7 +358,24 @@ def build_parser() -> argparse.ArgumentParser:
                               help="instead of the matrix, bound the "
                                    "disabled-telemetry overhead on the "
                                    "reference case (digest-checked)")
+    bench_parser.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                              help="run the matrix on N worker processes "
+                                   "(0 = all host CPUs); digests are checked "
+                                   "identically to a serial run")
+    bench_parser.add_argument("--cached", action="store_true",
+                              help="reuse report-cache entries (digests and "
+                                   "recorded walls) instead of re-running; "
+                                   "reused rows are marked cached")
     bench_parser.set_defaults(func=cmd_bench)
+
+    cache_parser = sub.add_parser(
+        "cache", help="inspect or clear the persistent report cache"
+    )
+    cache_parser.add_argument("action", choices=("info", "clear"))
+    cache_parser.add_argument("--dir", metavar="DIR",
+                              help="cache directory (default $REPRO_CACHE_DIR "
+                                   "or ~/.cache/repro)")
+    cache_parser.set_defaults(func=cmd_cache)
 
     trace_parser = sub.add_parser(
         "trace", help="summarize or validate a recorded telemetry trace"

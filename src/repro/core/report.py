@@ -132,6 +132,25 @@ class SimulationReport:
 
         return json.dumps(self.to_dict(), indent=indent)
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationReport":
+        """Reconstruct a report from :meth:`to_dict` output (the report
+        cache's storage form).  JSON turns tuples into lists, so tuple
+        fields are restored; unknown keys are ignored for forward
+        compatibility with older cache entries."""
+        from dataclasses import fields as dc_fields
+
+        known = {f.name for f in dc_fields(cls)}
+        payload = {k: v for k, v in data.items() if k in known}
+        payload["intervals"] = [
+            r if isinstance(r, IntervalSummary) else IntervalSummary(**r)
+            for r in payload.get("intervals", ())
+        ]
+        payload["bound_history"] = [
+            tuple(point) for point in payload.get("bound_history", ())
+        ]
+        return cls(**payload)
+
     # ------------------------------------------------------------------ #
 
     def digest(self) -> str:

@@ -382,15 +382,27 @@ class Scheduler:
         return max(context.clock for context in self.contexts)
 
     def _deadlock_report(self) -> str:
+        """Everything needed to debug a stuck run from the error alone:
+        the global time, each core's simulation-side blocking condition,
+        and each host thread's scheduling state (the stuck thread ids)."""
         state = self.sim.state
         lines = [
-            "simulation deadlock: manager idle with no core progress.",
+            "simulation deadlock: manager idle with no core progress "
+            f"(> {_DEADLOCK_LIMIT} consecutive idle manager steps).",
             f"global time: {state.manager.global_time}",
+            f"simulation time: {self.simulation_time_ns():.0f} ns",
         ]
         for cs in state.cores:
             lines.append(
                 f"  core {cs.core_id}: local={cs.local_time} "
                 f"max_local={cs.max_local_time} finished={cs.finished} "
                 f"waiting_sync={cs.model.waiting_sync} inq={len(cs.inq)}"
+            )
+        lines.append("host threads:")
+        for thread in self.threads:
+            lines.append(
+                f"  thread {thread.pos} ({type(thread.runner).__name__}): "
+                f"state={thread.state.name} context={thread.context.index} "
+                f"ready={thread.ready_time:.0f} steps={thread.steps}"
             )
         return "\n".join(lines)

@@ -8,6 +8,8 @@ these in pytest-benchmark targets.
 """
 
 from repro.harness.bench import run_bench
+from repro.harness.cache import ReportCache, RunSpec, spec_key
+from repro.harness.pool import ParallelExecutor, WorkerCrashError, execute_spec
 from repro.harness.runner import ExperimentRunner
 from repro.harness.experiments import (
     ablation_detection,
@@ -30,6 +32,12 @@ from repro.harness.tables import format_table
 
 __all__ = [
     "ExperimentRunner",
+    "ParallelExecutor",
+    "ReportCache",
+    "RunSpec",
+    "WorkerCrashError",
+    "execute_spec",
+    "spec_key",
     "run_bench",
     "table1",
     "figure3",

@@ -31,9 +31,12 @@ from repro.config import (
     SchemeConfig,
     SlackConfig,
     SpeculativeConfig,
+    paper_host_config,
     paper_target_config,
 )
 from repro.core.simulation import Simulation
+from repro.harness.cache import ReportCache, RunSpec, spec_key
+from repro.harness.pool import ParallelExecutor, execute_spec
 from repro.telemetry import TelemetrySession
 from repro.workloads import make_workload
 
@@ -74,6 +77,20 @@ class BenchCase:
     def scheme_config(self) -> SchemeConfig:
         return SCHEMES[self.scheme]()
 
+    def spec(self) -> RunSpec:
+        """The cell's full configuration (pool / report-cache identity)."""
+        return RunSpec(
+            benchmark=_BENCHMARK,
+            scheme=self.scheme_config(),
+            scale=self.scale,
+            checkpoint=None,
+            detection=True,
+            seed=_SEED,
+            num_threads=self.cores,
+            target=paper_target_config(num_cores=self.cores),
+            host=paper_host_config(),
+        )
+
 
 def full_matrix() -> List[BenchCase]:
     """The full matrix: every scheme x 4/8/16 cores at half scale, plus
@@ -96,21 +113,10 @@ def smoke_matrix() -> List[BenchCase]:
     ]
 
 
-def run_case(
-    case: BenchCase, telemetry: Optional[TelemetrySession] = None
+def _record_from(
+    case: BenchCase, report, wall_s: float, cached: bool = False
 ) -> Dict[str, object]:
-    """Run one cell; return its measurement record."""
-    workload = make_workload(_BENCHMARK, num_threads=case.cores, scale=case.scale)
-    simulation = Simulation(
-        workload,
-        scheme=case.scheme_config(),
-        target=paper_target_config(num_cores=case.cores),
-        seed=_SEED,
-        telemetry=telemetry,
-    )
-    start = time.perf_counter()
-    report = simulation.run()
-    wall_s = time.perf_counter() - start
+    """Build one cell's measurement record from a completed report."""
     steps = report.core_steps + report.manager_steps
     return {
         "case": case.case_id,
@@ -118,6 +124,7 @@ def run_case(
         "cores": case.cores,
         "scale": case.scale,
         "wall_s": wall_s,
+        "cached": cached,
         "target_cycles": report.target_cycles,
         "instructions": report.instructions,
         "steps": steps,
@@ -125,6 +132,14 @@ def run_case(
         "target_cycles_per_s": report.target_cycles / wall_s if wall_s > 0 else 0.0,
         "digest": report.digest(),
     }
+
+
+def run_case(
+    case: BenchCase, telemetry: Optional[TelemetrySession] = None
+) -> Dict[str, object]:
+    """Run one cell; return its measurement record."""
+    report, wall_s = execute_spec(case.spec(), telemetry=telemetry)
+    return _record_from(case, report, wall_s)
 
 
 def golden_path(repo_root: Optional[pathlib.Path] = None) -> pathlib.Path:
@@ -138,39 +153,100 @@ def load_golden(path: pathlib.Path) -> Dict[str, str]:
     return json.loads(path.read_text())
 
 
+def _recorded_costs(
+    cases: List[BenchCase], output: Optional[str]
+) -> List[Optional[float]]:
+    """Per-case wall-time hints from the previous ``BENCH_kernel.json``
+    (the recorded costs the pool's longest-job-first ordering uses)."""
+    walls: Dict[str, float] = {}
+    if output:
+        try:
+            doc = json.loads(pathlib.Path(output).read_text())
+            for record in doc.get("results", ()):
+                if not record.get("cached"):
+                    walls[record["case"]] = float(record["wall_s"])
+        except (OSError, ValueError, KeyError, TypeError):
+            pass
+    return [walls.get(case.case_id) for case in cases]
+
+
 def run_bench(
     smoke: bool = False,
     update_golden: bool = False,
     output: Optional[str] = "BENCH_kernel.json",
     profile_calls: bool = False,
     golden_file: Optional[str] = None,
+    jobs: int = 1,
+    use_cache: bool = False,
 ) -> Dict[str, object]:
     """Run the matrix; verify digests; write ``BENCH_kernel.json``.
 
+    ``jobs > 1`` fans the cases out over a process pool (results and
+    digest checks are order-independent; per-case walls are measured
+    inside the workers, so they include any host contention between
+    them).  Every fresh run is written to the persistent report cache;
+    ``use_cache`` additionally *reads* it, reusing stored digests and
+    recorded walls (entries are marked ``"cached": true`` so reused
+    timings are never mistaken for fresh measurements).
+
     Returns the result document.  Raises :class:`SystemExit` with a
-    non-zero code on digest drift (so CI fails loudly).
+    non-zero code on digest drift (so CI fails loudly), printing the
+    expected and actual digest of every offending case.
     """
     cases = smoke_matrix() if smoke else full_matrix()
     gpath = pathlib.Path(golden_file) if golden_file else golden_path()
     golden = load_golden(gpath)
+    cache = ReportCache()
+
+    started = time.perf_counter()
+    records: List[Optional[Dict[str, object]]] = [None] * len(cases)
+    to_run: List[int] = []
+    for i, case in enumerate(cases):
+        if use_cache:
+            entry = cache.get(spec_key(case.spec()))
+            if entry is not None:
+                records[i] = _record_from(case, entry.report, entry.wall_s, cached=True)
+                continue
+        to_run.append(i)
+
+    costs = _recorded_costs(cases, output)
+    if jobs > 1 and len(to_run) > 1:
+        executor = ParallelExecutor(jobs=jobs)
+        outcomes = executor.map(
+            [cases[i].spec() for i in to_run], costs=[costs[i] for i in to_run]
+        )
+        for i, outcome in zip(to_run, outcomes):
+            records[i] = _record_from(cases[i], outcome.report, outcome.wall_s)
+            cache.put(spec_key(cases[i].spec()), outcome.report, outcome.wall_s)
+    else:
+        for i in to_run:
+            report, wall_s = execute_spec(cases[i].spec())
+            records[i] = _record_from(cases[i], report, wall_s)
+            cache.put(spec_key(cases[i].spec()), report, wall_s)
+    elapsed_s = time.perf_counter() - started
 
     results: List[Dict[str, object]] = []
-    drifted: List[str] = []
-    for case in cases:
-        record = run_case(case)
+    drifted: List[tuple] = []
+    for case, record in zip(cases, records):
         expected = golden.get(case.case_id)
+        record["golden"] = expected
         if expected is None:
-            record["golden"] = "missing"
+            record["status"] = "missing"
         elif expected == record["digest"]:
-            record["golden"] = "ok"
+            record["status"] = "ok"
         else:
-            record["golden"] = "DRIFT"
-            drifted.append(case.case_id)
+            record["status"] = "DRIFT"
+            drifted.append((case.case_id, expected, record["digest"]))
         results.append(record)
+        tag = record["status"] + (", cached" if record["cached"] else "")
         print(
             f"  {record['case']:<28} {record['wall_s']:7.2f}s "
-            f"{record['steps_per_s']:>10.0f} steps/s  [{record['golden']}]"
+            f"{record['steps_per_s']:>10.0f} steps/s  [{tag}]"
         )
+    if drifted:
+        print(f"  digest drift in {len(drifted)} case(s):")
+        for case_id, expected, actual in drifted:
+            print(f"    {case_id}: expected {expected} actual {actual}")
 
     calls: Optional[int] = None
     if profile_calls:
@@ -181,14 +257,20 @@ def run_bench(
     doc = {
         "benchmark": _BENCHMARK,
         "matrix": "smoke" if smoke else "full",
+        "jobs": jobs,
         "total_wall_s": total_wall,
+        "elapsed_s": elapsed_s,
+        "cached_hits": sum(1 for r in results if r["cached"]),
         "aggregate_steps_per_s": sum(r["steps"] for r in results) / total_wall,
         "reference_calls": calls,
         "results": results,
     }
     if output:
         pathlib.Path(output).write_text(json.dumps(doc, indent=2) + "\n")
-        print(f"wrote {output} (total {total_wall:.2f}s)")
+        print(
+            f"wrote {output} (sum of case walls {total_wall:.2f}s, "
+            f"elapsed {elapsed_s:.2f}s, {jobs} job(s))"
+        )
 
     if update_golden:
         merged = dict(golden)
@@ -198,9 +280,12 @@ def run_bench(
         print(f"updated {gpath} ({len(merged)} golden digests)")
     elif drifted:
         raise SystemExit(
-            "report digests drifted from golden values: "
-            + ", ".join(drifted)
-            + " — simulation results changed; if intentional, rerun with "
+            "report digests drifted from golden values:\n"
+            + "\n".join(
+                f"  {case_id}: expected {expected} actual {actual}"
+                for case_id, expected, actual in drifted
+            )
+            + "\n— simulation results changed; if intentional, rerun with "
             "--update-golden"
         )
     return doc

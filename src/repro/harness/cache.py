@@ -1,0 +1,277 @@
+"""Persistent content-addressed report cache.
+
+Every simulation in this reproduction is bit-for-bit deterministic in its
+full configuration (workload, scheme, checkpointing, detection, seed,
+target, host), which makes completed :class:`SimulationReport` objects
+safe to reuse *across processes and across sessions*: re-running a paper
+table, or re-running ``repro bench`` after an unrelated change, should be
+a near-instant cache hit instead of minutes of re-simulation.
+
+The cache is keyed by a **schema-versioned content hash** of the full
+configuration:
+
+- :class:`RunSpec` captures everything that can influence a run;
+- :func:`fingerprint` renders it (recursively, with class names, floats
+  via ``float.hex``) into canonical JSON;
+- the SHA-256 of ``{"schema", "semantics", "spec"}`` is the key.
+
+``semantics`` is a tag derived from ``benchmarks/golden_kernel.json``:
+the golden digests *are* the repo's statement of simulation semantics, so
+re-recording them (``repro bench --update-golden`` after an intentional
+semantics change) automatically invalidates every cached report without
+anyone having to remember ``repro cache clear``.
+
+Storage layout (default ``~/.cache/repro``, override with
+``$REPRO_CACHE_DIR`` or ``$XDG_CACHE_HOME``)::
+
+    <root>/reports/<key[:2]>/<key>.json
+
+Each entry stores the report's plain-data form plus the measured wall
+time, which :mod:`repro.harness.pool` reuses as the recorded-cost hint
+for longest-job-first scheduling.  Writes are atomic (tmp + rename) and
+reads treat any undecodable file as a miss, so concurrent pool workers
+can share the cache without locking.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import Dict, NamedTuple, Optional
+
+from repro.config import (
+    CheckpointConfig,
+    HostConfig,
+    SchemeConfig,
+    TargetConfig,
+)
+from repro.core.report import SimulationReport
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "CacheEntry",
+    "ReportCache",
+    "RunSpec",
+    "default_cache_dir",
+    "fingerprint",
+    "semantics_tag",
+    "spec_key",
+]
+
+#: Bumped whenever the entry layout or key derivation changes shape.
+CACHE_SCHEMA = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class RunSpec:
+    """The complete configuration of one simulation run.
+
+    Frozen and hashable, so it doubles as the in-memory memo key; the
+    persistent key is :func:`spec_key`.  ``target`` and ``host`` are the
+    *resolved* configurations (never None): defaults are baked in by the
+    caller so that a change of library default cannot alias two different
+    runs onto one cache entry.
+    """
+
+    benchmark: str
+    scheme: SchemeConfig
+    scale: float
+    checkpoint: Optional[CheckpointConfig]
+    detection: bool
+    seed: int
+    num_threads: int
+    target: TargetConfig
+    host: HostConfig
+
+
+def fingerprint(obj) -> object:
+    """Render a configuration value as canonical plain data.
+
+    Dataclasses carry their class name (``SlackConfig(bound=8)`` and a
+    hypothetical other scheme with a ``bound=8`` field must not collide);
+    floats are rendered with ``float.hex`` so the fingerprint is exact to
+    the last ulp.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        data = {"__type__": type(obj).__name__}
+        for f in dataclasses.fields(obj):
+            data[f.name] = fingerprint(getattr(obj, f.name))
+        return data
+    if isinstance(obj, float):
+        return obj.hex()
+    if isinstance(obj, (list, tuple)):
+        return [fingerprint(v) for v in obj]
+    if isinstance(obj, dict):
+        return {str(k): fingerprint(v) for k, v in sorted(obj.items())}
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    # Opaque config payloads (e.g. a future L2Config.dram object) fall
+    # back to repr: stable enough for hashing, never silently aliased.
+    return f"{type(obj).__name__}:{obj!r}"
+
+
+_semantics_tag_cache: Optional[str] = None
+
+
+def semantics_tag() -> str:
+    """Hash of the golden digest matrix — the repo's simulation-semantics
+    version.  Changes exactly when ``--update-golden`` re-records goldens,
+    invalidating every cached report keyed under the old semantics."""
+    global _semantics_tag_cache
+    if _semantics_tag_cache is None:
+        golden = (
+            pathlib.Path(__file__).resolve().parents[3]
+            / "benchmarks"
+            / "golden_kernel.json"
+        )
+        try:
+            blob = golden.read_bytes()
+        except OSError:
+            _semantics_tag_cache = "no-golden"
+        else:
+            _semantics_tag_cache = hashlib.sha256(blob).hexdigest()[:16]
+    return _semantics_tag_cache
+
+
+def spec_key(spec: RunSpec) -> str:
+    """The persistent cache key: SHA-256 over the schema version, the
+    semantics tag, and the full configuration fingerprint."""
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "semantics": semantics_tag(),
+        "spec": fingerprint(spec),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR`` > ``$XDG_CACHE_HOME/repro`` > ``~/.cache/repro``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return pathlib.Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    if xdg:
+        return pathlib.Path(xdg) / "repro"
+    return pathlib.Path.home() / ".cache" / "repro"
+
+
+class CacheEntry(NamedTuple):
+    """One stored run: the reconstructed report and its recorded cost."""
+
+    report: SimulationReport
+    wall_s: float
+    digest: str
+
+
+class ReportCache:
+    """On-disk report store shared by the runner, the pool, and bench."""
+
+    def __init__(self, root: Optional[pathlib.Path] = None) -> None:
+        self.root = pathlib.Path(root) if root is not None else default_cache_dir()
+        self._reports = self.root / "reports"
+
+    def _entry_path(self, key: str) -> pathlib.Path:
+        return self._reports / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------ #
+
+    def get(self, key: str) -> Optional[CacheEntry]:
+        """Load an entry; any unreadable/corrupt file is dropped (miss)."""
+        path = self._entry_path(key)
+        try:
+            doc = json.loads(path.read_text())
+            if doc.get("schema") != CACHE_SCHEMA:
+                raise ValueError("cache schema mismatch")
+            report = SimulationReport.from_dict(doc["report"])
+            entry = CacheEntry(report, float(doc["wall_s"]), doc["digest"])
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        if entry.digest != entry.report.digest():
+            # The stored report no longer reproduces its own recorded
+            # digest (truncated write, report-schema drift): drop it.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        return entry
+
+    def wall_hint(self, key: str) -> Optional[float]:
+        """Recorded wall seconds for a key, without validating the report
+        (used only for longest-job-first ordering)."""
+        path = self._entry_path(key)
+        try:
+            return float(json.loads(path.read_text())["wall_s"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, key: str, report: SimulationReport, wall_s: float) -> None:
+        """Store one run atomically; cache writes are best-effort."""
+        path = self._entry_path(key)
+        doc = {
+            "schema": CACHE_SCHEMA,
+            "semantics": semantics_tag(),
+            "key": key,
+            "digest": report.digest(),
+            "wall_s": wall_s,
+            "report": report.to_dict(),
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".json"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, separators=(",", ":"))
+            os.replace(tmp, path)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------ #
+
+    def info(self) -> Dict[str, object]:
+        """Entry count, total bytes, and location (for ``repro cache info``)."""
+        entries = 0
+        total_bytes = 0
+        if self._reports.is_dir():
+            for path in self._reports.glob("*/*.json"):
+                try:
+                    total_bytes += path.stat().st_size
+                    entries += 1
+                except OSError:
+                    pass
+        return {
+            "path": str(self.root),
+            "schema": CACHE_SCHEMA,
+            "semantics": semantics_tag(),
+            "entries": entries,
+            "bytes": total_bytes,
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self._reports.is_dir():
+            for path in self._reports.glob("*/*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            for sub in self._reports.glob("*"):
+                try:
+                    sub.rmdir()
+                except OSError:
+                    pass
+        return removed

@@ -137,6 +137,11 @@ def figure3(
     larger bounds.
     """
     runner = runner or ExperimentRunner()
+    runner.prefetch(
+        runner.plan(benchmark, SlackConfig(bound=bound), scale=scale)
+        for benchmark in benchmarks
+        for bound in bounds
+    )
     rows = []
     series: Dict[str, List[tuple]] = {}
     for benchmark in benchmarks:
@@ -181,6 +186,22 @@ def figure4(
     bands are slightly faster than narrow ones.
     """
     runner = runner or ExperimentRunner()
+    runner.prefetch(
+        [
+            runner.plan(
+                benchmark, _base_adaptive(band=band, target_rate=target), scale=scale
+            )
+            for benchmark in benchmarks
+            for band in bands
+            for target in targets
+        ]
+        + [runner.reference_spec(benchmark, scale=scale) for benchmark in benchmarks]
+        + [
+            runner.plan(benchmark, SlackConfig(bound=bound), scale=scale)
+            for benchmark in benchmarks
+            for bound in fixed_bounds
+        ]
+    )
     rows = []
     series: Dict[str, List[tuple]] = {}
     for benchmark in benchmarks:
@@ -239,6 +260,24 @@ def table2(
     approach the plain adaptive time.
     """
     runner = runner or ExperimentRunner()
+    runner.prefetch(
+        [runner.reference_spec(benchmark, scale=scale) for benchmark in benchmarks]
+        + [
+            runner.plan(benchmark, SlackConfig(bound=None), scale=scale)
+            for benchmark in benchmarks
+        ]
+        + [runner.plan(benchmark, _base_adaptive(), scale=scale) for benchmark in benchmarks]
+        + [
+            runner.plan(
+                benchmark,
+                _base_adaptive(),
+                scale=scale,
+                checkpoint=CheckpointConfig(interval=interval),
+            )
+            for benchmark in benchmarks
+            for interval in intervals
+        ]
+    )
     rows = []
     for benchmark in benchmarks:
         cc = runner.reference(benchmark, scale=scale)
@@ -274,6 +313,29 @@ def table2(
 # Tables 3 and 4
 # --------------------------------------------------------------------- #
 
+def _prefetch_interval_stats(
+    runner: ExperimentRunner,
+    benchmarks: Sequence[str],
+    intervals: Sequence[int],
+    scale: float,
+    with_reference: bool = False,
+) -> None:
+    """Declare the checkpoint-interval run set shared by Tables 3-5."""
+    specs = [
+        runner.plan(
+            benchmark,
+            _base_adaptive(),
+            scale=scale,
+            checkpoint=CheckpointConfig(interval=interval),
+        )
+        for benchmark in benchmarks
+        for interval in intervals
+    ]
+    if with_reference:
+        specs += [runner.reference_spec(benchmark, scale=scale) for benchmark in benchmarks]
+    runner.prefetch(specs)
+
+
 def _interval_stats(
     runner: ExperimentRunner,
     benchmark: str,
@@ -302,6 +364,7 @@ def table3(
     confines them to phase boundaries -> low F).
     """
     runner = runner or ExperimentRunner()
+    _prefetch_interval_stats(runner, benchmarks, intervals, scale)
     rows = []
     for benchmark in benchmarks:
         row = [benchmark]
@@ -327,6 +390,7 @@ def table4(
     """Table 4: mean distance from interval start to the first violation
     (the rollback distance D_r), in simulated cycles."""
     runner = runner or ExperimentRunner()
+    _prefetch_interval_stats(runner, benchmarks, intervals, scale)
     rows = []
     for benchmark in benchmarks:
         row = [benchmark]
@@ -361,6 +425,7 @@ def table5(
     throughout — speculation does not pay at these violation rates.
     """
     runner = runner or ExperimentRunner()
+    _prefetch_interval_stats(runner, benchmarks, intervals, scale, with_reference=True)
     rows = []
     for benchmark in benchmarks:
         cc = runner.reference(benchmark, scale=scale)
@@ -405,6 +470,20 @@ def speculative_full(
     (checkpoint, detect, rollback, CC replay) and cross-checks the model.
     """
     runner = runner or ExperimentRunner()
+    runner.prefetch(
+        [
+            runner.plan(
+                benchmark,
+                SpeculativeConfig(
+                    base=_base_adaptive(),
+                    checkpoint=CheckpointConfig(interval=interval),
+                ),
+                scale=scale,
+            )
+            for benchmark in benchmarks
+            for interval in intervals
+        ]
+    )
     analytical = {
         (row[0], interval): row[2 + idx]
         for row in table5(runner, benchmarks, intervals, scale).rows
@@ -456,14 +535,23 @@ def p2p_comparison(
 ) -> ExperimentResult:
     """E2: Graphite-style Lax-P2P vs bounded and unbounded slack."""
     runner = runner or ExperimentRunner()
+    p2p_schemes = (
+        SlackConfig(bound=8),
+        SlackConfig(bound=None),
+        P2PConfig(period=100, max_lead=100),
+    )
+    runner.prefetch(
+        [runner.reference_spec(benchmark, scale=scale) for benchmark in benchmarks]
+        + [
+            runner.plan(benchmark, scheme, scale=scale)
+            for benchmark in benchmarks
+            for scheme in p2p_schemes
+        ]
+    )
     rows = []
     for benchmark in benchmarks:
         cc = runner.reference(benchmark, scale=scale)
-        for scheme in (
-            SlackConfig(bound=8),
-            SlackConfig(bound=None),
-            P2PConfig(period=100, max_lead=100),
-        ):
+        for scheme in p2p_schemes:
             report = runner.run(benchmark, scheme, scale=scale)
             rows.append(
                 (
@@ -546,6 +634,11 @@ def ablation_detection(
     """A1: the cost of violation detection itself (paper section 3 notes
     detection 'unavoidably disturbs the execution of SlackSim')."""
     runner = runner or ExperimentRunner()
+    runner.prefetch(
+        runner.plan(benchmark, SlackConfig(bound=bound), scale=scale, detection=detection)
+        for benchmark in benchmarks
+        for detection in (True, False)
+    )
     rows = []
     for benchmark in benchmarks:
         on = runner.run(benchmark, SlackConfig(bound=bound), scale=scale, detection=True)
@@ -582,13 +675,19 @@ def adaptive_quantum_comparison(
     from repro.config import AdaptiveQuantumConfig
 
     runner = runner or ExperimentRunner()
+    schemes = (AdaptiveQuantumConfig(), _base_adaptive())
+    runner.prefetch(
+        [runner.reference_spec(benchmark, scale=scale) for benchmark in benchmarks]
+        + [
+            runner.plan(benchmark, scheme, scale=scale)
+            for benchmark in benchmarks
+            for scheme in schemes
+        ]
+    )
     rows = []
     for benchmark in benchmarks:
         cc = runner.reference(benchmark, scale=scale)
-        for scheme in (
-            AdaptiveQuantumConfig(),
-            _base_adaptive(),
-        ):
+        for scheme in schemes:
             report = runner.run(benchmark, scheme, scale=scale)
             rows.append(
                 (
@@ -727,19 +826,28 @@ def ablation_tracked(
     ablation measures exactly that trade-off.
     """
     runner = runner or ExperimentRunner()
+    tracked_variants = (("bus", "map"), ("map",))
+
+    def _scheme(tracked):
+        return SpeculativeConfig(
+            base=_base_adaptive(),
+            checkpoint=CheckpointConfig(interval=interval),
+            tracked=tracked,
+        )
+
+    runner.prefetch(
+        [runner.reference_spec(benchmark, scale=scale) for benchmark in benchmarks]
+        + [
+            runner.plan(benchmark, _scheme(tracked), scale=scale)
+            for benchmark in benchmarks
+            for tracked in tracked_variants
+        ]
+    )
     rows = []
     for benchmark in benchmarks:
         cc = runner.reference(benchmark, scale=scale)
-        for tracked in (("bus", "map"), ("map",)):
-            spec = runner.run(
-                benchmark,
-                SpeculativeConfig(
-                    base=_base_adaptive(),
-                    checkpoint=CheckpointConfig(interval=interval),
-                    tracked=tracked,
-                ),
-                scale=scale,
-            )
+        for tracked in tracked_variants:
+            spec = runner.run(benchmark, _scheme(tracked), scale=scale)
             rows.append(
                 (
                     benchmark,

@@ -1,0 +1,251 @@
+"""Parallel execution layer: a process-pool fleet for independent runs.
+
+The paper simulates CMPs *on* CMPs; this module finally lets the harness
+do the same.  Every ``(workload, scheme, checkpoint, seed)`` configuration
+in an experiment matrix is an independent, bit-for-bit deterministic
+simulation, so :class:`ParallelExecutor` fans them out over a
+``concurrent.futures.ProcessPoolExecutor`` with:
+
+- **longest-expected-job-first ordering** — recorded per-case wall times
+  (from the report cache or a previous ``BENCH_kernel.json``) seed the
+  submission order so a long job never starts last and strands the fleet
+  on one straggler; unrecorded specs fall back to a scheme-aware
+  heuristic;
+- **bounded retries on worker crash** — a killed worker (OOM, signal)
+  breaks the whole pool, so surviving work is resubmitted to a fresh pool
+  and each spec is retried at most ``max_retries`` times before
+  :class:`WorkerCrashError`; deterministic simulation exceptions are
+  *never* retried (they would only fail identically);
+- **clean KeyboardInterrupt teardown** — pending futures are cancelled
+  and the interrupt re-raised, leaving no orphaned workers behind;
+- **deterministic result ordering** — results are returned in submission
+  order regardless of completion order, so a parallel experiment is
+  indistinguishable from a serial one (asserted by digest in tests/CI);
+- **telemetry merge** — with ``collect_metrics=True`` each worker runs
+  under a metrics-only :class:`TelemetrySession` and its counters are
+  returned for the parent session to absorb (telemetry is observation
+  only, so the report digests are unaffected).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, List, NamedTuple, Optional, Sequence
+
+from repro.core.report import SimulationReport
+from repro.core.simulation import Simulation
+from repro.errors import ReproError
+from repro.harness.cache import RunSpec
+from repro.workloads import make_workload
+
+__all__ = [
+    "ParallelExecutor",
+    "PoolResult",
+    "WorkerCrashError",
+    "execute_spec",
+    "expected_cost",
+    "resolve_jobs",
+]
+
+
+class WorkerCrashError(ReproError):
+    """A pool worker died repeatedly while running one configuration."""
+
+
+class PoolResult(NamedTuple):
+    """One completed run: the report, its wall time, and (optionally) the
+    worker's metrics document."""
+
+    report: SimulationReport
+    wall_s: float
+    metrics: Optional[dict]
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Map a ``--jobs`` value to a worker count (0/None = all host CPUs)."""
+    if jobs is None or jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+#: Relative cost of one simulated cycle under each scheme family, from the
+#: recorded kernel-bench walls (cc ~3x a bounded run, speculative pays
+#: checkpoints + replays).  Only the *ordering* matters.
+_SCHEME_WEIGHT = {
+    "cycle-by-cycle": 3.0,
+    "unbounded": 1.0,
+    "slack": 1.0,
+    "adaptive": 2.0,
+    "adaptive-quantum": 2.5,
+    "quantum": 2.5,
+    "speculative": 3.0,
+    "p2p": 1.2,
+}
+
+
+def expected_cost(spec: RunSpec) -> float:
+    """Heuristic wall-time estimate for ordering unrecorded specs."""
+    kind = spec.scheme.kind
+    if kind == "cycle-by-cycle":
+        family = "cycle-by-cycle"
+    elif kind.startswith("adaptive-quantum"):
+        family = "adaptive-quantum"
+    elif kind.startswith("adaptive"):
+        family = "adaptive"
+    elif kind.startswith("speculative"):
+        family = "speculative"
+    else:
+        family = kind.split("-")[0]
+    weight = _SCHEME_WEIGHT.get(family, 1.5)
+    cost = spec.scale * max(spec.num_threads, 1) * weight
+    if spec.checkpoint is not None:
+        cost *= 1.5
+    return cost
+
+
+def execute_spec(spec: RunSpec, telemetry=None):
+    """Run one configuration; return ``(report, wall_s)``.
+
+    The single execution path shared by the serial runner, the bench, and
+    pool workers — so "parallel equals serial" reduces to determinism of
+    the simulation itself.
+    """
+    workload = make_workload(
+        spec.benchmark, num_threads=spec.num_threads, scale=spec.scale
+    )
+    simulation = Simulation(
+        workload,
+        scheme=spec.scheme,
+        target=spec.target,
+        host=spec.host,
+        checkpoint=spec.checkpoint,
+        detection=spec.detection,
+        seed=spec.seed,
+        telemetry=telemetry,
+    )
+    start = time.perf_counter()
+    report = simulation.run()
+    return report, time.perf_counter() - start
+
+
+def _pool_worker(index: int, spec: RunSpec, collect_metrics: bool):
+    """Top-level (picklable) worker body: run one spec, return its index,
+    report, wall time, and optional metrics snapshot."""
+    telemetry = None
+    if collect_metrics:
+        from repro.telemetry import TelemetrySession
+
+        telemetry = TelemetrySession(trace=False, metrics=True, sample_period=None)
+    report, wall_s = execute_spec(spec, telemetry=telemetry)
+    metrics = telemetry.metrics.to_dict() if telemetry is not None else None
+    return index, report, wall_s, metrics
+
+
+class ParallelExecutor:
+    """Fans independent :class:`RunSpec` configurations over processes."""
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        max_retries: int = 2,
+        collect_metrics: bool = False,
+        worker: Callable = _pool_worker,
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.max_retries = max_retries
+        self.collect_metrics = collect_metrics
+        self._worker = worker  # injectable for crash-path tests
+
+    # ------------------------------------------------------------------ #
+
+    def map(
+        self,
+        specs: Sequence[RunSpec],
+        costs: Optional[Sequence[Optional[float]]] = None,
+    ) -> List[PoolResult]:
+        """Run every spec; return results in submission order.
+
+        ``costs`` are recorded wall-time hints aligned with ``specs``
+        (None entries fall back to :func:`expected_cost`).
+        """
+        n = len(specs)
+        if n == 0:
+            return []
+        if self.jobs <= 1 or n == 1:
+            return [self._run_serial(spec) for spec in specs]
+
+        if costs is None:
+            costs = [None] * n
+        resolved = [
+            costs[i] if costs[i] is not None else expected_cost(specs[i])
+            for i in range(n)
+        ]
+        # Longest expected job first; ties keep submission order.
+        order = sorted(range(n), key=lambda i: (-resolved[i], i))
+
+        results: List[Optional[PoolResult]] = [None] * n
+        attempts = [0] * n
+        to_run = order
+        while to_run:
+            crashed = self._run_round(to_run, specs, results)
+            for i in crashed:
+                attempts[i] += 1
+                if attempts[i] > self.max_retries:
+                    raise WorkerCrashError(
+                        f"worker crashed {attempts[i]} times running "
+                        f"{specs[i].benchmark}/{specs[i].scheme.kind} "
+                        f"(seed {specs[i].seed}); giving up"
+                    )
+            crashed_set = set(crashed)
+            to_run = [i for i in order if i in crashed_set]
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+
+    def _run_serial(self, spec: RunSpec) -> PoolResult:
+        _, report, wall_s, metrics = self._worker(0, spec, self.collect_metrics)
+        return PoolResult(report, wall_s, metrics)
+
+    def _run_round(
+        self,
+        indices: Sequence[int],
+        specs: Sequence[RunSpec],
+        results: List[Optional[PoolResult]],
+    ) -> List[int]:
+        """One pool lifetime: submit ``indices``, harvest, return the
+        indices whose workers crashed (pool-breaking failures only)."""
+        crashed: List[int] = []
+        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(indices)))
+        try:
+            futures = {
+                pool.submit(self._worker, i, specs[i], self.collect_metrics): i
+                for i in indices
+            }
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                broken = False
+                for future in done:
+                    i = futures[future]
+                    try:
+                        index, report, wall_s, metrics = future.result()
+                    except BrokenProcessPool:
+                        # The pool is gone; several done futures may fail
+                        # this way in one batch.  Collect each for retry.
+                        crashed.append(i)
+                        broken = True
+                        continue
+                    results[i] = PoolResult(report, wall_s, metrics)
+                if broken:
+                    # Every still-pending future fails identically.
+                    crashed.extend(futures[rest] for rest in pending)
+                    return crashed
+        except KeyboardInterrupt:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+        return crashed

@@ -167,6 +167,30 @@ class MetricsRegistry:
             },
         }
 
+    def merge(self, doc: dict) -> None:
+        """Fold another registry's :meth:`to_dict` document into this one.
+
+        Used to merge per-worker metrics from pool subprocesses into the
+        parent session: counters and histogram contents add, gauges keep
+        the last write.  A histogram whose bucket bounds differ from the
+        local instrument's is skipped (cannot be combined losslessly);
+        in practice buckets come from the same code and always match.
+        """
+        if not self.enabled:
+            return
+        for name, value in doc.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in doc.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in doc.get("histograms", {}).items():
+            buckets = tuple(data.get("buckets", ()))
+            inst = self.histogram(name, buckets or None)
+            if tuple(inst.buckets) != buckets:
+                continue
+            inst.counts = [a + b for a, b in zip(inst.counts, data["counts"])]
+            inst.total += data["sum"]
+            inst.count += data["count"]
+
     def __deepcopy__(self, memo) -> "MetricsRegistry":
         # Host-side accounting is shared, never checkpointed/rolled back.
         return self

@@ -81,6 +81,17 @@ class TelemetrySession:
         # never rolled back (see module docstring).
         return self
 
+    def absorb_worker_metrics(self, doc: Optional[dict]) -> None:
+        """Merge a pool worker's metrics document into this session.
+
+        Parallel experiment runs execute in subprocesses; each worker
+        records into its own metrics-only session and ships the plain-data
+        snapshot back, which the parent folds in here.  Traces and samples
+        are per-run artifacts and are not merged.
+        """
+        if doc and self.enabled:
+            self.metrics.merge(doc)
+
     # ------------------------------------------------------------------ #
     # Wiring
     # ------------------------------------------------------------------ #

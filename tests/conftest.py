@@ -14,6 +14,13 @@ from repro.config import quick_target_config
 from repro.workloads import make_workload
 
 
+@pytest.fixture(autouse=True)
+def _isolated_report_cache(tmp_path, monkeypatch):
+    """Point the persistent report cache at a per-test directory so tests
+    never read from (or pollute) the user's real ``~/.cache/repro``."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def quick_target():
     """A tiny 4-core target for fast engine tests."""

@@ -124,3 +124,64 @@ class TestCommands:
         code = main(["run", "barnes", "--threads", "16", "--scale", "0.2"])
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestParallelAndCacheFlags:
+    def test_experiment_accepts_jobs_and_all(self):
+        parser = build_parser()
+        args = parser.parse_args(["experiment", "all", "-j", "4"])
+        assert args.name == "all"
+        assert args.jobs == 4
+        assert args.no_cache is False
+
+    def test_bench_accepts_jobs_and_cached(self):
+        parser = build_parser()
+        args = parser.parse_args(["bench", "--smoke", "-j", "2", "--cached"])
+        assert args.jobs == 2
+        assert args.cached is True
+
+    def test_experiment_all_writes_output_dir(self, tmp_path, monkeypatch, capsys):
+        import repro.cli as cli_mod
+        from repro.harness.experiments import ExperimentResult
+
+        def fake_experiment(runner):
+            return ExperimentResult(
+                name="fake", title="Fake", headers=("a", "b"), rows=[(1, 2)]
+            )
+
+        monkeypatch.setattr(cli_mod, "EXPERIMENTS", {"fake": fake_experiment})
+        out = tmp_path / "results"
+        code = main(
+            ["experiment", "all", "--output-dir", str(out), "--format", "csv"]
+        )
+        assert code == 0
+        written = out / "fake.csv"
+        assert written.exists()
+        assert written.read_text().startswith("a,b")
+        assert str(written) in capsys.readouterr().out
+
+    def test_experiment_single_with_no_cache(self, monkeypatch, capsys):
+        import repro.cli as cli_mod
+        from repro.harness.experiments import ExperimentResult
+
+        seen = {}
+
+        def fake_experiment(runner):
+            seen["cache"] = runner.cache
+            seen["jobs"] = runner.jobs
+            return ExperimentResult(
+                name="fake", title="Fake", headers=("a",), rows=[(1,)]
+            )
+
+        monkeypatch.setattr(cli_mod, "EXPERIMENTS", {"fake": fake_experiment})
+        assert main(["experiment", "fake", "--no-cache", "-j", "2"]) == 0
+        assert seen["cache"] is None
+        assert seen["jobs"] == 2
+
+    def test_cache_info_and_clear(self, capsys, tmp_path):
+        assert main(["cache", "info", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "report cache at" in out
+        assert "entries" in out
+        assert main(["cache", "clear", "--dir", str(tmp_path)]) == 0
+        assert "removed 0 cached report(s)" in capsys.readouterr().out

@@ -1,0 +1,424 @@
+"""Tests for the parallel experiment fleet and persistent report cache.
+
+The load-bearing property is digest equality: a parallel run, a cached
+run, and a serial run of the same configuration must be bit-for-bit
+indistinguishable.  Everything else (crash retry, corrupt entries,
+ordering) protects that property under failure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.config import AdaptiveConfig, SlackConfig, quick_target_config
+from repro.harness import (
+    ExperimentRunner,
+    ParallelExecutor,
+    ReportCache,
+    WorkerCrashError,
+    execute_spec,
+    spec_key,
+)
+from repro.harness.cache import CACHE_SCHEMA, fingerprint, semantics_tag
+from repro.harness.pool import _pool_worker, expected_cost, resolve_jobs
+from repro.telemetry import TelemetrySession
+from repro.telemetry.metrics import MetricsRegistry
+
+SCALE = 0.05
+
+
+def make_runner(**kwargs):
+    kwargs.setdefault("target", quick_target_config())
+    kwargs.setdefault("num_threads", 4)
+    kwargs.setdefault("seed", 7)
+    return ExperimentRunner(**kwargs)
+
+
+def tiny_specs(runner):
+    return [
+        runner.plan("fft", SlackConfig(bound=0), scale=SCALE),
+        runner.plan("fft", SlackConfig(bound=100), scale=SCALE),
+        runner.plan("lu", SlackConfig(bound=100), scale=SCALE),
+        runner.plan("fft", AdaptiveConfig(), scale=SCALE),
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Cache keys
+
+
+class TestSpecKey:
+    def test_stable(self):
+        runner = make_runner()
+        a = runner.plan("fft", SlackConfig(bound=100), scale=SCALE)
+        b = runner.plan("fft", SlackConfig(bound=100), scale=SCALE)
+        assert a == b
+        assert spec_key(a) == spec_key(b)
+
+    def test_differentiates_every_field(self):
+        runner = make_runner()
+        base = runner.plan("fft", SlackConfig(bound=100), scale=SCALE)
+        variants = [
+            runner.plan("lu", SlackConfig(bound=100), scale=SCALE),
+            runner.plan("fft", SlackConfig(bound=200), scale=SCALE),
+            runner.plan("fft", AdaptiveConfig(), scale=SCALE),
+            runner.plan("fft", SlackConfig(bound=100), scale=SCALE * 2),
+            runner.plan("fft", SlackConfig(bound=100), scale=SCALE, detection=False),
+            dataclasses.replace(base, seed=99),
+            dataclasses.replace(base, num_threads=2),
+        ]
+        keys = {spec_key(v) for v in variants}
+        assert spec_key(base) not in keys
+        assert len(keys) == len(variants)
+
+    def test_fingerprint_carries_class_name(self):
+        @dataclasses.dataclass(frozen=True)
+        class _A:
+            x: int = 1
+
+        @dataclasses.dataclass(frozen=True)
+        class _B:
+            x: int = 1
+
+        assert fingerprint(_A()) != fingerprint(_B())
+
+    def test_fingerprint_floats_exact(self):
+        assert fingerprint(0.1) == (0.1).hex()
+        assert fingerprint(0.1) != fingerprint(0.1 + 1e-16)
+
+    def test_key_includes_semantics_tag(self, tmp_path, monkeypatch):
+        import repro.harness.cache as cache_mod
+
+        runner = make_runner()
+        spec = runner.plan("fft", SlackConfig(bound=100), scale=SCALE)
+        before = spec_key(spec)
+        monkeypatch.setattr(cache_mod, "_semantics_tag_cache", "different-tag")
+        assert spec_key(spec) != before
+
+
+# --------------------------------------------------------------------- #
+# Persistent cache
+
+
+class TestReportCache:
+    def test_roundtrip_preserves_digest(self):
+        runner = make_runner()
+        spec = runner.plan("fft", SlackConfig(bound=100), scale=SCALE)
+        report, wall_s = execute_spec(spec)
+        cache = ReportCache()
+        key = spec_key(spec)
+        cache.put(key, report, wall_s)
+        entry = cache.get(key)
+        assert entry is not None
+        assert entry.report.digest() == report.digest()
+        assert entry.wall_s == wall_s
+        assert cache.wall_hint(key) == wall_s
+
+    def test_miss(self):
+        assert ReportCache().get("0" * 64) is None
+        assert ReportCache().wall_hint("0" * 64) is None
+
+    def test_corrupt_entry_is_dropped(self):
+        cache = ReportCache()
+        key = "ab" + "0" * 62
+        path = cache._entry_path(key)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_digest_mismatch_is_dropped(self):
+        runner = make_runner()
+        spec = runner.plan("fft", SlackConfig(bound=100), scale=SCALE)
+        report, wall_s = execute_spec(spec)
+        cache = ReportCache()
+        key = spec_key(spec)
+        cache.put(key, report, wall_s)
+        path = cache._entry_path(key)
+        doc = json.loads(path.read_text())
+        doc["report"]["sim_time_s"] = doc["report"]["sim_time_s"] + 1.0
+        path.write_text(json.dumps(doc))
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_schema_mismatch_is_dropped(self):
+        runner = make_runner()
+        spec = runner.plan("fft", SlackConfig(bound=100), scale=SCALE)
+        report, wall_s = execute_spec(spec)
+        cache = ReportCache()
+        key = spec_key(spec)
+        cache.put(key, report, wall_s)
+        path = cache._entry_path(key)
+        doc = json.loads(path.read_text())
+        doc["schema"] = CACHE_SCHEMA + 1
+        path.write_text(json.dumps(doc))
+        assert cache.get(key) is None
+
+    def test_info_and_clear(self):
+        runner = make_runner()
+        spec = runner.plan("fft", SlackConfig(bound=100), scale=SCALE)
+        report, wall_s = execute_spec(spec)
+        cache = ReportCache()
+        cache.put(spec_key(spec), report, wall_s)
+        info = cache.info()
+        assert info["entries"] == 1
+        assert info["bytes"] > 0
+        assert info["schema"] == CACHE_SCHEMA
+        assert info["semantics"] == semantics_tag()
+        assert cache.clear() == 1
+        assert cache.info()["entries"] == 0
+
+    def test_respects_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert ReportCache().root == tmp_path / "elsewhere"
+
+
+# --------------------------------------------------------------------- #
+# Parallel executor
+
+
+# Module-level (picklable) crash workers for the retry paths.
+def _crash_always_worker(index, spec, collect_metrics):
+    os._exit(1)
+
+
+def _crash_once_worker(index, spec, collect_metrics):
+    sentinel = os.environ["REPRO_TEST_CRASH_SENTINEL"]
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as fh:
+            fh.write("crashed")
+        os._exit(1)
+    return _pool_worker(index, spec, collect_metrics)
+
+
+class TestParallelExecutor:
+    def test_resolve_jobs(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) >= 1
+
+    def test_expected_cost_orders_schemes(self):
+        runner = make_runner()
+        cc = runner.plan("fft", SlackConfig(bound=0), scale=SCALE)
+        slack = runner.plan("fft", SlackConfig(bound=100), scale=SCALE)
+        assert expected_cost(cc) > expected_cost(slack)
+
+    def test_empty(self):
+        assert ParallelExecutor(jobs=2).map([]) == []
+
+    def test_parallel_matches_serial(self):
+        runner = make_runner(persistent_cache=False)
+        specs = tiny_specs(runner)
+        serial = ParallelExecutor(jobs=1).map(specs)
+        parallel = ParallelExecutor(jobs=2).map(specs)
+        assert [r.report.digest() for r in serial] == [
+            r.report.digest() for r in parallel
+        ]
+
+    def test_results_in_submission_order(self):
+        runner = make_runner(persistent_cache=False)
+        specs = tiny_specs(runner)
+        # Deliberately inverted cost hints: the executor must still hand
+        # results back aligned with the input order.
+        costs = [1.0, 100.0, 50.0, 10.0]
+        results = ParallelExecutor(jobs=2).map(specs, costs=costs)
+        for spec, result in zip(specs, results):
+            fresh, _ = execute_spec(spec)
+            assert result.report.digest() == fresh.digest()
+
+    def test_collect_metrics(self):
+        runner = make_runner(persistent_cache=False)
+        specs = tiny_specs(runner)[:2]
+        results = ParallelExecutor(jobs=2, collect_metrics=True).map(specs)
+        for result in results:
+            assert result.metrics is not None
+            assert result.metrics["counters"]
+
+    def test_crash_once_is_retried(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_TEST_CRASH_SENTINEL", str(tmp_path / "crash-sentinel")
+        )
+        runner = make_runner(persistent_cache=False)
+        specs = tiny_specs(runner)[:2]
+        executor = ParallelExecutor(jobs=2, worker=_crash_once_worker)
+        results = executor.map(specs)
+        for spec, result in zip(specs, results):
+            fresh, _ = execute_spec(spec)
+            assert result.report.digest() == fresh.digest()
+
+    def test_persistent_crash_gives_up(self):
+        runner = make_runner(persistent_cache=False)
+        specs = tiny_specs(runner)[:2]
+        executor = ParallelExecutor(
+            jobs=2, max_retries=1, worker=_crash_always_worker
+        )
+        with pytest.raises(WorkerCrashError, match="crashed"):
+            executor.map(specs)
+
+    def test_simulation_error_not_retried(self):
+        calls = []
+
+        def failing_worker(index, spec, collect_metrics):
+            calls.append(index)
+            raise ValueError("deterministic failure")
+
+        runner = make_runner(persistent_cache=False)
+        spec = runner.plan("fft", SlackConfig(bound=100), scale=SCALE)
+        executor = ParallelExecutor(jobs=1, worker=failing_worker)
+        with pytest.raises(ValueError, match="deterministic failure"):
+            executor.map([spec])
+        assert len(calls) == 1
+
+
+# --------------------------------------------------------------------- #
+# Metrics merge
+
+
+class TestMetricsMerge:
+    def test_counters_add_gauges_overwrite(self):
+        parent = MetricsRegistry()
+        parent.counter("runs").inc(3)
+        parent.gauge("depth").set(1.0)
+        child = MetricsRegistry()
+        child.counter("runs").inc(4)
+        child.counter("new").inc(1)
+        child.gauge("depth").set(9.0)
+        parent.merge(child.to_dict())
+        assert parent.counter("runs").value == 7
+        assert parent.counter("new").value == 1
+        assert parent.gauge("depth").value == 9.0
+
+    def test_histograms_combine(self):
+        parent = MetricsRegistry()
+        parent.histogram("lat", buckets=(1, 2, 4)).observe(1)
+        child = MetricsRegistry()
+        child.histogram("lat", buckets=(1, 2, 4)).observe(3)
+        child.histogram("lat").observe(100)
+        parent.merge(child.to_dict())
+        hist = parent.histogram("lat")
+        assert hist.count == 3
+        assert hist.total == 104.0
+
+    def test_mismatched_buckets_skipped(self):
+        parent = MetricsRegistry()
+        parent.histogram("lat", buckets=(1, 2)).observe(1)
+        child = MetricsRegistry()
+        child.histogram("lat", buckets=(10, 20)).observe(15)
+        parent.merge(child.to_dict())
+        assert parent.histogram("lat").count == 1
+
+    def test_session_absorbs_worker_metrics(self):
+        session = TelemetrySession(trace=False, metrics=True, sample_period=None)
+        worker = MetricsRegistry()
+        worker.counter("events").inc(5)
+        session.absorb_worker_metrics(worker.to_dict())
+        assert session.metrics.counter("events").value == 5
+        session.absorb_worker_metrics(None)  # no-op
+        assert session.metrics.counter("events").value == 5
+
+
+# --------------------------------------------------------------------- #
+# Runner integration
+
+
+class TestRunnerIntegration:
+    def test_prefetch_parallel_equals_serial(self):
+        serial = make_runner(jobs=1, persistent_cache=False)
+        parallel = make_runner(jobs=2, persistent_cache=False)
+        specs = tiny_specs(parallel)
+        parallel.prefetch(specs)
+        for spec in specs:
+            a = serial.run(
+                spec.benchmark,
+                spec.scheme,
+                scale=spec.scale,
+                checkpoint=spec.checkpoint,
+                detection=spec.detection,
+            )
+            b = parallel.run(
+                spec.benchmark,
+                spec.scheme,
+                scale=spec.scale,
+                checkpoint=spec.checkpoint,
+                detection=spec.detection,
+            )
+            assert a.digest() == b.digest()
+
+    def test_persistent_cache_spans_runners(self, monkeypatch):
+        first = make_runner()
+        report = first.run("fft", SlackConfig(bound=100), scale=SCALE)
+
+        # A second runner (fresh memo, same on-disk cache) must not
+        # execute anything.
+        import repro.harness.runner as runner_mod
+
+        def boom(*args, **kwargs):
+            raise AssertionError("expected a cache hit, got a fresh run")
+
+        monkeypatch.setattr(runner_mod, "execute_spec", boom)
+        second = make_runner()
+        cached = second.run("fft", SlackConfig(bound=100), scale=SCALE)
+        assert cached.digest() == report.digest()
+
+    def test_prefetch_uses_persistent_cache(self, monkeypatch):
+        first = make_runner()
+        specs = tiny_specs(first)
+        first.prefetch(specs)
+
+        import repro.harness.runner as runner_mod
+
+        class BoomExecutor:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def map(self, specs, costs=None):
+                raise AssertionError("expected cache hits, pool was invoked")
+
+        monkeypatch.setattr(runner_mod, "ParallelExecutor", BoomExecutor)
+        second = make_runner(jobs=2)
+        second.prefetch(specs)
+        assert len(second._memo) == len(set(specs))
+
+    def test_no_persistent_cache_opt_out(self, monkeypatch):
+        first = make_runner(persistent_cache=False)
+        first.run("fft", SlackConfig(bound=100), scale=SCALE)
+        assert first.cache is None
+        assert ReportCache().info()["entries"] == 0
+
+    def test_telemetry_bypasses_reads_shares_writes(self):
+        runner = make_runner()
+        baseline = runner.run("fft", SlackConfig(bound=100), scale=SCALE)
+
+        calls = []
+        import repro.harness.runner as runner_mod
+
+        real = runner_mod.execute_spec
+
+        def counting(spec, telemetry=None):
+            calls.append(spec)
+            return real(spec, telemetry=telemetry)
+
+        runner_mod.execute_spec = counting
+        try:
+            session = TelemetrySession(
+                trace=False, metrics=True, sample_period=None
+            )
+            fresh_runner = make_runner()
+            observed = fresh_runner.run(
+                "fft", SlackConfig(bound=100), scale=SCALE, telemetry=session
+            )
+        finally:
+            runner_mod.execute_spec = real
+        # The cached entry was ignored: the run truly executed...
+        assert len(calls) == 1
+        # ...under telemetry without perturbing the result...
+        assert observed.digest() == baseline.digest()
+        assert session.metrics.to_dict()["counters"]
+        # ...and its (identical) report refreshed the shared cache entry.
+        spec = runner.plan("fft", SlackConfig(bound=100), scale=SCALE)
+        entry = ReportCache().get(spec_key(spec))
+        assert entry is not None and entry.digest == baseline.digest()

@@ -116,6 +116,40 @@ class TestPacingEnforcement:
         with pytest.raises(DeadlockError):
             sim.run(max_target_cycles=50_000)
 
+    def test_deadlock_backstop_reports_context(self, monkeypatch):
+        """Tripping the idle-manager backstop must produce an error with
+        enough context to debug the hang: the global time, each core's
+        blocking condition, and each host thread's scheduling state."""
+        from repro.isa import Emit, barrier as barrier_op
+        from repro.workloads.base import Workload
+        import repro.core.scheduler as sched_mod
+
+        monkeypatch.setattr(sched_mod, "_DEADLOCK_LIMIT", 500)
+
+        def builder(tid):
+            if tid == 0:
+                return []  # thread 0 never arrives
+            return [Emit(lambda ctx: barrier_op(0, 4))]
+
+        broken = Workload("broken", 4, builder)
+        sim = make_sim(workload=broken)
+        with pytest.raises(DeadlockError) as excinfo:
+            sim.run()
+        message = str(excinfo.value)
+        assert "simulation deadlock" in message
+        assert "> 500 consecutive idle manager steps" in message
+        assert "global time:" in message
+        # Every core's blocking condition is listed...
+        for core_id in range(4):
+            assert f"core {core_id}:" in message
+        assert "waiting_sync=" in message
+        # ...and every host thread's scheduling state (the stuck ids).
+        assert "host threads:" in message
+        for pos in range(4):
+            assert f"thread {pos} (" in message
+        assert "state=" in message
+        assert "steps=" in message
+
 
 class TestHierarchicalManager:
     def _run(self, subs):
