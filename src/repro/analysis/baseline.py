@@ -1,0 +1,104 @@
+"""Baseline files: grandfather pre-existing findings so CI fails on new ones.
+
+The baseline is a checked-in JSON file listing the fingerprints of
+findings that existed when the linter was introduced (or when a rule was
+added).  ``repro lint --baseline FILE`` subtracts them: CI can fail on
+*new* findings from day one while the old ones are burned down over time.
+
+Fingerprints hash ``(code, path, offending line text)`` — not the line
+number — so grandfathered findings survive unrelated edits that shift
+them around the file.  Matching is multiset-aware: two identical
+offending lines need two baseline entries.  Entries that no longer match
+anything are reported as stale so the file shrinks as findings are fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Tuple
+
+from repro.analysis.findings import Finding
+
+BASELINE_SCHEMA = "repro.analysis.baseline/v1"
+
+
+class Baseline:
+    """A loaded (or freshly built) set of grandfathered findings."""
+
+    def __init__(self, entries: List[Dict[str, object]]) -> None:
+        self.entries = entries
+        self._counts: Counter = Counter(
+            str(entry["fingerprint"]) for entry in entries
+        )
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        if doc.get("schema") != BASELINE_SCHEMA:
+            raise ValueError(
+                f"{path}: not a lint baseline (schema {doc.get('schema')!r}, "
+                f"expected {BASELINE_SCHEMA!r})"
+            )
+        return cls(list(doc.get("entries", [])))
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        entries = [
+            {
+                "fingerprint": f.fingerprint(),
+                "code": f.code,
+                "path": f.path,
+                "line": f.line,
+                "message": f.message,
+            }
+            for f in findings
+        ]
+        return cls(entries)
+
+    def write(self, path: str) -> None:
+        doc = {
+            "schema": BASELINE_SCHEMA,
+            "entries": sorted(
+                self.entries,
+                key=lambda e: (str(e["path"]), int(e.get("line", 0)), str(e["code"])),
+            ),
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+
+    # ------------------------------------------------------------------ #
+
+    def partition(
+        self, findings: List[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[Dict[str, object]]]:
+        """Split findings into (new, grandfathered) and list stale entries.
+
+        Multiset semantics: each baseline entry absorbs at most one
+        matching finding.
+        """
+        remaining = Counter(self._counts)
+        fresh: List[Finding] = []
+        grandfathered: List[Finding] = []
+        for finding in findings:
+            fp = finding.fingerprint()
+            if remaining.get(fp, 0) > 0:
+                remaining[fp] -= 1
+                grandfathered.append(finding)
+            else:
+                fresh.append(finding)
+        stale: List[Dict[str, object]] = []
+        leftovers = dict(remaining)
+        for entry in self.entries:
+            fp = str(entry["fingerprint"])
+            if leftovers.get(fp, 0) > 0:
+                leftovers[fp] -= 1
+                stale.append(entry)
+        return fresh, grandfathered, stale
+
+    def __len__(self) -> int:
+        return len(self.entries)

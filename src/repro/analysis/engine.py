@@ -1,0 +1,177 @@
+"""The lint engine: parse, run rules, apply suppressions and baselines.
+
+``lint_source`` checks one in-memory file (the unit tests' entry point);
+``lint_paths`` walks directories, applies an optional baseline, and
+returns a :class:`LintResult` that renders as text or JSON and knows its
+process exit code.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import Finding, sort_findings
+from repro.analysis.noqa import parse_suppressions
+from repro.analysis.rules import RULES, RULES_BY_CODE, LintContext
+
+#: Schema tag for ``--format json`` output.
+LINT_SCHEMA = "repro.analysis.lint/v1"
+
+
+def _relpath(path: str, root: Optional[str]) -> str:
+    """Repo-relative posix path (so baselines travel between machines)."""
+    rel = os.path.relpath(path, root) if root else path
+    return rel.replace(os.sep, "/")
+
+
+def lint_source(path: str, source: str) -> List[Finding]:
+    """Lint one file's contents; returns post-suppression findings.
+
+    Suppression processing also enforces RPR008: reasonless noqa,
+    unregistered codes, and unused suppressions each produce a finding.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        line = exc.lineno or 1
+        return [
+            Finding(
+                "RPR000", path, line, (exc.offset or 0) + 1,
+                f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = LintContext(path, source, tree)
+    raw: List[Finding] = []
+    for rule in RULES:
+        raw.extend(rule.check(ctx))
+
+    suppressions = parse_suppressions(ctx.source)
+    kept: List[Finding] = []
+    for finding in raw:
+        suppression = suppressions.get(finding.line)
+        if suppression is not None and suppression.suppresses(
+            finding.code, finding.line
+        ):
+            continue
+        kept.append(finding)
+
+    hygiene = RULES_BY_CODE["RPR008"]
+    for suppression in suppressions.values():
+        text = ctx.line_text(suppression.line)
+        if not suppression.reason:
+            kept.append(
+                Finding(
+                    hygiene.code, path, suppression.line, 1,
+                    "noqa suppression without a written reason", text,
+                )
+            )
+        for code in suppression.codes:
+            if code not in RULES_BY_CODE:
+                kept.append(
+                    Finding(
+                        hygiene.code, path, suppression.line, 1,
+                        f"noqa names unregistered rule code {code}", text,
+                    )
+                )
+        for code in suppression.unused_codes:
+            if code in RULES_BY_CODE:
+                kept.append(
+                    Finding(
+                        hygiene.code, path, suppression.line, 1,
+                        f"unused noqa: no {code} finding on this line", text,
+                    )
+                )
+    return sort_findings(kept)
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of .py files."""
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        files.append(os.path.join(dirpath, name))
+        elif path.endswith(".py"):
+            files.append(path)
+    return files
+
+
+class LintResult:
+    """Everything one lint invocation produced."""
+
+    def __init__(
+        self,
+        fresh: List[Finding],
+        grandfathered: List[Finding],
+        stale_baseline: List[Dict[str, object]],
+        files_checked: int,
+    ) -> None:
+        self.fresh = fresh
+        self.grandfathered = grandfathered
+        self.stale_baseline = stale_baseline
+        self.files_checked = files_checked
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.fresh else 0
+
+    @property
+    def all_findings(self) -> List[Finding]:
+        return sort_findings(self.fresh + self.grandfathered)
+
+    def render_text(self) -> str:
+        lines: List[str] = []
+        for finding in self.fresh:
+            lines.append(finding.render())
+        for finding in self.grandfathered:
+            lines.append(f"{finding.render()} [baseline]")
+        for entry in self.stale_baseline:
+            lines.append(
+                f"stale baseline entry: {entry.get('path')} {entry.get('code')} "
+                f"({entry.get('fingerprint')}) no longer matches — remove it"
+            )
+        lines.append(
+            f"checked {self.files_checked} file(s): "
+            f"{len(self.fresh)} new finding(s), "
+            f"{len(self.grandfathered)} baselined, "
+            f"{len(self.stale_baseline)} stale baseline entr(y/ies)"
+        )
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        doc = {
+            "schema": LINT_SCHEMA,
+            "files_checked": self.files_checked,
+            "new": [f.to_dict() for f in self.fresh],
+            "baselined": [f.to_dict() for f in self.grandfathered],
+            "stale_baseline": self.stale_baseline,
+            "exit_code": self.exit_code,
+        }
+        return json.dumps(doc, indent=2)
+
+
+def lint_paths(
+    paths: Sequence[str],
+    baseline: Optional[Baseline] = None,
+    root: Optional[str] = None,
+) -> LintResult:
+    """Lint every .py file under ``paths`` against an optional baseline."""
+    findings: List[Finding] = []
+    files = iter_python_files(paths)
+    for filename in files:
+        with open(filename, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        findings.extend(lint_source(_relpath(filename, root), source))
+    findings = sort_findings(findings)
+    if baseline is None:
+        return LintResult(findings, [], [], len(files))
+    fresh, grandfathered, stale = baseline.partition(findings)
+    return LintResult(fresh, grandfathered, stale, len(files))

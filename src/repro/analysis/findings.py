@@ -1,0 +1,61 @@
+"""Lint findings: the record every rule produces and every layer consumes.
+
+A finding is identified for baseline purposes by ``(code, path, line
+text)`` — the *content* of the offending line, not its number — so
+unrelated edits that shift a grandfathered finding up or down the file do
+not resurrect it as "new".
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List
+
+
+class Finding:
+    """One rule violation at one source location."""
+
+    __slots__ = ("code", "path", "line", "column", "message", "line_text")
+
+    def __init__(
+        self,
+        code: str,
+        path: str,
+        line: int,
+        column: int,
+        message: str,
+        line_text: str = "",
+    ) -> None:
+        self.code = code
+        self.path = path
+        self.line = line
+        self.column = column
+        self.message = message
+        self.line_text = line_text
+
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching (line-number agnostic)."""
+        text = self.line_text.strip()
+        blob = f"{self.code}\x00{self.path}\x00{text}"
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}: {self.code} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Finding({self.render()!r})"
+
+
+def sort_findings(findings: List[Finding]) -> List[Finding]:
+    """Deterministic report order: path, then line, then code."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.column, f.code))

@@ -10,12 +10,16 @@ Subcommands::
                 ablation-tracked) or 'all' of them
     trace       summarize or validate a recorded telemetry trace
     cache       inspect or clear the persistent report cache
+    lint        run the determinism linter over the source tree
     list        list available workloads and experiments
 
 Examples::
 
     python -m repro run fft --scheme slack:8
+    python -m repro run fft --scheme slack:8 --sanitize
     python -m repro run barnes --scheme adaptive:1e-3 --scale 2
+    python -m repro lint --baseline lint-baseline.json
+    python -m repro lint --explain RPR001
     python -m repro run fft --scheme adaptive:1e-3 --trace out.json --metrics m.json
     python -m repro trace summarize out.json
     python -m repro compare water --bounds 0,4,None
@@ -28,6 +32,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -124,6 +129,11 @@ def cmd_run(args: argparse.Namespace) -> int:
             metrics=True,
             sample_period=args.sample_period,
         )
+    sanitizer = None
+    if args.sanitize:
+        from repro.analysis.sanitizer import SlackSanitizer
+
+        sanitizer = SlackSanitizer()
     workload = make_workload(args.benchmark, num_threads=args.threads, scale=args.scale)
     simulation = Simulation(
         workload,
@@ -131,9 +141,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         detection=not args.no_detection,
         seed=args.seed,
         telemetry=telemetry,
+        sanitizer=sanitizer,
     )
     report = simulation.run()
     _print_report(report)
+    if sanitizer is not None:
+        print(f"  {sanitizer.summary()}")
     if telemetry is not None:
         tracer = telemetry.tracer
         if args.trace:
@@ -208,6 +221,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         verbose=args.verbose,
         jobs=resolve_jobs(args.jobs),
         persistent_cache=not args.no_cache,
+        sanitize=args.sanitize,
     )
     names = list(EXPERIMENTS) if args.name == "all" else [args.name]
     out_dir = None
@@ -241,6 +255,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.telemetry_guard:
         run_telemetry_guard(golden_file=args.golden)
         return 0
+    cases = None
+    if args.cases:
+        cases = [token.strip() for token in args.cases.split(",") if token.strip()]
     run_bench(
         smoke=args.smoke,
         update_golden=args.update_golden,
@@ -249,8 +266,45 @@ def cmd_bench(args: argparse.Namespace) -> int:
         golden_file=args.golden,
         jobs=resolve_jobs(args.jobs),
         use_cache=args.cached,
+        sanitize=args.sanitize,
+        cases=cases,
     )
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.baseline import Baseline
+    from repro.analysis.engine import lint_paths
+    from repro.analysis.rules import RULES, RULES_BY_CODE, explain_rule
+
+    if args.explain:
+        code = args.explain.upper()
+        if code == "ALL":
+            print("\n\n".join(explain_rule(rule.code) for rule in RULES))
+            return 0
+        if code not in RULES_BY_CODE:
+            known = ", ".join(rule.code for rule in RULES)
+            print(f"error: unknown rule code {code} (known: {known})",
+                  file=sys.stderr)
+            return 2
+        print(explain_rule(code))
+        return 0
+
+    paths = args.paths or ["src/repro"]
+    baseline = Baseline.load(args.baseline) if args.baseline else None
+    result = lint_paths(paths, baseline=baseline, root=os.getcwd())
+    if args.write_baseline:
+        Baseline.from_findings(result.all_findings).write(args.write_baseline)
+        print(
+            f"wrote {args.write_baseline} "
+            f"({len(result.all_findings)} grandfathered finding(s))"
+        )
+        return 0
+    if args.format == "json":
+        print(result.render_json())
+    else:
+        print(result.render_text())
+    return result.exit_code
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -308,6 +362,11 @@ def build_parser() -> argparse.ArgumentParser:
                             metavar="CYCLES",
                             help="time-series sampling period in target "
                                  "cycles (0 disables sampling)")
+    run_parser.add_argument("--sanitize", action="store_true",
+                            help="attach the slack sanitizer: assert timing "
+                                 "invariants (local-time monotonicity, slack "
+                                 "bounds, global-time derivation, rollback "
+                                 "digests) at every step")
     run_parser.set_defaults(func=cmd_run)
 
     compare_parser = sub.add_parser("compare", help="compare slack bounds vs CC")
@@ -337,6 +396,10 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_parser.add_argument("--no-cache", action="store_true",
                                    help="bypass the persistent report cache "
                                         "(~/.cache/repro)")
+    experiment_parser.add_argument("--sanitize", action="store_true",
+                                   help="run every simulation under the slack "
+                                        "sanitizer (bypasses cache reads; "
+                                        "fails on any invariant violation)")
     experiment_parser.set_defaults(func=cmd_experiment)
 
     bench_parser = sub.add_parser(
@@ -366,7 +429,34 @@ def build_parser() -> argparse.ArgumentParser:
                               help="reuse report-cache entries (digests and "
                                    "recorded walls) instead of re-running; "
                                    "reused rows are marked cached")
+    bench_parser.add_argument("--sanitize", action="store_true",
+                              help="attach the slack sanitizer to every case "
+                                   "(always fresh runs; digests must still "
+                                   "match golden)")
+    bench_parser.add_argument("--cases", metavar="SUBSTR[,SUBSTR...]",
+                              help="only run matrix cases whose id contains "
+                                   "one of the given substrings "
+                                   "(e.g. cc-c4,bounded-c8)")
     bench_parser.set_defaults(func=cmd_bench)
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="run the determinism linter (AST rules RPR001+) over the tree",
+    )
+    lint_parser.add_argument("paths", nargs="*",
+                             help="files or directories (default src/repro)")
+    lint_parser.add_argument("--format", choices=("text", "json"),
+                             default="text")
+    lint_parser.add_argument("--baseline", metavar="FILE",
+                             help="grandfather findings listed in FILE "
+                                  "(fail only on new ones)")
+    lint_parser.add_argument("--write-baseline", metavar="FILE",
+                             help="record current findings as the baseline "
+                                  "and exit 0")
+    lint_parser.add_argument("--explain", metavar="CODE",
+                             help="print one rule's rationale and fix "
+                                  "example (or 'all') and exit")
+    lint_parser.set_defaults(func=cmd_lint)
 
     cache_parser = sub.add_parser(
         "cache", help="inspect or clear the persistent report cache"
@@ -398,6 +488,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `repro lint --explain all | head`)
+        # closed the pipe; exit quietly the way POSIX tools do.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

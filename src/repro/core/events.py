@@ -18,6 +18,7 @@ from repro.cpu.core import CoreRequest
 from repro.memory.mesi import MesiState
 
 
+# repro: hot-path
 class OutMsg:
     """One OutQ/GQ entry: a core's request to the manager."""
 
@@ -47,6 +48,7 @@ class InMsgKind(IntEnum):
     IFILL = 4  #: an instruction-line fetch completed (L1I install)
 
 
+# repro: hot-path
 class InMsg:
     """One InQ entry: a manager notification to a core thread.
 

@@ -44,6 +44,7 @@ _TIMESTAMP_ORDER = attrgetter("ts", "core_id", "host_time")
 _KIND_NAMES = {kind: kind.name.lower() for kind in RequestKind}
 
 
+# repro: hot-path
 class ServiceOutcome:
     """What one manager service step did (drives host-cost charging)."""
 
@@ -79,6 +80,9 @@ class ManagerState:
     #: Optional TelemetrySession (instance attr set by Simulation when a
     #: session is attached; shared across snapshots, never deep-copied).
     telemetry = None
+    #: Optional SlackSanitizer (instance attr set by Simulation under
+    #: ``--sanitize``); same sharing contract as the telemetry session.
+    sanitizer = None
 
     def __init__(
         self,
@@ -169,6 +173,14 @@ class ManagerState:
         outcome.violations = self.detector.drain_pending()
         outcome.global_time = new_global
         outcome.idle = served == 0 and not adjusted and not advanced
+        san = self.sanitizer
+        if san is not None and san.enabled:
+            san.on_manager_step(
+                sim,
+                outcome,
+                conservative,
+                force_window is not None or window_cap is not None,
+            )
         return outcome
 
     def _merge_outqs(
@@ -222,8 +234,13 @@ class ManagerState:
             # occur whenever an event arrives *after* a younger-stamped
             # event was already served in an earlier batch — which is
             # precisely what grows with the slack bound.
+            horizon = None
             servable, self.gq = self.gq, []
             servable.sort(key=_TIMESTAMP_ORDER)
+
+        san = self.sanitizer
+        if san is not None and san.enabled:
+            san.on_serve_batch(servable, conservative, horizon)
 
         served = 0
         self._batch_grant_min: Optional[int] = None

@@ -153,6 +153,7 @@ class Scheduler:
         heap = self._heap
         controller = sim.controller  # fixed for the life of the Simulation
         telemetry = self._telemetry
+        sanitizer = getattr(sim, "sanitizer", None)
         idle_manager_steps = 0
         while True:
             state = sim.state
@@ -217,6 +218,12 @@ class Scheduler:
                     )
             elif thread.pos < num_cores:  # core runner
                 stats.core_steps += 1
+                if sanitizer is not None and sanitizer.enabled:
+                    # Re-fetch through sim.state: a rollback swaps the root.
+                    cs = sim.state.cores[thread.pos]
+                    sanitizer.on_core_step(
+                        thread.pos, cs.local_time, cs.max_local_time
+                    )
                 if result.done:
                     thread.state = ThreadState.DONE
                     self._parked.append(thread)

@@ -95,6 +95,17 @@ class AdaptiveSlackPolicy(SchemePolicy):
             tel.on_window_adjust(self.kind, global_time, new_bound)
         return True
 
+    def pacing_violation(
+        self, cores_view, global_time: int, capped: bool = False
+    ) -> Optional[str]:
+        config = self.config
+        if not config.min_bound <= self.bound <= config.max_bound:
+            return (
+                f"adaptive bound {self.bound} outside "
+                f"[{config.min_bound}, {config.max_bound}]"
+            )
+        return super().pacing_violation(cores_view, global_time, capped)
+
     def average_bound(self, global_time: int) -> float:
         """Time-weighted average of the slack bound over the run."""
         integral = self._bound_integral + self.bound * (global_time - self._integral_from)

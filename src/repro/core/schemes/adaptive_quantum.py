@@ -68,3 +68,14 @@ class AdaptiveQuantumPolicy(SchemePolicy):
         if tel is not None and tel.enabled:
             tel.on_window_adjust(self.kind, global_time, new_quantum)
         return True
+
+    def pacing_violation(
+        self, cores_view, global_time: int, capped: bool = False
+    ) -> Optional[str]:
+        config = self.config
+        if not config.min_quantum <= self.quantum <= config.max_quantum:
+            return (
+                f"adaptive quantum {self.quantum} outside "
+                f"[{config.min_quantum}, {config.max_quantum}]"
+            )
+        return super().pacing_violation(cores_view, global_time, capped)

@@ -85,3 +85,40 @@ class SchemePolicy:
         where ``active`` is False for finished or sync-blocked (frozen)
         cores.  Used by per-core schemes such as Lax-P2P.
         """
+
+    def pacing_violation(
+        self, cores_view, global_time: int, capped: bool = False
+    ) -> Optional[str]:
+        """Sanitizer hook: does the current pacing assignment break this
+        scheme's own contract?
+
+        ``cores_view`` is a list of ``(core_id, local_time, max_local_time,
+        finished, waiting_sync)`` rows taken right after a manager service
+        step.  ``capped`` is True when the speculative controller overrode
+        the scheme's window (``force_window``/``window_cap``), which only
+        ever *lowers* limits — window-excess checks still apply, but a
+        missing limit under an unbounded scheme becomes legal.
+
+        Returns a human-readable description of the first breach, or None
+        when the assignment conforms.  Observation-only: implementations
+        must not mutate scheme state.  Subclasses layer scheme-specific
+        constraints (adaptive bound range, p2p pairwise leads) on top of
+        the base window check via ``super()``.
+        """
+        window = self.window()
+        for core_id, _local, max_local, finished, _waiting in cores_view:
+            if finished:
+                continue
+            if max_local is None:
+                if window is not None and not capped:
+                    return (
+                        f"core {core_id} has no pacing limit under a "
+                        f"{window}-cycle window"
+                    )
+                continue
+            if window is not None and not capped and max_local - global_time > window:
+                return (
+                    f"core {core_id} pacing limit {max_local} exceeds "
+                    f"global time {global_time} + window {window}"
+                )
+        return None

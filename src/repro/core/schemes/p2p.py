@@ -82,3 +82,32 @@ class P2PPolicy(SchemePolicy):
             return None
         self.waits += 1
         return limit
+
+    def pacing_violation(
+        self, cores_view, global_time: int, capped: bool = False
+    ) -> Optional[str]:
+        """No global window, but every assigned limit derives from some
+        peer's recorded local time plus ``max_lead`` — so no limit may
+        exceed the fastest unfinished core's clock by more than the lead
+        (recorded peer clocks only lag the live ones)."""
+        if not capped:
+            fastest = max(
+                (
+                    local
+                    for _, local, _, finished, _ in cores_view
+                    if not finished
+                ),
+                default=None,
+            )
+            if fastest is not None:
+                cap = fastest + self.config.max_lead
+                for core_id, _local, max_local, finished, _w in cores_view:
+                    if finished or max_local is None:
+                        continue
+                    if max_local > cap:
+                        return (
+                            f"core {core_id} pairwise limit {max_local} "
+                            f"exceeds fastest peer {fastest} + max_lead "
+                            f"{self.config.max_lead}"
+                        )
+        return super().pacing_violation(cores_view, global_time, capped)

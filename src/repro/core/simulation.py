@@ -64,6 +64,7 @@ class Simulation:
         sync_timing: Optional[SyncTimingConfig] = None,
         seed: int = 12345,
         telemetry: Optional[TelemetrySession] = None,
+        sanitizer=None,
     ) -> None:
         self.workload = workload
         self.target = target or paper_target_config()
@@ -73,6 +74,11 @@ class Simulation:
         # state, RNG draws, or modeled host costs, so the report digest is
         # identical whether a session is attached, disabled, or absent.
         self.telemetry = telemetry
+        # The slack sanitizer (repro.analysis.sanitizer.SlackSanitizer)
+        # shares the same contract: observation-only, shared across
+        # checkpoint snapshots, digest-invariant — it raises on breach but
+        # never alters a healthy run.
+        self.sanitizer = sanitizer
         self.scheme_config = scheme if scheme is not None else SlackConfig(bound=0)
 
         speculate = False
@@ -121,6 +127,10 @@ class Simulation:
             policy.telemetry = telemetry
             for cs in cores:
                 cs.model.telemetry = telemetry
+
+        if sanitizer is not None:
+            sanitizer.attach(self.target.num_cores)
+            manager.sanitizer = sanitizer
 
         self.controller: Optional[CheckpointController] = None
         if checkpoint is not None:

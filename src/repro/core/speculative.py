@@ -86,6 +86,9 @@ class CheckpointController:
         tel = self.sim.telemetry
         if tel is not None and tel.enabled:
             tel.on_checkpoint(resume - cost, cost, 0, pages)
+        san = getattr(self.sim, "sanitizer", None)
+        if san is not None and san.enabled:
+            san.on_checkpoint(self.snapshot)
         scheduler.wake_all(resume)
 
     def overrides(self) -> Dict[str, object]:
@@ -172,6 +175,9 @@ class CheckpointController:
         scheduler.stats.checkpoint_cost_ns += cost
         if tel is not None and tel.enabled:
             tel.on_checkpoint(resume - cost, cost, self.next_boundary, pages)
+        san = getattr(self.sim, "sanitizer", None)
+        if san is not None and san.enabled:
+            san.on_checkpoint(self.snapshot)
 
         self.records.append(self._current)
         start = self.next_boundary
@@ -192,6 +198,12 @@ class CheckpointController:
         scheduler.stats.rollback_cost_ns += self.cost.rollback_ns
 
         self.sim.state = restore_snapshot(self.snapshot)
+        san = getattr(self.sim, "sanitizer", None)
+        if san is not None and san.enabled:
+            # Digest-check the restored root *before* the post-rollback
+            # throttle mutates the scheme bound, and rewind the vector
+            # clocks so monotonicity checks restart from the checkpoint.
+            san.on_rollback(self.sim.state, self.snapshot)
         self._throttle_after_rollback()
         resume = scheduler.pause_all_contexts(self.cost.rollback_ns)
         self.replaying = True

@@ -22,6 +22,7 @@ from repro.cpu.core import CoreModel
 from repro.errors import SimulationError
 
 
+# repro: hot-path
 class CoreState:
     """One core thread's simulation state: model, clocks, queues."""
 

@@ -36,6 +36,7 @@ _BARRIER_ARR = RequestKind.BARRIER_ARRIVE
 _KIND_NAMES = {kind: kind.name.lower() for kind in RequestKind}
 
 
+# repro: hot-path
 class StepResult:
     """Outcome of one runner scheduling step."""
 
@@ -79,6 +80,8 @@ class CoreRunner:
         self._barrier_static = sim.state.scheme.barrier_sync
         # Telemetry (host-side, observation only; None when not attached).
         self._tel = getattr(sim, "telemetry", None)
+        # Sanitizer (same seam contract; None in ordinary runs).
+        self._san = getattr(sim, "sanitizer", None)
         self._sync_wait_start: Optional[int] = None
 
     @property
@@ -341,6 +344,11 @@ class CoreRunner:
             msg = cs.inq.popleft()
             if msg.kind == InMsgKind.SYNC_GRANT:
                 if msg.ts > cs.local_time:
+                    san = self._san
+                    if san is not None and san.enabled:
+                        # The one legal way past max_local_time: record the
+                        # warp so the slack-bound check allows it.
+                        san.on_sync_warp(cs.core_id, msg.ts)
                     cs.model.skip_stall_cycles(msg.ts - cs.local_time)
                     cs.local_time = msg.ts
                 tel = self._tel

@@ -29,6 +29,7 @@ MAP = "map"
 _NO_VIOLATIONS: List["ViolationRecord"] = []
 
 
+# repro: hot-path
 class TimestampMonitor:
     """One monitoring variable guarding one resource."""
 
@@ -68,6 +69,7 @@ class MapMonitorTable:
         return len(self._monitors)
 
 
+# repro: hot-path
 class ViolationRecord:
     """One detected violation (kept lightweight; produced in bulk)."""
 

@@ -48,6 +48,7 @@ class RequestKind(IntEnum):
     IFETCH = 5  #: instruction-line fetch (read-only GETS)
 
 
+# repro: hot-path
 class CoreRequest:
     """One outgoing request produced by the core model."""
 

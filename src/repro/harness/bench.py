@@ -135,10 +135,12 @@ def _record_from(
 
 
 def run_case(
-    case: BenchCase, telemetry: Optional[TelemetrySession] = None
+    case: BenchCase,
+    telemetry: Optional[TelemetrySession] = None,
+    sanitizer=None,
 ) -> Dict[str, object]:
     """Run one cell; return its measurement record."""
-    report, wall_s = execute_spec(case.spec(), telemetry=telemetry)
+    report, wall_s = execute_spec(case.spec(), telemetry=telemetry, sanitizer=sanitizer)
     return _record_from(case, report, wall_s)
 
 
@@ -178,6 +180,8 @@ def run_bench(
     golden_file: Optional[str] = None,
     jobs: int = 1,
     use_cache: bool = False,
+    sanitize: bool = False,
+    cases: Optional[List[str]] = None,
 ) -> Dict[str, object]:
     """Run the matrix; verify digests; write ``BENCH_kernel.json``.
 
@@ -189,45 +193,68 @@ def run_bench(
     recorded walls (entries are marked ``"cached": true`` so reused
     timings are never mistaken for fresh measurements).
 
+    ``sanitize`` attaches a fresh slack sanitizer to every run: a digest
+    match then certifies not just "same results" but "same results with
+    every timing invariant checked along the way".  Sanitized runs are
+    always fresh (cache reads are skipped; the point is to check the run,
+    not to reuse a report).  ``cases`` filters the matrix by substring
+    match on case ids (e.g. ``["cc-c4", "bounded-c8"]``) — the CI
+    sanitized smoke job uses this to check a digest-gated subset.
+
     Returns the result document.  Raises :class:`SystemExit` with a
     non-zero code on digest drift (so CI fails loudly), printing the
     expected and actual digest of every offending case.
     """
-    cases = smoke_matrix() if smoke else full_matrix()
+    matrix = smoke_matrix() if smoke else full_matrix()
+    if cases:
+        matrix = [
+            case
+            for case in matrix
+            if any(wanted in case.case_id for wanted in cases)
+        ]
+        if not matrix:
+            raise SystemExit(f"no bench cases match {cases!r}")
     gpath = pathlib.Path(golden_file) if golden_file else golden_path()
     golden = load_golden(gpath)
     cache = ReportCache()
 
     started = time.perf_counter()
-    records: List[Optional[Dict[str, object]]] = [None] * len(cases)
+    records: List[Optional[Dict[str, object]]] = [None] * len(matrix)
     to_run: List[int] = []
-    for i, case in enumerate(cases):
-        if use_cache:
+    for i, case in enumerate(matrix):
+        if use_cache and not sanitize:
             entry = cache.get(spec_key(case.spec()))
             if entry is not None:
                 records[i] = _record_from(case, entry.report, entry.wall_s, cached=True)
                 continue
         to_run.append(i)
 
-    costs = _recorded_costs(cases, output)
+    costs = _recorded_costs(matrix, output)
     if jobs > 1 and len(to_run) > 1:
-        executor = ParallelExecutor(jobs=jobs)
+        executor = ParallelExecutor(jobs=jobs, sanitize=sanitize)
         outcomes = executor.map(
-            [cases[i].spec() for i in to_run], costs=[costs[i] for i in to_run]
+            [matrix[i].spec() for i in to_run], costs=[costs[i] for i in to_run]
         )
         for i, outcome in zip(to_run, outcomes):
-            records[i] = _record_from(cases[i], outcome.report, outcome.wall_s)
-            cache.put(spec_key(cases[i].spec()), outcome.report, outcome.wall_s)
+            records[i] = _record_from(matrix[i], outcome.report, outcome.wall_s)
+            cache.put(spec_key(matrix[i].spec()), outcome.report, outcome.wall_s)
     else:
         for i in to_run:
-            report, wall_s = execute_spec(cases[i].spec())
-            records[i] = _record_from(cases[i], report, wall_s)
-            cache.put(spec_key(cases[i].spec()), report, wall_s)
+            sanitizer = None
+            if sanitize:
+                from repro.analysis.sanitizer import SlackSanitizer
+
+                sanitizer = SlackSanitizer()
+            report, wall_s = execute_spec(matrix[i].spec(), sanitizer=sanitizer)
+            if sanitizer is not None:
+                print(f"  {matrix[i].case_id:<28} {sanitizer.summary()}")
+            records[i] = _record_from(matrix[i], report, wall_s)
+            cache.put(spec_key(matrix[i].spec()), report, wall_s)
     elapsed_s = time.perf_counter() - started
 
     results: List[Dict[str, object]] = []
     drifted: List[tuple] = []
-    for case, record in zip(cases, records):
+    for case, record in zip(matrix, records):
         expected = golden.get(case.case_id)
         record["golden"] = expected
         if expected is None:
@@ -257,6 +284,8 @@ def run_bench(
     doc = {
         "benchmark": _BENCHMARK,
         "matrix": "smoke" if smoke else "full",
+        "sanitized": sanitize,
+        "case_filter": list(cases) if cases else None,
         "jobs": jobs,
         "total_wall_s": total_wall,
         "elapsed_s": elapsed_s,
@@ -302,15 +331,16 @@ def run_telemetry_guard(
     repeats: int = 2,
     golden_file: Optional[str] = None,
 ) -> Dict[str, object]:
-    """Bound the cost of *disabled* telemetry on the reference case.
+    """Bound the cost of *disabled* telemetry and sanitizer seams.
 
     Probe sites stay in the hot loop even when no session is attached, so
-    this guard times the reference run both ways — ``telemetry=None``
-    versus an attached-but-disabled :class:`TelemetrySession` — taking the
-    best of ``repeats`` walls each to damp scheduler noise.  Both variants
-    are digest-checked against the golden matrix; the guard fails (raises
-    :class:`SystemExit`) on digest drift or when the disabled/baseline
-    wall ratio exceeds the threshold.
+    this guard times the reference run three ways — ``telemetry=None``,
+    an attached-but-disabled :class:`TelemetrySession`, and an
+    attached-but-disabled slack sanitizer — taking the best of
+    ``repeats`` walls each to damp scheduler noise.  All variants are
+    digest-checked against the golden matrix; the guard fails (raises
+    :class:`SystemExit`) on digest drift or when either disabled/baseline
+    wall ratio exceeds the threshold (default 5%).
     """
     if threshold is None:
         threshold = float(
@@ -337,16 +367,37 @@ def run_telemetry_guard(
                 best = record
         return best
 
+    def best_of_sanitizer_off() -> Dict[str, object]:
+        from repro.analysis.sanitizer import SlackSanitizer
+
+        best = None
+        for _ in range(repeats):
+            record = run_case(case, sanitizer=SlackSanitizer.disabled())
+            if expected is not None and record["digest"] != expected:
+                raise SystemExit(
+                    f"telemetry guard: digest drift on {case.case_id} with a "
+                    f"disabled sanitizer ({record['digest']} != golden {expected})"
+                )
+            if best is None or record["wall_s"] < best["wall_s"]:
+                best = record
+        return best
+
     baseline = best_of(lambda: None)
     disabled = best_of(TelemetrySession.disabled)
+    san_off = best_of_sanitizer_off()
     ratio = (
         disabled["wall_s"] / baseline["wall_s"] if baseline["wall_s"] > 0 else 1.0
+    )
+    san_ratio = (
+        san_off["wall_s"] / baseline["wall_s"] if baseline["wall_s"] > 0 else 1.0
     )
     doc = {
         "case": case.case_id,
         "baseline_wall_s": baseline["wall_s"],
         "disabled_wall_s": disabled["wall_s"],
+        "sanitizer_off_wall_s": san_off["wall_s"],
         "overhead_ratio": ratio,
+        "sanitizer_overhead_ratio": san_ratio,
         "threshold": threshold,
         "digest_checked": expected is not None,
     }
@@ -355,10 +406,20 @@ def run_telemetry_guard(
         f"disabled {disabled['wall_s']:.2f}s, "
         f"overhead {100.0 * (ratio - 1.0):+.1f}% (limit +{100.0 * (threshold - 1.0):.0f}%)"
     )
+    print(
+        f"  sanitizer guard: off {san_off['wall_s']:.2f}s, "
+        f"overhead {100.0 * (san_ratio - 1.0):+.1f}% "
+        f"(limit +{100.0 * (threshold - 1.0):.0f}%)"
+    )
     if ratio > threshold:
         raise SystemExit(
             f"telemetry guard: disabled-telemetry overhead {ratio:.3f}x exceeds "
             f"{threshold:.3f}x on {case.case_id}"
+        )
+    if san_ratio > threshold:
+        raise SystemExit(
+            f"telemetry guard: disabled-sanitizer overhead {san_ratio:.3f}x "
+            f"exceeds {threshold:.3f}x on {case.case_id}"
         )
     return doc
 

@@ -29,6 +29,7 @@ simulation, so :class:`ParallelExecutor` fans them out over a
 
 from __future__ import annotations
 
+import functools
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -106,12 +107,14 @@ def expected_cost(spec: RunSpec) -> float:
     return cost
 
 
-def execute_spec(spec: RunSpec, telemetry=None):
+def execute_spec(spec: RunSpec, telemetry=None, sanitizer=None):
     """Run one configuration; return ``(report, wall_s)``.
 
     The single execution path shared by the serial runner, the bench, and
     pool workers — so "parallel equals serial" reduces to determinism of
-    the simulation itself.
+    the simulation itself.  ``sanitizer`` attaches a
+    :class:`~repro.analysis.sanitizer.SlackSanitizer` (observation-only,
+    like telemetry; raises :class:`SanitizerError` on an invariant breach).
     """
     workload = make_workload(
         spec.benchmark, num_threads=spec.num_threads, scale=spec.scale
@@ -125,21 +128,34 @@ def execute_spec(spec: RunSpec, telemetry=None):
         detection=spec.detection,
         seed=spec.seed,
         telemetry=telemetry,
+        sanitizer=sanitizer,
     )
     start = time.perf_counter()
     report = simulation.run()
     return report, time.perf_counter() - start
 
 
-def _pool_worker(index: int, spec: RunSpec, collect_metrics: bool):
+def _pool_worker(
+    index: int, spec: RunSpec, collect_metrics: bool, sanitize: bool = False
+):
     """Top-level (picklable) worker body: run one spec, return its index,
-    report, wall time, and optional metrics snapshot."""
+    report, wall time, and optional metrics snapshot.
+
+    ``sanitize`` builds a fresh in-worker sanitizer (vector clocks are
+    per-run); a breach raises out of the worker and propagates through
+    the pool as the deterministic failure it is — never retried.
+    """
     telemetry = None
     if collect_metrics:
         from repro.telemetry import TelemetrySession
 
         telemetry = TelemetrySession(trace=False, metrics=True, sample_period=None)
-    report, wall_s = execute_spec(spec, telemetry=telemetry)
+    sanitizer = None
+    if sanitize:
+        from repro.analysis.sanitizer import SlackSanitizer
+
+        sanitizer = SlackSanitizer()
+    report, wall_s = execute_spec(spec, telemetry=telemetry, sanitizer=sanitizer)
     metrics = telemetry.metrics.to_dict() if telemetry is not None else None
     return index, report, wall_s, metrics
 
@@ -152,11 +168,20 @@ class ParallelExecutor:
         jobs: Optional[int] = None,
         max_retries: int = 2,
         collect_metrics: bool = False,
-        worker: Callable = _pool_worker,
+        worker: Optional[Callable] = None,
+        sanitize: bool = False,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.max_retries = max_retries
         self.collect_metrics = collect_metrics
+        if worker is None:
+            # functools.partial keeps the worker picklable for the pool
+            # (a lambda would not be).
+            worker = (
+                functools.partial(_pool_worker, sanitize=True)
+                if sanitize
+                else _pool_worker
+            )
         self._worker = worker  # injectable for crash-path tests
 
     # ------------------------------------------------------------------ #

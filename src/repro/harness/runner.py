@@ -51,6 +51,7 @@ class ExperimentRunner:
         cache: Optional[ReportCache] = None,
         persistent_cache: bool = True,
         telemetry=None,
+        sanitize: bool = False,
     ) -> None:
         self.target = target or paper_target_config()
         self.host = host or paper_host_config()
@@ -59,6 +60,10 @@ class ExperimentRunner:
         self.verbose = verbose
         self.jobs = jobs
         self.telemetry = telemetry
+        # Sanitized mode bypasses cache *reads* (a memoized report was
+        # never checked; the point is to observe a fresh run) but shares
+        # cache writes — the sanitizer is digest-invariant.
+        self.sanitize = sanitize
         self.cache: Optional[ReportCache] = (
             cache if cache is not None else (ReportCache() if persistent_cache else None)
         )
@@ -107,10 +112,11 @@ class ExperimentRunner:
             seen.add(spec)
             if self.cache is not None:
                 key = spec_key(spec)
-                entry = self.cache.get(key)
-                if entry is not None:
-                    self._memo[spec] = entry.report
-                    continue
+                if not self.sanitize:
+                    entry = self.cache.get(key)
+                    if entry is not None:
+                        self._memo[spec] = entry.report
+                        continue
                 costs.append(self.cache.wall_hint(key))
             else:
                 costs.append(None)
@@ -118,7 +124,9 @@ class ExperimentRunner:
         if not missing:
             return
         executor = ParallelExecutor(
-            jobs=self.jobs, collect_metrics=self.telemetry is not None
+            jobs=self.jobs,
+            collect_metrics=self.telemetry is not None,
+            sanitize=self.sanitize,
         )
         results = executor.map(missing, costs=costs)
         for spec, result in zip(missing, results):
@@ -160,15 +168,28 @@ class ExperimentRunner:
             benchmark, scheme, scale=scale, checkpoint=checkpoint, detection=detection
         )
         if telemetry is None:
+            # In sanitized mode the memo only ever holds reports from
+            # sanitizer-checked runs (cache reads below are skipped), so
+            # memo hits stay valid; only the persistent cache is bypassed.
             cached = self._memo.get(spec)
             if cached is not None:
                 return cached
-            if self.cache is not None:
+            if self.cache is not None and not self.sanitize:
                 entry = self.cache.get(spec_key(spec))
                 if entry is not None:
                     self._memo[spec] = entry.report
                     return entry.report
-        report, wall_s = execute_spec(spec, telemetry=telemetry)
+        sanitizer = None
+        if self.sanitize:
+            from repro.analysis.sanitizer import SlackSanitizer
+
+            sanitizer = SlackSanitizer()  # fresh vector clocks per run
+        if sanitizer is not None:
+            report, wall_s = execute_spec(
+                spec, telemetry=telemetry, sanitizer=sanitizer
+            )
+        else:
+            report, wall_s = execute_spec(spec, telemetry=telemetry)
         self._memo[spec] = report
         if self.cache is not None:
             self.cache.put(spec_key(spec), report, wall_s)

@@ -31,6 +31,7 @@ class OpKind(IntEnum):
 ILP_LOW, ILP_MED, ILP_HIGH = 1, 2, 3
 
 
+# repro: hot-path
 class Op:
     """One architectural operation.
 

@@ -101,3 +101,98 @@ class TestViolationDetector:
         assert det.last_violation is None
         det.check_bus(2, 7, 3)
         assert det.last_violation.ts == 2
+
+
+class TestSimultaneousBusGrants:
+    """Tie-breaking: equal-timestamp bus grants are same-cycle concurrency.
+
+    The manager's service orders break timestamp ties by core id, so a
+    burst of grants stamped with one cycle reaches the monitor in core-id
+    order — but *any* arrival order of an equal-timestamp burst must be
+    violation-free, because the target could have arbitrated them either
+    way within the cycle.
+    """
+
+    def test_same_cycle_burst_in_core_order(self):
+        det = ViolationDetector()
+        for core_id in range(4):
+            assert not det.check_bus(50, 50, core_id)
+        assert det.total == 0
+
+    def test_same_cycle_burst_in_reverse_core_order(self):
+        det = ViolationDetector()
+        for core_id in reversed(range(4)):
+            assert not det.check_bus(50, 50, core_id)
+        assert det.total == 0
+
+    def test_tie_then_older_grant_still_violates(self):
+        """The tie must not mask a genuinely older grant behind it."""
+        det = ViolationDetector()
+        det.check_bus(50, 50, 0)
+        det.check_bus(50, 50, 1)
+        assert det.check_bus(49, 50, 2)
+        assert det.total == 1
+
+    def test_violation_does_not_advance_monitor(self):
+        """After a violation, a same-timestamp retry is *not* a second
+        violation (the monitor stays at the largest applied timestamp)."""
+        det = ViolationDetector()
+        det.check_bus(50, 50, 0)
+        assert det.check_bus(40, 50, 1)
+        assert not det.check_bus(50, 50, 1)
+        assert det.counts[BUS] == 1
+
+    def test_interleaved_ties_across_resources(self):
+        """A bus tie and a map tie in the same cycle are independent."""
+        det = ViolationDetector()
+        assert not det.check_bus(50, 50, 0)
+        assert not det.check_map(7, 50, 50, 1)
+        assert not det.check_bus(50, 50, 1)
+        assert not det.check_map(7, 50, 50, 0)
+        assert det.total == 0
+
+
+class TestMapViolationsAtGlobalTimeBoundaries:
+    """Map-monitor edge cases where the operation timestamp sits exactly
+    at, just above, or just below the global time at detection."""
+
+    def test_operation_at_global_time_is_clean(self):
+        det = ViolationDetector()
+        assert not det.check_map(3, 100, 100, 0)
+
+    def test_ahead_of_global_time_is_legal_slack(self):
+        """A core running ahead of global time (the whole point of slack)
+        touches the map with ts > global_time — never itself a violation."""
+        det = ViolationDetector()
+        assert not det.check_map(3, 108, 100, 0)
+
+    def test_record_keeps_global_time_at_detection(self):
+        det = ViolationDetector()
+        det.check_map(3, 108, 100, 0)
+        det.check_map(3, 101, 104, 2)  # stale by slack, detected later
+        record = det.drain_pending()[0]
+        assert record.vtype == MAP
+        assert record.ts == 101
+        assert record.global_time == 104
+        assert record.core_id == 2
+
+    def test_zero_timestamp_line_first_touch(self):
+        """ts=0 at global_time=0 (cold start) must not trip the -1 sentinel."""
+        det = ViolationDetector()
+        assert not det.check_map(3, 0, 0, 0)
+        assert not det.check_map(3, 0, 0, 1)
+
+    def test_per_line_monitors_do_not_share_boundaries(self):
+        """An old-timestamp touch is a violation only on the line whose
+        monitor has advanced past it."""
+        det = ViolationDetector()
+        det.check_map(3, 100, 100, 0)
+        assert det.check_map(3, 99, 100, 1)
+        assert not det.check_map(4, 99, 100, 1)
+        assert det.counts[MAP] == 1
+
+    def test_equal_timestamp_same_line_tie(self):
+        det = ViolationDetector()
+        det.check_map(3, 100, 100, 0)
+        assert not det.check_map(3, 100, 100, 1)
+        assert det.total == 0
