@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Quickstart for the simulation job service (`repro.service`).
+
+Boots the daemon in-process on a unix socket, then walks the whole job
+lifecycle through the Python client:
+
+* submit two *identical* specs — the duplicate coalesces onto the
+  in-flight run (one execution, two subscribers) — plus one distinct spec;
+* poll job state and fetch digest-verified reports;
+* read the ``health`` document (queue, WAL, telemetry counters);
+* drain and stop cleanly.
+
+The same flow works across processes: run ``python -m repro serve`` in
+one shell and ``python -m repro submit ...`` in another.
+
+Usage::
+
+    python examples/service_quickstart.py [scale]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.config import SlackConfig, paper_host_config, paper_target_config
+from repro.harness.cache import RunSpec
+from repro.service import ServiceClient, ServiceConfig, ServiceDaemon
+
+
+def make_spec(seed: int, scale: float) -> RunSpec:
+    """A fully-resolved spec: the service runs exactly what you send."""
+    return RunSpec(
+        benchmark="fft",
+        scheme=SlackConfig(bound=8),
+        scale=scale,
+        checkpoint=None,
+        detection=True,
+        seed=seed,
+        num_threads=4,
+        target=paper_target_config(num_cores=4),
+        host=paper_host_config(),
+    )
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+
+    with tempfile.TemporaryDirectory(prefix="repro-service-") as td:
+        tmp = Path(td)
+        config = ServiceConfig(
+            socket_path=tmp / "repro.sock",
+            cache_dir=tmp / "cache",
+            wal_path=tmp / "jobs.wal",
+        )
+        daemon = ServiceDaemon(config).start()
+        print(f"daemon listening on {daemon.address} (WAL: {config.wal_path})\n")
+
+        try:
+            with ServiceClient(config.socket_path) as client:
+                # Two identical submissions plus one different seed.  The
+                # duplicate never executes: it subscribes to the leader.
+                jobs = [
+                    client.submit(make_spec(seed=1, scale=scale)),
+                    client.submit(make_spec(seed=1, scale=scale)),  # duplicate
+                    client.submit(make_spec(seed=2, scale=scale)),
+                ]
+                for job in jobs:
+                    print(f"submitted {job['job_id']} (state {job['state']})")
+
+                print()
+                for job in jobs:
+                    doc = client.result(job["job_id"], wait=True, timeout_s=300)
+                    report = client.fetch_report(job["job_id"])  # digest-verified
+                    print(f"{job['job_id']}: source={doc['source']:<5} "
+                          f"digest={doc['digest'][:16]}... "
+                          f"target={report.target_cycles} cycles")
+
+                health = client.health()
+                counters = health["metrics"]["counters"]
+                print(f"\nhealth: {health['jobs']} | "
+                      f"dedup_hits={counters.get('service.dedup_hits', 0)} "
+                      f"wal_jobs={health['wal']['jobs']}")
+
+                drained = client.drain(wait=True, stop=True)
+                print(f"drained (queue={drained['queue_depth']}, "
+                      f"inflight={drained['inflight']}); daemon stopping")
+        finally:
+            daemon.stop()
+
+    print("\nThe first two digests match: identical specs are one execution.")
+    print("Try `python -m repro serve` + `python -m repro submit fft --wait`.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the simulation service, used by CI.
+
+Boots a real ``repro serve`` daemon as a subprocess on a unix socket,
+submits the golden reference case twice back to back (the second submit
+must coalesce onto the first — same fingerprint, still in flight), and
+checks the full service contract:
+
+* both results carry the digest recorded in ``benchmarks/golden_kernel.json``
+  for ``fft-cc-c4-s0.25`` — a report fetched over the wire is byte-identical
+  to a local run;
+* the daemon's ``health`` document reports exactly one dedup hit;
+* ``drain`` completes cleanly and ``stop`` exits the daemon with code 0.
+
+Exit code 0 on success; any assertion or timeout fails the CI job.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.harness.bench import BenchCase  # noqa: E402
+from repro.service import ServiceClient, ServiceError  # noqa: E402
+
+CASE = BenchCase("cc", 4, 0.25)
+BOOT_DEADLINE_S = 30.0
+RESULT_DEADLINE_S = 600.0
+
+
+def wait_for_daemon(socket_path: pathlib.Path, deadline_s: float) -> None:
+    """Poll until the daemon answers ``health`` (or give up loudly)."""
+    deadline = time.monotonic() + deadline_s
+    last_error = "socket never appeared"
+    while time.monotonic() < deadline:
+        if socket_path.exists():
+            try:
+                with ServiceClient(socket_path, timeout=5.0) as client:
+                    client.health()
+                return
+            except ServiceError as exc:
+                last_error = str(exc)
+        time.sleep(0.1)
+    raise SystemExit(f"daemon did not come up within {deadline_s:g}s: {last_error}")
+
+
+def main() -> int:
+    golden = json.loads((REPO / "benchmarks" / "golden_kernel.json").read_text())
+    expected = golden[CASE.case_id]
+
+    with tempfile.TemporaryDirectory(prefix="repro-service-smoke-") as td:
+        tmp = pathlib.Path(td)
+        socket_path = tmp / "repro.sock"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        # A fresh cache: the first submit must actually run (not hit a
+        # warm cache), so the duplicate has an in-flight leader to join.
+        env["REPRO_CACHE_DIR"] = str(tmp / "cache")
+
+        daemon = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--socket", str(socket_path),
+                "--wal", str(tmp / "jobs.wal"),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            wait_for_daemon(socket_path, BOOT_DEADLINE_S)
+
+            with ServiceClient(socket_path, timeout=RESULT_DEADLINE_S) as client:
+                first = client.submit(CASE.spec())
+                duplicate = client.submit(CASE.spec())
+                print(f"submitted {first['job_id']} and {duplicate['job_id']} "
+                      f"({CASE.case_id})")
+
+                results = {
+                    job["job_id"]: client.result(
+                        job["job_id"], wait=True, timeout_s=RESULT_DEADLINE_S
+                    )
+                    for job in (first, duplicate)
+                }
+                for job_id, doc in results.items():
+                    print(f"{job_id}: source={doc['source']} digest={doc['digest']}")
+                    assert doc["digest"] == expected, (
+                        f"{job_id} digest {doc['digest']} != golden {expected} "
+                        f"for {CASE.case_id}"
+                    )
+
+                sources = sorted(doc["source"] for doc in results.values())
+                assert sources == ["dedup", "run"], (
+                    f"expected one executed job and one coalesced duplicate, "
+                    f"got sources {sources}"
+                )
+
+                health = client.health()
+                dedup_hits = health["metrics"]["counters"]["service.dedup_hits"]
+                assert dedup_hits == 1, f"expected 1 dedup hit, got {dedup_hits}"
+                assert health["jobs"].get("done") == 2, health["jobs"]
+
+                drained = client.drain(wait=True, stop=True)
+                assert drained["queue_depth"] == 0 and drained["inflight"] == 0
+
+            code = daemon.wait(timeout=30)
+            assert code == 0, f"daemon exited with {code}"
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+            output = daemon.stdout.read() if daemon.stdout else ""
+            if output:
+                print("--- daemon output ---")
+                print(output, end="")
+
+    print(f"service smoke OK: golden digest matched twice, dedup_hits=1 "
+          f"({CASE.case_id})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,8 +9,12 @@ Subcommands::
                 hierarchy, ablation-detection, ablation-manager,
                 ablation-tracked) or 'all' of them
     trace       summarize or validate a recorded telemetry trace
-    cache       inspect or clear the persistent report cache
+    cache       inspect, clear, or prune the persistent report cache
     lint        run the determinism linter over the source tree
+    serve       run the simulation job service daemon (unix socket / TCP)
+    submit      submit one run to a running service (optionally wait)
+    jobs        list service jobs, or show health / drain the daemon
+    result      fetch a finished job's report from the service
     list        list available workloads and experiments
 
 Examples::
@@ -27,6 +31,11 @@ Examples::
     python -m repro experiment all -j 4 --output-dir out/
     python -m repro bench -j 4
     python -m repro cache info
+    python -m repro cache prune --max-mb 256
+    python -m repro serve --socket /tmp/repro.sock --jobs 4
+    python -m repro submit fft --scheme slack:8 --wait
+    python -m repro jobs --health
+    python -m repro result j-1 --wait
 """
 
 from __future__ import annotations
@@ -317,11 +326,198 @@ def cmd_cache(args: argparse.Namespace) -> int:
         removed = cache.clear()
         print(f"removed {removed} cached report(s) from {cache.root}")
         return 0
+    if args.action == "prune":
+        if args.max_mb is None:
+            print("error: cache prune requires --max-mb", file=sys.stderr)
+            return 2
+        removed, freed = cache.prune(int(args.max_mb * 1024 * 1024))
+        info = cache.info()
+        print(
+            f"pruned {removed} report(s), freed {freed / 1024:.1f} KiB; "
+            f"{info['entries']} remain ({info['bytes'] / 1024:.1f} KiB)"
+        )
+        return 0
     info = cache.info()
     print(f"report cache at {info['path']}")
     print(f"  schema    : v{info['schema']} (semantics {info['semantics']})")
     print(f"  entries   : {info['entries']}")
-    print(f"  size      : {info['bytes'] / 1024:.1f} KiB")
+    print(f"  size      : {info['bytes'] / 1024:.1f} KiB on disk")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# Service verbs
+# --------------------------------------------------------------------- #
+
+
+def _service_address(args: argparse.Namespace):
+    """Resolve --socket/--tcp into a client address (default socket path)."""
+    tcp = getattr(args, "tcp", None)
+    if tcp:
+        host, _, port = tcp.rpartition(":")
+        if not host or not port.isdigit():
+            raise SystemExit(f"error: --tcp expects HOST:PORT, got {tcp!r}")
+        return (host, int(port))
+    if args.socket:
+        return args.socket
+    from repro.service.server import ServiceConfig
+
+    return str(ServiceConfig().resolved_socket_path())
+
+
+def _submit_spec(args: argparse.Namespace):
+    """The fully-resolved spec for ``repro submit`` — field for field the
+    configuration ``repro run`` would simulate, so the service's digest
+    contract is checkable against the local command."""
+    from repro.config import paper_host_config, paper_target_config
+    from repro.harness.cache import RunSpec
+
+    return RunSpec(
+        benchmark=args.benchmark,
+        scheme=args.scheme,
+        scale=args.scale,
+        checkpoint=None,
+        detection=not args.no_detection,
+        seed=args.seed,
+        num_threads=args.threads,
+        target=paper_target_config(),
+        host=paper_host_config(),
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import pathlib
+
+    from repro.harness.pool import resolve_jobs
+    from repro.service.server import ServiceConfig, SimulationService
+
+    tcp_host: Optional[str] = None
+    tcp_port = 0
+    if args.tcp:
+        host, _, port = args.tcp.rpartition(":")
+        if not host or not port.isdigit():
+            raise SystemExit(f"error: --tcp expects HOST:PORT, got {args.tcp!r}")
+        tcp_host, tcp_port = host, int(port)
+    config = ServiceConfig(
+        socket_path=pathlib.Path(args.socket) if args.socket else None,
+        tcp_host=tcp_host,
+        tcp_port=tcp_port,
+        jobs=resolve_jobs(args.jobs),
+        queue_limit=args.queue_limit,
+        max_retries=args.max_retries,
+        retry_backoff_s=args.retry_backoff,
+        job_timeout_s=args.job_timeout,
+        cache_dir=pathlib.Path(args.cache_dir) if args.cache_dir else None,
+        wal_path=pathlib.Path(args.wal) if args.wal else None,
+        fsync=not args.no_fsync,
+    )
+    service = SimulationService(config)
+
+    async def _serve() -> None:
+        await service.start()
+        print(
+            f"repro service: listening on {service.address} "
+            f"(jobs={config.jobs}, queue_limit={config.queue_limit}, "
+            f"wal={service.store.path})",
+            flush=True,
+        )
+        try:
+            await service.wait_stopped()
+        finally:
+            await service.shutdown()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.core.report import SimulationReport
+    from repro.service.client import ServiceClient
+
+    spec = _submit_spec(args)
+    with ServiceClient(_service_address(args), timeout=args.timeout) as client:
+        accepted = client.submit(
+            spec, priority=args.priority, timeout_s=args.job_timeout
+        )
+        job_id = accepted["job_id"]
+        if not args.wait:
+            print(
+                f"submitted {job_id} (state {accepted['state']}, "
+                f"queue depth {accepted['queue_depth']})"
+            )
+            return 0
+        doc = client.result(job_id, wait=True, timeout_s=args.timeout)
+    report = SimulationReport.from_dict(doc["report"])
+    if report.digest() != doc["digest"]:
+        print(f"error: {job_id}: report does not reproduce its wire digest",
+              file=sys.stderr)
+        return 1
+    _print_report(report)
+    print(f"  digest            : {doc['digest']}")
+    print(f"  job               : {job_id} (source {doc['source']})")
+    return 0
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(_service_address(args)) as client:
+        if args.health:
+            print(json.dumps(client.health(), indent=2, sort_keys=True))
+            return 0
+        if args.drain or args.stop:
+            doc = client.drain(wait=True, stop=args.stop)
+            suffix = "; daemon stopped" if args.stop else ""
+            print(
+                f"drained (queue {doc['queue_depth']}, "
+                f"inflight {doc['inflight']}){suffix}"
+            )
+            return 0
+        records = client.jobs(state=args.state)
+    if args.json:
+        print(json.dumps(records, indent=2, sort_keys=True))
+        return 0
+    if not records:
+        print("no jobs")
+        return 0
+    print(f"{'job':>6} {'state':>10} {'benchmark':>10} {'seed':>6} "
+          f"{'source':>7} {'wall':>8}  digest")
+    for job in records:
+        wall = f"{job['wall_s']:.2f}s" if job.get("wall_s") is not None else "-"
+        digest = (job.get("digest") or "-")[:12]
+        print(
+            f"{job['job_id']:>6} {job['state']:>10} {job['benchmark']:>10} "
+            f"{job['seed']:>6} {str(job.get('source') or '-'):>7} "
+            f"{wall:>8}  {digest}"
+        )
+    return 0
+
+
+def cmd_result(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.report import SimulationReport
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(_service_address(args), timeout=args.timeout) as client:
+        doc = client.result(args.job_id, wait=args.wait, timeout_s=args.timeout)
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    report = SimulationReport.from_dict(doc["report"])
+    if report.digest() != doc["digest"]:
+        print(f"error: {args.job_id}: report does not reproduce its wire digest",
+              file=sys.stderr)
+        return 1
+    _print_report(report)
+    print(f"  digest            : {doc['digest']}")
+    print(f"  source            : {doc['source']}")
     return 0
 
 
@@ -459,13 +655,115 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.set_defaults(func=cmd_lint)
 
     cache_parser = sub.add_parser(
-        "cache", help="inspect or clear the persistent report cache"
+        "cache", help="inspect, clear, or prune the persistent report cache"
     )
-    cache_parser.add_argument("action", choices=("info", "clear"))
+    cache_parser.add_argument("action", choices=("info", "clear", "prune"))
     cache_parser.add_argument("--dir", metavar="DIR",
                               help="cache directory (default $REPRO_CACHE_DIR "
                                    "or ~/.cache/repro)")
+    cache_parser.add_argument("--max-mb", type=float, default=None, metavar="MB",
+                              help="prune: evict least-recently-used entries "
+                                   "until the cache fits under MB megabytes")
     cache_parser.set_defaults(func=cmd_cache)
+
+    conn_parser = argparse.ArgumentParser(add_help=False)
+    conn_parser.add_argument("--socket", metavar="PATH",
+                             help="service unix socket (default "
+                                  "<cache-dir>/service/repro.sock)")
+    conn_parser.add_argument("--tcp", metavar="HOST:PORT",
+                             help="connect over TCP instead of the unix socket")
+
+    serve_parser = sub.add_parser(
+        "serve",
+        parents=[conn_parser],
+        help="run the simulation job service daemon",
+    )
+    serve_parser.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                              help="concurrent worker slots (0 = all host CPUs)")
+    serve_parser.add_argument("--queue-limit", type=int, default=64, metavar="N",
+                              help="admission-control high-water mark: submits "
+                                   "past N queued jobs get QUEUE_FULL")
+    serve_parser.add_argument("--max-retries", type=int, default=2, metavar="N",
+                              help="retries per job after a worker crash")
+    serve_parser.add_argument("--retry-backoff", type=float, default=0.5,
+                              metavar="S",
+                              help="base of the exponential retry backoff")
+    serve_parser.add_argument("--job-timeout", type=float, default=None,
+                              metavar="S",
+                              help="default per-job wall-time limit")
+    serve_parser.add_argument("--cache-dir", metavar="DIR",
+                              help="report cache directory (default "
+                                   "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    serve_parser.add_argument("--wal", metavar="FILE",
+                              help="write-ahead job store path (default "
+                                   "<cache-dir>/service/jobs.wal)")
+    serve_parser.add_argument("--no-fsync", action="store_true",
+                              help="skip fsync on WAL appends (faster, loses "
+                                   "the last events on a machine crash)")
+    serve_parser.set_defaults(func=cmd_serve)
+
+    submit_parser = sub.add_parser(
+        "submit",
+        parents=[conn_parser],
+        help="submit one run to a running service",
+    )
+    submit_parser.add_argument("benchmark", choices=sorted(WORKLOADS))
+    submit_parser.add_argument("--scheme", type=parse_scheme,
+                               default=SlackConfig(bound=0),
+                               help="cc | slack:N | unbounded | quantum:N | "
+                                    "adaptive:RATE | p2p:P,L | speculative:I")
+    submit_parser.add_argument("--scale", type=float, default=1.0)
+    submit_parser.add_argument("--threads", type=int, default=8)
+    submit_parser.add_argument("--seed", type=int, default=12345)
+    submit_parser.add_argument("--no-detection", action="store_true",
+                               help="disable violation detection")
+    submit_parser.add_argument("--priority", type=int, default=0,
+                               help="higher runs first (FIFO within a priority)")
+    submit_parser.add_argument("--job-timeout", type=float, default=None,
+                               metavar="S",
+                               help="per-job wall-time limit on the server")
+    submit_parser.add_argument("--wait", action="store_true",
+                               help="block until the job finishes and print "
+                                    "the report (like `repro run`)")
+    submit_parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                               help="client-side wait limit (default: forever)")
+    submit_parser.set_defaults(func=cmd_submit)
+
+    jobs_parser = sub.add_parser(
+        "jobs",
+        parents=[conn_parser],
+        help="list service jobs, show health, or drain the daemon",
+    )
+    jobs_parser.add_argument("--state", metavar="STATE",
+                             help="only jobs in one state (queued, running, "
+                                  "done, failed, cancelled)")
+    jobs_parser.add_argument("--json", action="store_true",
+                             help="print raw job documents")
+    jobs_parser.add_argument("--health", action="store_true",
+                             help="print the health document (queue depth, "
+                                  "in-flight count, metrics) and exit")
+    jobs_parser.add_argument("--drain", action="store_true",
+                             help="stop admissions and wait until the queue "
+                                  "and all in-flight runs are empty")
+    jobs_parser.add_argument("--stop", action="store_true",
+                             help="with --drain semantics: also shut the "
+                                  "daemon down afterwards")
+    jobs_parser.set_defaults(func=cmd_jobs)
+
+    result_parser = sub.add_parser(
+        "result",
+        parents=[conn_parser],
+        help="fetch a finished job's report from the service",
+    )
+    result_parser.add_argument("job_id")
+    result_parser.add_argument("--wait", action="store_true",
+                               help="block until the job finishes")
+    result_parser.add_argument("--timeout", type=float, default=None,
+                               metavar="S",
+                               help="client-side wait limit (default: forever)")
+    result_parser.add_argument("--json", action="store_true",
+                               help="print the raw result document")
+    result_parser.set_defaults(func=cmd_result)
 
     trace_parser = sub.add_parser(
         "trace", help="summarize or validate a recorded telemetry trace"

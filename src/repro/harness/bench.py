@@ -207,13 +207,24 @@ def run_bench(
     """
     matrix = smoke_matrix() if smoke else full_matrix()
     if cases:
+        available = [case.case_id for case in matrix]
+        unmatched = [
+            wanted
+            for wanted in cases
+            if not any(wanted in case_id for case_id in available)
+        ]
+        if unmatched:
+            # A filter that selects nothing must fail loudly: an all-pass
+            # over zero cases would look exactly like a green bench.
+            listing = "\n  ".join(available)
+            raise SystemExit(
+                f"no bench cases match {unmatched!r}; available cases:\n  {listing}"
+            )
         matrix = [
             case
             for case in matrix
             if any(wanted in case.case_id for wanted in cases)
         ]
-        if not matrix:
-            raise SystemExit(f"no bench cases match {cases!r}")
     gpath = pathlib.Path(golden_file) if golden_file else golden_path()
     golden = load_golden(gpath)
     cache = ReportCache()

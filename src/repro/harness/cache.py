@@ -259,6 +259,38 @@ class ReportCache:
             "bytes": total_bytes,
         }
 
+    def prune(self, max_bytes: int) -> "tuple[int, int]":
+        """Evict least-recently-used entries until the cache fits.
+
+        "Used" is the file mtime: :meth:`put` creates the file and every
+        OS keeps mtime on rewrite, so oldest-mtime is oldest-written;
+        long-lived daemons call this to bound on-disk growth.  Returns
+        ``(entries_removed, bytes_freed)``.
+        """
+        entries = []
+        total = 0
+        if self._reports.is_dir():
+            for path in self._reports.glob("*/*.json"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+                total += stat.st_size
+        removed = 0
+        freed = 0
+        entries.sort()  # oldest mtime first
+        for _, size, path in entries:
+            if total - freed <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            freed += size
+        return removed, freed
+
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
         removed = 0

@@ -33,6 +33,7 @@ import functools
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, List, NamedTuple, Optional, Sequence
 
@@ -43,17 +44,28 @@ from repro.harness.cache import RunSpec
 from repro.workloads import make_workload
 
 __all__ = [
+    "ExecutionTimeoutError",
     "ParallelExecutor",
     "PoolResult",
     "WorkerCrashError",
     "execute_spec",
     "expected_cost",
     "resolve_jobs",
+    "spec_label",
 ]
 
 
 class WorkerCrashError(ReproError):
     """A pool worker died repeatedly while running one configuration."""
+
+
+class ExecutionTimeoutError(ReproError):
+    """A run exceeded its wall-time limit and its worker was killed."""
+
+
+def spec_label(spec: RunSpec) -> str:
+    """Human-readable job identity used in structured pool/service errors."""
+    return f"{spec.benchmark}/{spec.scheme.kind} (seed {spec.seed})"
 
 
 class PoolResult(NamedTuple):
@@ -221,12 +233,63 @@ class ParallelExecutor:
                 if attempts[i] > self.max_retries:
                     raise WorkerCrashError(
                         f"worker crashed {attempts[i]} times running "
-                        f"{specs[i].benchmark}/{specs[i].scheme.kind} "
-                        f"(seed {specs[i].seed}); giving up"
+                        f"{spec_label(specs[i])}; giving up"
                     )
             crashed_set = set(crashed)
             to_run = [i for i in order if i in crashed_set]
         return results  # type: ignore[return-value]
+
+    def run_one(
+        self,
+        spec: RunSpec,
+        timeout: Optional[float] = None,
+        start_method: str = "spawn",
+    ) -> PoolResult:
+        """Run one spec in a dedicated, crash-isolated worker process.
+
+        The execution path the simulation service's dispatcher fans jobs
+        out through: unlike :meth:`map` (which runs a single spec
+        in-process), ``run_one`` always pays for a one-worker pool so that
+
+        - a worker crash surfaces as :class:`WorkerCrashError` naming the
+          job (exactly one attempt — the *caller* owns the retry/backoff
+          policy, which lets the service apply exponential backoff between
+          attempts instead of the pool's immediate resubmission);
+        - ``timeout`` (wall seconds) kills the worker outright and raises
+          :class:`ExecutionTimeoutError`, so a runaway configuration
+          cannot wedge a service worker slot forever.
+
+        ``start_method`` defaults to ``spawn`` because the service calls
+        this from worker threads of a live asyncio process — forking a
+        multi-threaded daemon risks inheriting held locks, while a spawned
+        child starts clean (the ~fraction-of-a-second interpreter start is
+        noise against multi-second simulations).
+        """
+        import multiprocessing
+
+        context = multiprocessing.get_context(start_method)
+        pool = ProcessPoolExecutor(max_workers=1, mp_context=context)
+        try:
+            future = pool.submit(self._worker, 0, spec, self.collect_metrics)
+            try:
+                _, report, wall_s, metrics = future.result(timeout=timeout)
+            except FuturesTimeoutError:
+                for proc in (getattr(pool, "_processes", None) or {}).values():
+                    try:
+                        proc.kill()
+                    except (OSError, AttributeError):
+                        pass
+                raise ExecutionTimeoutError(
+                    f"{spec_label(spec)} exceeded its {timeout:g}s limit; "
+                    "worker killed"
+                ) from None
+            except BrokenProcessPool:
+                raise WorkerCrashError(
+                    f"worker crashed running {spec_label(spec)}"
+                ) from None
+            return PoolResult(report, wall_s, metrics)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
 
     # ------------------------------------------------------------------ #
 

@@ -1,0 +1,179 @@
+"""Synchronous client for the simulation service.
+
+Plain blocking sockets on purpose: the callers are the CLI and tests,
+neither of which has (or wants) an event loop.  One connection carries
+any number of request/response line pairs; the client reconnects
+transparently if the daemon closed the connection in between calls
+(e.g. after a ``drain`` with ``stop``).
+
+Structured failures surface as :class:`ServiceError` with the server's
+``error.code`` — callers branch on ``exc.code`` (``QUEUE_FULL``,
+``NOT_READY``, ...), never on message text.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import socket
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.core.report import SimulationReport
+from repro.harness.cache import RunSpec
+from repro.service.protocol import (
+    ERR_INTERNAL,
+    ERR_UNAVAILABLE,
+    PROTOCOL_VERSION,
+    ServiceError,
+    decode_line,
+    encode_line,
+    spec_to_wire,
+)
+
+__all__ = ["ServiceClient"]
+
+#: Where to connect: a unix socket path, or a ``(host, port)`` TCP pair.
+Address = Union[str, pathlib.Path, Tuple[str, int]]
+
+
+class ServiceClient:
+    """Blocking line-protocol client; usable as a context manager."""
+
+    def __init__(self, address: Address, timeout: Optional[float] = 60.0) -> None:
+        self.address = address
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._file: Optional[Any] = None
+
+    # ------------------------------------------------------------------ #
+    # Connection plumbing
+    # ------------------------------------------------------------------ #
+
+    def connect(self) -> "ServiceClient":
+        if self._sock is not None:
+            return self
+        try:
+            if isinstance(self.address, tuple):
+                sock = socket.create_connection(self.address, timeout=self.timeout)
+            else:
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self.timeout)
+                sock.connect(str(self.address))
+        except OSError as exc:
+            raise ServiceError(
+                ERR_UNAVAILABLE,
+                f"cannot reach the service at {self.address}: {exc} "
+                "(is `repro serve` running?)",
+            ) from exc
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+        return self
+
+    def close(self) -> None:
+        for closer in (self._file, self._sock):
+            if closer is not None:
+                try:
+                    closer.close()
+                except OSError:
+                    pass
+        self._file = None
+        self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """One request/response round trip; raises :class:`ServiceError`
+        on a structured failure or a dead/unresponsive daemon."""
+        doc: Dict[str, Any] = {"v": PROTOCOL_VERSION, "op": op}
+        doc.update(fields)
+        try:
+            response = self._roundtrip(doc)
+        except (BrokenPipeError, ConnectionResetError):
+            # The daemon closed the connection between calls (restart,
+            # drain --stop of a different daemon instance): retry once on
+            # a fresh connection before giving up.
+            self.close()
+            response = self._roundtrip(doc)
+        if response.get("ok"):
+            return response
+        error = response.get("error") or {}
+        raise ServiceError(
+            str(error.get("code", ERR_INTERNAL)),
+            str(error.get("message", "service request failed")),
+            error.get("details"),
+        )
+
+    def _roundtrip(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        self.connect()
+        assert self._file is not None
+        self._file.write(encode_line(doc))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionResetError("service closed the connection")
+        return decode_line(line)
+
+    # ------------------------------------------------------------------ #
+    # Verbs
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self,
+        spec: RunSpec,
+        priority: int = 0,
+        timeout_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Submit one fully-resolved spec; returns the accepted job doc."""
+        return self.request(
+            "submit",
+            spec=spec_to_wire(spec),
+            priority=priority,
+            timeout_s=timeout_s,
+        )
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self.request("status", job_id=job_id)["job"]
+
+    def result(
+        self,
+        job_id: str,
+        wait: bool = False,
+        timeout_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """The raw result doc (digest, source, report as plain data)."""
+        return self.request("result", job_id=job_id, wait=wait, timeout_s=timeout_s)
+
+    def fetch_report(
+        self,
+        job_id: str,
+        wait: bool = True,
+        timeout_s: Optional[float] = None,
+    ) -> SimulationReport:
+        """The reconstructed report — digest-identical to a local run."""
+        doc = self.result(job_id, wait=wait, timeout_s=timeout_s)
+        report = SimulationReport.from_dict(doc["report"])
+        if report.digest() != doc["digest"]:
+            raise ServiceError(
+                ERR_INTERNAL,
+                f"report for {job_id} does not reproduce its wire digest",
+                details={"job_id": job_id, "digest": doc["digest"]},
+            )
+        return report
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self.request("cancel", job_id=job_id)
+
+    def jobs(self, state: Optional[str] = None) -> List[Dict[str, Any]]:
+        fields: Dict[str, Any] = {}
+        if state is not None:
+            fields["state"] = state
+        return self.request("jobs", **fields)["jobs"]
+
+    def drain(self, wait: bool = True, stop: bool = False) -> Dict[str, Any]:
+        return self.request("drain", wait=wait, stop=stop)
+
+    def health(self) -> Dict[str, Any]:
+        return self.request("health")

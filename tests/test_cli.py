@@ -183,5 +183,113 @@ class TestParallelAndCacheFlags:
         out = capsys.readouterr().out
         assert "report cache at" in out
         assert "entries" in out
+        assert "on disk" in out
         assert main(["cache", "clear", "--dir", str(tmp_path)]) == 0
         assert "removed 0 cached report(s)" in capsys.readouterr().out
+
+    def test_cache_prune(self, capsys, tmp_path):
+        assert main(["cache", "prune", "--dir", str(tmp_path), "--max-mb", "1"]) == 0
+        assert "pruned 0 report(s)" in capsys.readouterr().out
+
+    def test_cache_prune_requires_max_mb(self, capsys, tmp_path):
+        assert main(["cache", "prune", "--dir", str(tmp_path)]) == 2
+        assert "requires --max-mb" in capsys.readouterr().err
+
+    def test_bench_unmatched_cases_fail_listing_names(self):
+        from repro.harness.bench import run_bench
+
+        with pytest.raises(SystemExit) as excinfo:
+            run_bench(smoke=True, cases=["no-such-case"])
+        message = str(excinfo.value)
+        assert "no bench cases match" in message
+        assert "no-such-case" in message
+        assert "available cases" in message
+        assert "fft-cc-c4" in message  # the listing names real case ids
+
+    def test_bench_partially_unmatched_cases_fail(self):
+        from repro.harness.bench import run_bench
+
+        # One good token must not mask a dud: the dud alone is reported.
+        with pytest.raises(SystemExit) as excinfo:
+            run_bench(smoke=True, cases=["fft-cc-c4", "zzz-nope"])
+        message = str(excinfo.value)
+        assert "zzz-nope" in message
+        assert "'fft-cc-c4'" not in message.split("available cases")[0]
+
+
+class TestServiceVerbs:
+    def test_parser_accepts_service_verbs(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--jobs", "2", "--queue-limit", "8"])
+        assert args.func.__name__ == "cmd_serve"
+        assert args.queue_limit == 8
+        args = parser.parse_args(
+            ["submit", "fft", "--scheme", "slack:8", "--priority", "3", "--wait"]
+        )
+        assert args.func.__name__ == "cmd_submit"
+        assert args.scheme == SlackConfig(bound=8)
+        assert args.priority == 3
+        args = parser.parse_args(["jobs", "--health", "--socket", "/tmp/x.sock"])
+        assert args.func.__name__ == "cmd_jobs"
+        args = parser.parse_args(["result", "j-1", "--wait", "--json"])
+        assert args.func.__name__ == "cmd_result"
+        assert args.job_id == "j-1"
+
+    def test_submit_spec_mirrors_run_defaults(self):
+        from repro.config import paper_host_config, paper_target_config
+        from repro.cli import _submit_spec
+
+        args = build_parser().parse_args(["submit", "fft", "--seed", "9"])
+        spec = _submit_spec(args)
+        assert spec.benchmark == "fft"
+        assert spec.seed == 9
+        assert spec.scheme == SlackConfig(bound=0)
+        assert spec.target == paper_target_config()
+        assert spec.host == paper_host_config()
+        assert spec.checkpoint is None and spec.detection
+
+    def test_submit_wait_jobs_result_against_daemon(self, tmp_path, capsys):
+        from repro.harness.pool import PoolResult, execute_spec
+        from repro.cli import _submit_spec
+        from repro.service import ServiceConfig, ServiceDaemon
+
+        async def inline_run_job(spec, timeout):
+            report, wall_s = execute_spec(spec)
+            return PoolResult(report, wall_s, None)
+
+        config = ServiceConfig(
+            socket_path=tmp_path / "repro.sock",
+            cache_dir=tmp_path / "cache",
+            wal_path=tmp_path / "jobs.wal",
+        )
+        daemon = ServiceDaemon(config, run_job=inline_run_job).start()
+        try:
+            sock = ["--socket", str(tmp_path / "repro.sock")]
+            submit = ["submit", "fft", "--scale", "0.1", "--threads", "4",
+                      "--wait"] + sock
+            assert main(submit) == 0
+            out = capsys.readouterr().out
+            assert "digest" in out and "source run" in out
+
+            args = build_parser().parse_args(submit)
+            local, _ = execute_spec(_submit_spec(args))
+            assert local.digest() in out  # service == local, byte for byte
+
+            assert main(["jobs"] + sock) == 0
+            out = capsys.readouterr().out
+            assert "j-1" in out and "done" in out
+
+            assert main(["result", "j-1"] + sock) == 0
+            assert local.digest() in capsys.readouterr().out
+
+            assert main(["jobs", "--drain", "--stop"] + sock) == 0
+            assert "daemon stopped" in capsys.readouterr().out
+        finally:
+            daemon.stop()
+
+    def test_submit_against_dead_socket_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            ["submit", "fft", "--socket", str(tmp_path / "nope.sock")]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

@@ -54,6 +54,7 @@ EXAMPLE_ARGS = {
     "adaptive_tuning.py": ["fft", "0.25"],
     "speculative_study.py": ["lu", "0.25"],
     "trace_and_export.py": [],
+    "service_quickstart.py": ["0.1"],
 }
 
 

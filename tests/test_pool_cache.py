@@ -23,6 +23,7 @@ from repro.harness import (
     execute_spec,
     spec_key,
 )
+from repro.harness.pool import ExecutionTimeoutError
 from repro.harness.cache import CACHE_SCHEMA, fingerprint, semantics_tag
 from repro.harness.pool import _pool_worker, expected_cost, resolve_jobs
 from repro.telemetry import TelemetrySession
@@ -176,6 +177,48 @@ class TestReportCache:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
         assert ReportCache().root == tmp_path / "elsewhere"
 
+    def test_prune_evicts_lru_until_under_budget(self):
+        runner = make_runner()
+        cache = ReportCache()
+        keys = []
+        base = runner.plan("fft", SlackConfig(bound=100), scale=SCALE)
+        for i, seed in enumerate((1, 2, 3)):
+            spec = dataclasses.replace(base, seed=seed)
+            report, wall_s = execute_spec(spec)
+            key = spec_key(spec)
+            cache.put(key, report, wall_s)
+            # Deterministic mtimes: entry 0 is oldest, entry 2 newest.
+            os.utime(cache._entry_path(key), (1000.0 + i, 1000.0 + i))
+            keys.append(key)
+        total = cache.info()["bytes"]
+        per_entry = total // 3
+        removed, freed = cache.prune(max_bytes=per_entry * 2)
+        assert removed == 1
+        assert freed > 0
+        assert cache.get(keys[0]) is None  # oldest evicted
+        assert cache.get(keys[1]) is not None
+        assert cache.get(keys[2]) is not None
+        assert cache.info()["bytes"] <= per_entry * 2 + 3  # rounding slack
+
+    def test_prune_noop_when_under_budget(self):
+        runner = make_runner()
+        spec = runner.plan("fft", SlackConfig(bound=100), scale=SCALE)
+        report, wall_s = execute_spec(spec)
+        cache = ReportCache()
+        cache.put(spec_key(spec), report, wall_s)
+        assert cache.prune(max_bytes=10 * 1024 * 1024) == (0, 0)
+        assert cache.info()["entries"] == 1
+
+    def test_prune_to_zero_clears_everything(self):
+        runner = make_runner()
+        spec = runner.plan("fft", SlackConfig(bound=100), scale=SCALE)
+        report, wall_s = execute_spec(spec)
+        cache = ReportCache()
+        cache.put(spec_key(spec), report, wall_s)
+        removed, freed = cache.prune(max_bytes=0)
+        assert removed == 1
+        assert cache.info() == {**cache.info(), "entries": 0, "bytes": 0}
+
 
 # --------------------------------------------------------------------- #
 # Parallel executor
@@ -193,6 +236,12 @@ def _crash_once_worker(index, spec, collect_metrics):
             fh.write("crashed")
         os._exit(1)
     return _pool_worker(index, spec, collect_metrics)
+
+
+def _sleep_forever_worker(index, spec, collect_metrics):
+    import time
+
+    time.sleep(120)
 
 
 class TestParallelExecutor:
@@ -272,6 +321,48 @@ class TestParallelExecutor:
         with pytest.raises(ValueError, match="deterministic failure"):
             executor.map([spec])
         assert len(calls) == 1
+
+    def test_retry_exhaustion_is_structured_and_names_job(self):
+        """When BrokenProcessPool retries run out, the caller gets one
+        structured error naming the offending configuration — no hang,
+        no bare BrokenProcessPool traceback."""
+        runner = make_runner(persistent_cache=False)
+        specs = tiny_specs(runner)[:2]
+        executor = ParallelExecutor(
+            jobs=2, max_retries=1, worker=_crash_always_worker
+        )
+        with pytest.raises(WorkerCrashError) as excinfo:
+            executor.map(specs)
+        message = str(excinfo.value)
+        assert "giving up" in message
+        assert "fft/" in message or "lu/" in message  # names the job
+        assert f"seed {specs[0].seed}" in message
+
+    def test_run_one_matches_in_process(self):
+        """The service execution path (dedicated spawn worker) produces
+        the same digest as an in-process run."""
+        runner = make_runner(persistent_cache=False)
+        spec = runner.plan("fft", SlackConfig(bound=100), scale=SCALE)
+        result = ParallelExecutor(jobs=1).run_one(spec)
+        fresh, _ = execute_spec(spec)
+        assert result.report.digest() == fresh.digest()
+
+    def test_run_one_timeout_kills_worker(self):
+        runner = make_runner(persistent_cache=False)
+        spec = runner.plan("fft", SlackConfig(bound=100), scale=SCALE)
+        executor = ParallelExecutor(jobs=1, worker=_sleep_forever_worker)
+        with pytest.raises(ExecutionTimeoutError, match="worker killed"):
+            # fork: the injected worker need not be importable in a
+            # spawned child, and the test stays fast.
+            executor.run_one(spec, timeout=0.2, start_method="fork")
+
+    def test_run_one_crash_is_structured(self):
+        runner = make_runner(persistent_cache=False)
+        spec = runner.plan("fft", SlackConfig(bound=100), scale=SCALE)
+        executor = ParallelExecutor(jobs=1, worker=_crash_always_worker)
+        with pytest.raises(WorkerCrashError) as excinfo:
+            executor.run_one(spec, start_method="fork")
+        assert f"seed {spec.seed}" in str(excinfo.value)
 
 
 # --------------------------------------------------------------------- #

@@ -1,0 +1,678 @@
+"""Tests for repro.service: protocol codec, WAL store, dispatcher, daemon.
+
+The load-bearing property is the digest contract: a report fetched
+through the service is byte-for-byte (same sha256) identical to a local
+run of the same spec — asserted end-to-end over a real unix socket for
+three scheme kinds.  Everything else (backpressure, dedup, retries,
+crash recovery) protects the service's availability around that
+contract.
+
+Most daemon tests inject an inline ``run_job`` (the dispatcher's
+execution seam) so they run the simulation in-process instead of paying
+for a spawned worker per job; the real spawn path is covered by
+``test_run_one_*`` in test_pool_cache.py and by the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pathlib
+import threading
+import time
+
+import pytest
+
+from repro.config import (
+    AdaptiveConfig,
+    CheckpointConfig,
+    SlackConfig,
+    SpeculativeConfig,
+    paper_host_config,
+    quick_target_config,
+)
+from repro.harness.cache import ReportCache, RunSpec, spec_key
+from repro.harness.pool import (
+    ExecutionTimeoutError,
+    PoolResult,
+    WorkerCrashError,
+    execute_spec,
+)
+from repro.service import (
+    PROTOCOL_VERSION,
+    ServiceClient,
+    ServiceConfig,
+    ServiceDaemon,
+    ServiceError,
+    spec_from_wire,
+    spec_to_wire,
+)
+from repro.service.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_CANCELLED,
+    ERR_NOT_CANCELLABLE,
+    ERR_NOT_READY,
+    ERR_QUEUE_FULL,
+    ERR_TIMEOUT,
+    ERR_UNSUPPORTED,
+    ERR_WORKER_CRASHED,
+    decode_line,
+    encode_line,
+)
+from repro.service.store import DONE, QUEUED, RUNNING, JobStore
+
+SCALE = 0.05
+
+
+def tiny_spec(seed=7, scheme=None, benchmark="fft"):
+    return RunSpec(
+        benchmark=benchmark,
+        scheme=scheme if scheme is not None else SlackConfig(bound=8),
+        scale=SCALE,
+        checkpoint=None,
+        detection=True,
+        seed=seed,
+        num_threads=4,
+        target=quick_target_config(num_cores=4),
+        host=paper_host_config(),
+    )
+
+
+async def inline_run_job(spec, timeout):
+    """Execution seam that runs the simulation on the daemon's loop —
+    fast and deterministic, no worker process."""
+    report, wall_s = execute_spec(spec)
+    return PoolResult(report, wall_s, None)
+
+
+def make_config(tmp_path, **overrides):
+    overrides.setdefault("socket_path", tmp_path / "repro.sock")
+    overrides.setdefault("cache_dir", tmp_path / "cache")
+    overrides.setdefault("wal_path", tmp_path / "jobs.wal")
+    overrides.setdefault("retry_backoff_s", 0.01)
+    return ServiceConfig(**overrides)
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    d = ServiceDaemon(make_config(tmp_path), run_job=inline_run_job).start()
+    yield d
+    d.stop()
+
+
+@pytest.fixture
+def client(daemon):
+    with ServiceClient(daemon.address, timeout=30.0) as c:
+        yield c
+
+
+# --------------------------------------------------------------------- #
+# Protocol codec
+# --------------------------------------------------------------------- #
+
+
+class TestWireCodec:
+    @pytest.mark.parametrize(
+        "scheme,checkpoint",
+        [
+            (SlackConfig(bound=0), None),
+            (SlackConfig(bound=None), None),
+            (AdaptiveConfig(target_rate=1e-3), None),
+            (
+                SpeculativeConfig(
+                    base=AdaptiveConfig(), checkpoint=CheckpointConfig(interval=500)
+                ),
+                CheckpointConfig(interval=500),
+            ),
+        ],
+    )
+    def test_roundtrip_exact(self, scheme, checkpoint):
+        spec = RunSpec(
+            benchmark="fft",
+            scheme=scheme,
+            scale=0.25,
+            checkpoint=checkpoint,
+            detection=True,
+            seed=99,
+            num_threads=4,
+            target=quick_target_config(num_cores=4),
+            host=paper_host_config(),
+        )
+        wire = json.loads(json.dumps(spec_to_wire(spec)))
+        rebuilt = spec_from_wire(wire)
+        assert rebuilt == spec
+        assert spec_key(rebuilt) == spec_key(spec)
+
+    def test_missing_field_rejected(self):
+        wire = spec_to_wire(tiny_spec())
+        del wire["seed"]
+        with pytest.raises(ServiceError) as excinfo:
+            spec_from_wire(wire)
+        assert excinfo.value.code == ERR_BAD_REQUEST
+
+    def test_wrong_type_rejected(self):
+        wire = spec_to_wire(tiny_spec())
+        wire["seed"] = "not-a-seed"
+        with pytest.raises(ServiceError) as excinfo:
+            spec_from_wire(wire)
+        assert excinfo.value.code == ERR_BAD_REQUEST
+
+    def test_unknown_config_tag_rejected(self):
+        wire = spec_to_wire(tiny_spec())
+        wire["scheme"] = {"__type__": "EvilConfig", "bound": 1}
+        with pytest.raises(ServiceError) as excinfo:
+            spec_from_wire(wire)
+        assert excinfo.value.code == ERR_BAD_REQUEST
+
+    def test_line_framing(self):
+        doc = {"v": PROTOCOL_VERSION, "op": "health"}
+        line = encode_line(doc)
+        assert line.endswith(b"\n")
+        assert b"\n" not in line[:-1]
+        assert decode_line(line) == doc
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(ServiceError) as excinfo:
+            decode_line(b"{nope\n")
+        assert excinfo.value.code == ERR_BAD_REQUEST
+
+
+# --------------------------------------------------------------------- #
+# Job store (WAL)
+# --------------------------------------------------------------------- #
+
+
+class TestJobStore:
+    def make_store(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.wal")
+        store.open()
+        return store
+
+    def test_replay_reproduces_records(self, tmp_path):
+        store = self.make_store(tmp_path)
+        wire = spec_to_wire(tiny_spec())
+        a = store.new_job(wire, priority=1, timeout_s=None, submitted_at=10.0)
+        b = store.new_job(wire, priority=0, timeout_s=2.5, submitted_at=11.0)
+        a.state = DONE
+        a.digest = "d" * 64
+        a.cache_key = "k" * 64
+        store.record_state(a, at=12.0, digest=a.digest, key=a.cache_key)
+        store.close()
+
+        fresh = JobStore(store.path)
+        fresh.replay()
+        assert set(fresh.jobs) == {"j-1", "j-2"}
+        assert fresh.jobs["j-1"].state == DONE
+        assert fresh.jobs["j-1"].digest == "d" * 64
+        assert fresh.jobs["j-2"].state == QUEUED
+        assert fresh.jobs["j-2"].timeout_s == 2.5
+        assert fresh.jobs["j-2"].priority == b.priority
+
+    def test_running_jobs_requeued(self, tmp_path):
+        store = self.make_store(tmp_path)
+        record = store.new_job(
+            spec_to_wire(tiny_spec()), priority=0, timeout_s=None, submitted_at=1.0
+        )
+        record.state = RUNNING
+        store.record_state(record, at=2.0)
+        store.close()
+
+        fresh = JobStore(store.path)
+        fresh.replay()
+        assert fresh.jobs["j-1"].state == QUEUED
+        assert fresh.jobs["j-1"].started_at is None
+        assert [r.job_id for r in fresh.pending()] == ["j-1"]
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        store = self.make_store(tmp_path)
+        store.new_job(
+            spec_to_wire(tiny_spec()), priority=0, timeout_s=None, submitted_at=1.0
+        )
+        store.close()
+        with open(store.path, "a", encoding="utf-8") as fh:
+            fh.write('{"v":1,"type":"sub')  # crash mid-append
+
+        fresh = JobStore(store.path)
+        fresh.replay()
+        assert set(fresh.jobs) == {"j-1"}
+        assert fresh.skipped_lines == 0  # torn tail is expected, not counted
+
+    def test_garbage_middle_line_counted(self, tmp_path):
+        store = self.make_store(tmp_path)
+        store.new_job(
+            spec_to_wire(tiny_spec()), priority=0, timeout_s=None, submitted_at=1.0
+        )
+        store.close()
+        lines = store.path.read_text().splitlines()
+        lines.insert(0, "not json at all")
+        store.path.write_text("\n".join(lines) + "\n")
+
+        fresh = JobStore(store.path)
+        fresh.replay()
+        assert set(fresh.jobs) == {"j-1"}
+        assert fresh.skipped_lines == 1
+
+    def test_ids_continue_after_replay(self, tmp_path):
+        store = self.make_store(tmp_path)
+        store.new_job(
+            spec_to_wire(tiny_spec()), priority=0, timeout_s=None, submitted_at=1.0
+        )
+        store.close()
+        fresh = JobStore(store.path)
+        fresh.open()
+        record = fresh.new_job(
+            spec_to_wire(tiny_spec()), priority=0, timeout_s=None, submitted_at=2.0
+        )
+        assert record.job_id == "j-2"
+        assert record.seq == 2
+        fresh.close()
+
+    def test_compact_bounds_log_length(self, tmp_path):
+        store = self.make_store(tmp_path)
+        record = store.new_job(
+            spec_to_wire(tiny_spec()), priority=0, timeout_s=None, submitted_at=1.0
+        )
+        for _ in range(5):  # many transitions: running <-> queued churn
+            record.state = RUNNING
+            store.record_state(record, at=2.0)
+        record.state = DONE
+        record.digest = "d" * 64
+        store.record_state(record, at=3.0, digest=record.digest)
+        store.close()
+        raw_before = len(store.path.read_text().splitlines())
+
+        fresh = JobStore(store.path)
+        fresh.open()  # replay + compact
+        fresh.close()
+        raw_after = len(store.path.read_text().splitlines())
+        assert raw_after == 2  # one submit + one terminal state
+        assert raw_after < raw_before
+        again = JobStore(store.path)
+        again.replay()
+        assert again.jobs["j-1"].state == DONE
+        assert again.jobs["j-1"].digest == "d" * 64
+
+    def test_pending_orders_by_priority_then_seq(self, tmp_path):
+        store = self.make_store(tmp_path)
+        wire = spec_to_wire(tiny_spec())
+        store.new_job(wire, priority=0, timeout_s=None, submitted_at=1.0)
+        store.new_job(wire, priority=5, timeout_s=None, submitted_at=2.0)
+        store.new_job(wire, priority=5, timeout_s=None, submitted_at=3.0)
+        assert [r.job_id for r in store.pending()] == ["j-2", "j-3", "j-1"]
+        store.close()
+
+
+# --------------------------------------------------------------------- #
+# Daemon end-to-end (unix socket, inline execution)
+# --------------------------------------------------------------------- #
+
+
+class TestServiceEndToEnd:
+    def test_digest_identical_to_local_run_three_schemes(self, client):
+        """The non-negotiable invariant, for three scheme kinds."""
+        specs = [
+            tiny_spec(scheme=SlackConfig(bound=0)),  # cycle-by-cycle
+            tiny_spec(scheme=SlackConfig(bound=100)),  # bounded slack
+            tiny_spec(scheme=AdaptiveConfig()),  # adaptive
+        ]
+        job_ids = [client.submit(spec)["job_id"] for spec in specs]
+        for spec, job_id in zip(specs, job_ids):
+            served = client.fetch_report(job_id, wait=True, timeout_s=60)
+            local, _ = execute_spec(spec)
+            assert served.digest() == local.digest()
+
+    def test_result_doc_fields(self, client):
+        job_id = client.submit(tiny_spec())["job_id"]
+        doc = client.result(job_id, wait=True, timeout_s=60)
+        assert doc["ok"] and doc["op"] == "result"
+        assert doc["source"] == "run"
+        assert len(doc["digest"]) == 64
+        assert doc["report"]["benchmark"] == "fft"
+
+    def test_second_submit_hits_cache(self, client):
+        spec = tiny_spec(seed=21)
+        first = client.submit(spec)["job_id"]
+        client.result(first, wait=True, timeout_s=60)
+        second = client.submit(spec)["job_id"]
+        doc = client.result(second, wait=True, timeout_s=60)
+        assert doc["source"] == "cache"
+        assert doc["digest"] == client.result(first)["digest"]
+        health = client.health()
+        assert health["metrics"]["counters"]["service.cache_hits"] == 1
+
+    def test_status_and_jobs(self, client):
+        job_id = client.submit(tiny_spec(seed=31))["job_id"]
+        client.result(job_id, wait=True, timeout_s=60)
+        status = client.status(job_id)
+        assert status["state"] == "done"
+        assert status["benchmark"] == "fft"
+        listed = client.jobs()
+        assert [j["job_id"] for j in listed] == [job_id]
+        assert client.jobs(state="failed") == []
+
+    def test_result_before_done_is_structured(self, tmp_path):
+        gate = threading.Event()
+
+        async def gated(spec, timeout):
+            await asyncio.to_thread(gate.wait)
+            return await inline_run_job(spec, timeout)
+
+        d = ServiceDaemon(make_config(tmp_path), run_job=gated).start()
+        try:
+            with ServiceClient(d.address, timeout=30.0) as c:
+                job_id = c.submit(tiny_spec())["job_id"]
+                with pytest.raises(ServiceError) as excinfo:
+                    c.result(job_id)
+                assert excinfo.value.code == ERR_NOT_READY
+                with pytest.raises(ServiceError) as excinfo:
+                    c.result(job_id, wait=True, timeout_s=0.05)
+                assert excinfo.value.code == ERR_TIMEOUT
+                gate.set()
+                assert c.result(job_id, wait=True, timeout_s=60)["ok"]
+        finally:
+            gate.set()
+            d.stop()
+
+    def test_unknown_job_and_bad_requests(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.status("j-999")
+        assert excinfo.value.code == "UNKNOWN_JOB"
+        assert excinfo.value.details["job_id"] == "j-999"
+        # Raw protocol-level failures: wrong version, unknown op.
+        assert client._roundtrip({"v": 99, "op": "health"})["error"]["code"] == (
+            ERR_UNSUPPORTED
+        )
+        assert client._roundtrip({"v": 1, "op": "frobnicate"})["error"]["code"] == (
+            ERR_BAD_REQUEST
+        )
+        assert client._roundtrip({"v": 1, "op": "submit", "spec": {"benchmark": 3}})[
+            "error"
+        ]["code"] == ERR_BAD_REQUEST
+
+    def test_health_document(self, client):
+        health = client.health()
+        assert health["protocol"] == PROTOCOL_VERSION
+        assert health["queue_depth"] == 0
+        assert health["inflight"] == 0
+        assert health["slots"] == 1
+        assert not health["draining"]
+        assert "service.queue_depth" in health["metrics"]["gauges"]
+        assert pathlib.Path(health["wal"]["path"]).name == "jobs.wal"
+
+
+class TestBackpressureDedupCancel:
+    def test_queue_full_is_structured(self, tmp_path):
+        gate = threading.Event()
+
+        async def gated(spec, timeout):
+            await asyncio.to_thread(gate.wait)
+            return await inline_run_job(spec, timeout)
+
+        config = make_config(tmp_path, queue_limit=2)
+        d = ServiceDaemon(config, run_job=gated).start()
+        try:
+            with ServiceClient(d.address, timeout=30.0) as c:
+                # Distinct seeds: no dedup, no cache. One runs, two queue.
+                c.submit(tiny_spec(seed=1))
+                deadline = time.time() + 5
+                while c.health()["inflight"] == 0 and time.time() < deadline:
+                    time.sleep(0.01)
+                c.submit(tiny_spec(seed=2))
+                c.submit(tiny_spec(seed=3))
+                with pytest.raises(ServiceError) as excinfo:
+                    c.submit(tiny_spec(seed=4))
+                assert excinfo.value.code == ERR_QUEUE_FULL
+                assert excinfo.value.details["queue_limit"] == 2
+                assert excinfo.value.details["queue_depth"] == 2
+                assert c.health()["metrics"]["counters"]["service.rejected"] == 1
+                gate.set()
+                c.drain(wait=True)
+        finally:
+            gate.set()
+            d.stop()
+
+    def test_identical_inflight_specs_coalesce(self, tmp_path):
+        gate = threading.Event()
+        runs = []
+
+        async def gated(spec, timeout):
+            runs.append(spec.seed)
+            await asyncio.to_thread(gate.wait)
+            return await inline_run_job(spec, timeout)
+
+        d = ServiceDaemon(make_config(tmp_path), run_job=gated).start()
+        try:
+            with ServiceClient(d.address, timeout=30.0) as c:
+                spec = tiny_spec(seed=77)
+                leader = c.submit(spec)["job_id"]
+                deadline = time.time() + 5
+                while c.health()["inflight"] == 0 and time.time() < deadline:
+                    time.sleep(0.01)
+                follower = c.submit(spec)["job_id"]
+                gate.set()
+                lead_doc = c.result(leader, wait=True, timeout_s=60)
+                follow_doc = c.result(follower, wait=True, timeout_s=60)
+                assert lead_doc["source"] == "run"
+                assert follow_doc["source"] == "dedup"
+                assert follow_doc["dedup_of"] == leader
+                assert follow_doc["digest"] == lead_doc["digest"]
+                health = c.health()
+                assert health["metrics"]["counters"]["service.dedup_hits"] == 1
+                assert runs == [77]  # one execution served both jobs
+        finally:
+            gate.set()
+            d.stop()
+
+    def test_cancel_queued_only(self, tmp_path):
+        gate = threading.Event()
+
+        async def gated(spec, timeout):
+            await asyncio.to_thread(gate.wait)
+            return await inline_run_job(spec, timeout)
+
+        d = ServiceDaemon(make_config(tmp_path), run_job=gated).start()
+        try:
+            with ServiceClient(d.address, timeout=30.0) as c:
+                running = c.submit(tiny_spec(seed=1))["job_id"]
+                deadline = time.time() + 5
+                while c.health()["inflight"] == 0 and time.time() < deadline:
+                    time.sleep(0.01)
+                queued = c.submit(tiny_spec(seed=2))["job_id"]
+                assert c.cancel(queued)["state"] == "cancelled"
+                with pytest.raises(ServiceError) as excinfo:
+                    c.result(queued)
+                assert excinfo.value.code == ERR_CANCELLED
+                with pytest.raises(ServiceError) as excinfo:
+                    c.cancel(running)
+                assert excinfo.value.code == ERR_NOT_CANCELLABLE
+                gate.set()
+                c.result(running, wait=True, timeout_s=60)
+        finally:
+            gate.set()
+            d.stop()
+
+
+class TestRetriesAndTimeouts:
+    def test_worker_crash_retried_then_succeeds(self, tmp_path):
+        attempts = []
+
+        async def crashy(spec, timeout):
+            attempts.append(spec.seed)
+            if len(attempts) < 3:
+                raise WorkerCrashError("worker crashed running test job")
+            return await inline_run_job(spec, timeout)
+
+        config = make_config(tmp_path, max_retries=2)
+        d = ServiceDaemon(config, run_job=crashy).start()
+        try:
+            with ServiceClient(d.address, timeout=30.0) as c:
+                job_id = c.submit(tiny_spec())["job_id"]
+                doc = c.result(job_id, wait=True, timeout_s=60)
+                assert doc["source"] == "run"
+                assert len(attempts) == 3
+                status = c.status(job_id)
+                assert status["retries"] == 2
+                assert status["attempts"] == 3
+                assert c.health()["metrics"]["counters"]["service.retries"] == 2
+        finally:
+            d.stop()
+
+    def test_retry_exhaustion_names_job(self, tmp_path):
+        async def always_crash(spec, timeout):
+            raise WorkerCrashError("worker crashed running test job")
+
+        config = make_config(tmp_path, max_retries=1)
+        d = ServiceDaemon(config, run_job=always_crash).start()
+        try:
+            with ServiceClient(d.address, timeout=30.0) as c:
+                job_id = c.submit(tiny_spec())["job_id"]
+                with pytest.raises(ServiceError) as excinfo:
+                    c.result(job_id, wait=True, timeout_s=60)
+                assert excinfo.value.code == ERR_WORKER_CRASHED
+                assert job_id in excinfo.value.message
+                assert "fft" in excinfo.value.message
+                assert c.status(job_id)["state"] == "failed"
+                assert c.health()["metrics"]["counters"]["service.failed"] == 1
+        finally:
+            d.stop()
+
+    def test_timeout_fails_without_retry(self, tmp_path):
+        attempts = []
+
+        async def too_slow(spec, timeout):
+            attempts.append(timeout)
+            raise ExecutionTimeoutError(f"exceeded its {timeout:g}s limit")
+
+        d = ServiceDaemon(make_config(tmp_path), run_job=too_slow).start()
+        try:
+            with ServiceClient(d.address, timeout=30.0) as c:
+                job_id = c.submit(tiny_spec(), timeout_s=0.5)["job_id"]
+                with pytest.raises(ServiceError) as excinfo:
+                    c.result(job_id, wait=True, timeout_s=60)
+                assert excinfo.value.code == ERR_TIMEOUT
+                assert attempts == [0.5]  # per-job timeout forwarded, no retry
+        finally:
+            d.stop()
+
+    def test_simulation_error_not_retried(self, tmp_path):
+        attempts = []
+
+        async def deterministic_failure(spec, timeout):
+            attempts.append(1)
+            raise ValueError("spec is cursed")
+
+        d = ServiceDaemon(make_config(tmp_path), run_job=deterministic_failure).start()
+        try:
+            with ServiceClient(d.address, timeout=30.0) as c:
+                job_id = c.submit(tiny_spec())["job_id"]
+                with pytest.raises(ServiceError) as excinfo:
+                    c.result(job_id, wait=True, timeout_s=60)
+                assert excinfo.value.code == "INTERNAL"
+                assert len(attempts) == 1
+        finally:
+            d.stop()
+
+
+class TestCrashRecovery:
+    def test_killed_daemon_resumes_from_wal(self, tmp_path):
+        """Kill mid-queue; restart against the same WAL; all jobs finish
+        with digests identical to local runs."""
+        gate = threading.Event()
+
+        async def gated(spec, timeout):
+            await asyncio.to_thread(gate.wait)
+            return await inline_run_job(spec, timeout)
+
+        config = make_config(tmp_path)
+        specs = [tiny_spec(seed=s) for s in (101, 102, 103)]
+        first = ServiceDaemon(config, run_job=gated).start()
+        try:
+            with ServiceClient(first.address, timeout=30.0) as c:
+                job_ids = [c.submit(spec)["job_id"] for spec in specs]
+                assert job_ids == ["j-1", "j-2", "j-3"]
+        finally:
+            first.kill()  # crash: no drain, no store close
+            gate.set()  # release the stranded worker thread
+
+        second = ServiceDaemon(config, run_job=inline_run_job).start()
+        try:
+            with ServiceClient(second.address, timeout=30.0) as c:
+                assert c.health()["recovered"] == 3
+                for spec, job_id in zip(specs, job_ids):
+                    served = c.fetch_report(job_id, wait=True, timeout_s=60)
+                    local, _ = execute_spec(spec)
+                    assert served.digest() == local.digest()
+        finally:
+            second.stop()
+
+    def test_restart_does_not_rerun_done_jobs(self, tmp_path):
+        config = make_config(tmp_path)
+        spec = tiny_spec(seed=55)
+        first = ServiceDaemon(config, run_job=inline_run_job).start()
+        try:
+            with ServiceClient(first.address, timeout=30.0) as c:
+                job_id = c.submit(spec)["job_id"]
+                digest = c.result(job_id, wait=True, timeout_s=60)["digest"]
+        finally:
+            first.stop()
+
+        second = ServiceDaemon(config, run_job=inline_run_job).start()
+        try:
+            with ServiceClient(second.address, timeout=30.0) as c:
+                assert c.health()["recovered"] == 0
+                doc = c.result(job_id)  # still terminal, still fetchable
+                assert doc["digest"] == digest
+        finally:
+            second.stop()
+
+    def test_evicted_result_is_structured(self, tmp_path):
+        config = make_config(tmp_path)
+        d = ServiceDaemon(config, run_job=inline_run_job).start()
+        try:
+            with ServiceClient(d.address, timeout=30.0) as c:
+                job_id = c.submit(tiny_spec(seed=66))["job_id"]
+                c.result(job_id, wait=True, timeout_s=60)
+                ReportCache(config.resolved_cache_dir()).clear()
+                with pytest.raises(ServiceError) as excinfo:
+                    c.result(job_id)
+                assert excinfo.value.code == "RESULT_EVICTED"
+        finally:
+            d.stop()
+
+
+class TestDrain:
+    def test_drain_refuses_new_submits(self, daemon):
+        with ServiceClient(daemon.address, timeout=30.0) as c:
+            job_id = c.submit(tiny_spec(seed=5))["job_id"]
+            doc = c.drain(wait=True)
+            assert doc["queue_depth"] == 0 and doc["inflight"] == 0
+            assert c.status(job_id)["state"] == "done"
+            with pytest.raises(ServiceError) as excinfo:
+                c.submit(tiny_spec(seed=6))
+            assert excinfo.value.code == "DRAINING"
+
+    def test_drain_stop_shuts_daemon_down(self, tmp_path):
+        d = ServiceDaemon(make_config(tmp_path), run_job=inline_run_job).start()
+        with ServiceClient(d.address, timeout=30.0) as c:
+            doc = c.drain(wait=True, stop=True)
+            assert doc["stopped"]
+        assert d._thread is not None
+        d._thread.join(timeout=10)
+        assert not d._thread.is_alive()
+        d.stop()
+
+
+class TestTcpTransport:
+    def test_tcp_round_trip(self, tmp_path):
+        config = make_config(tmp_path, tcp_host="127.0.0.1", tcp_port=0)
+        d = ServiceDaemon(config, run_job=inline_run_job).start()
+        try:
+            host, port = d.address
+            with ServiceClient((host, port), timeout=30.0) as c:
+                spec = tiny_spec(seed=88)
+                job_id = c.submit(spec)["job_id"]
+                served = c.fetch_report(job_id, wait=True, timeout_s=60)
+                local, _ = execute_spec(spec)
+                assert served.digest() == local.digest()
+        finally:
+            d.stop()
