@@ -13,6 +13,7 @@ RPR005    ``__slots__`` required on ``# repro: hot-path`` classes
 RPR006    telemetry reached outside the guarded probe seam
 RPR007    heavyweight imports inside ``repro.core``
 RPR008    suppression hygiene (reasonless / unknown / unused noqa)
+RPR009    ``copy.deepcopy`` of simulation state outside the snapshot layer
 ========  =====================================================
 
 Rules run over the AST of one file at a time; a :class:`LintContext`
@@ -578,6 +579,63 @@ class SuppressionHygieneRule(Rule):
         return iter(())
 
 
+class DeepcopyOutsideSnapshotRule(Rule):
+    code = "RPR009"
+    name = "deepcopy-outside-snapshot"
+    summary = "copy.deepcopy of simulation state outside the snapshot layer"
+    rationale = (
+        "Checkpointing is copy-on-write (repro.core.snapshot): dirty content\n"
+        "pages plus a residue walk whose cost scales with *writes*, not with\n"
+        "state size.  A stray copy.deepcopy of simulation state anywhere\n"
+        "else in the critical packages reintroduces the O(state) full-copy\n"
+        "cost the BENCH_checkpoint.json acceptance number forbids — and,\n"
+        "worse, bypasses the memo stubs that keep the flat cache banks\n"
+        "shared, so the copy silently diverges from the snapshot protocol.\n"
+        "Only core/snapshot.py and core/checkpoint.py may call it; class\n"
+        "__deepcopy__/__copy__ hooks recursing with an explicit memo are the\n"
+        "protocol itself and stay exempt."
+    )
+    fix_example = (
+        "    # bad (inside repro/core/..., outside the snapshot layer):\n"
+        "    saved = copy.deepcopy(sim.state)\n"
+        "    # good: go through the COW layer\n"
+        "    snap = take(sim.state)          # repro.core.snapshot\n"
+        "    ... \n"
+        "    sim.state = restore(snap)"
+    )
+
+    _ALLOWED_SUFFIXES = ("core/snapshot.py", "core/checkpoint.py")
+    _EXEMPT_FUNCS = frozenset({"__deepcopy__", "__copy__", "__reduce__"})
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.in_critical_package:
+            return
+        path = ctx.path.replace("\\", "/")
+        if path.endswith(self._ALLOWED_SUFFIXES):
+            return
+        exempt_spans: List[Tuple[int, int]] = []
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name in self._EXEMPT_FUNCS
+            ):
+                exempt_spans.append((node.lineno, node.end_lineno or node.lineno))
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.resolve_call(node)
+            if target != "copy.deepcopy":
+                continue
+            line = node.lineno
+            if any(lo <= line <= hi for lo, hi in exempt_spans):
+                continue
+            yield ctx.finding(
+                self.code, node,
+                "copy.deepcopy of simulation state outside core/snapshot.py; "
+                "checkpoints must go through the COW snapshot layer",
+            )
+
+
 #: The registry, in code order.  ``repro lint --explain RPRxxx`` renders
 #: rationale and fix example straight from here.
 RULES: Sequence[Rule] = (
@@ -589,6 +647,7 @@ RULES: Sequence[Rule] = (
     TelemetrySeamRule(),
     CoreImportRule(),
     SuppressionHygieneRule(),
+    DeepcopyOutsideSnapshotRule(),
 )
 
 RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in RULES}

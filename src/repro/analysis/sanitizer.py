@@ -212,7 +212,8 @@ class SlackSanitizer:
         """
         if not self.enabled:
             return
-        self._count("local-time-monotonic")
+        checks = self.checks  # _count inlined: two probes per core step
+        checks["local-time-monotonic"] = checks.get("local-time-monotonic", 0) + 1
         previous = self._local[core_id]
         if local_time < previous:
             self._fail(
@@ -223,7 +224,7 @@ class SlackSanitizer:
                 cycle=local_time,
             )
         if local_time > previous and max_local is not None:
-            self._count("slack-bound")
+            checks["slack-bound"] = checks.get("slack-bound", 0) + 1
             if local_time > max_local and local_time > self._warp[core_id]:
                 self._fail(
                     "slack-bound",
@@ -296,26 +297,28 @@ class SlackSanitizer:
         Also returns the ids of the cores the value was derived over —
         the *contributing set* the monotonicity check is scoped to.
         """
-        running = [
-            (local, core_id)
-            for (core_id, local, _, finished, waiting) in cores_view
-            if not finished and not waiting
-        ]
-        if running:
-            return (
-                min(local for (local, _) in running),
-                frozenset(core_id for (_, core_id) in running),
-            )
-        unfinished = [
-            (local, core_id)
-            for (core_id, local, _, finished, _) in cores_view
-            if not finished
-        ]
-        if unfinished:
-            return (
-                min(local for (local, _) in unfinished),
-                frozenset(core_id for (_, core_id) in unfinished),
-            )
+        # Single pass: track the running-tier and frozen-tier minima (and
+        # their member ids) together instead of four comprehensions.
+        run_min = frozen_min = None
+        run_ids: List[int] = []
+        frozen_ids: List[int] = []
+        for core_id, local, _, finished, waiting in cores_view:
+            if finished:
+                continue
+            if not waiting:
+                if run_min is None or local < run_min:
+                    run_min = local
+                run_ids.append(core_id)
+            else:
+                if frozen_min is None or local < frozen_min:
+                    frozen_min = local
+                frozen_ids.append(core_id)
+        if run_min is not None:
+            return run_min, frozenset(run_ids)
+        if frozen_min is not None:
+            # Every unfinished core is frozen, so the unfinished tier is
+            # exactly the frozen tier.
+            return frozen_min, frozenset(frozen_ids)
         return (
             max(local for (_, local, _, _, _) in cores_view),
             frozenset(core_id for (core_id, _, _, _, _) in cores_view),
@@ -328,19 +331,31 @@ class SlackSanitizer:
         invariants against the post-step state."""
         if not self.enabled:
             return
-        cores_view: List[CoreView] = [
-            (
-                cs.core_id,
-                cs.local_time,
-                cs.max_local_time,
-                cs.model.finished,
-                cs.model.waiting_sync,
-            )
-            for cs in state.cores
-        ]
+        # Built from the root's flat clock banks (core_id == bank index by
+        # construction) — skips four attribute/property chases per core.
+        # State-like doubles without banks fall back to the object API.
+        times = getattr(state, "local_times", None)
+        if times is not None:
+            limits = state.max_local_times
+            cores_view: List[CoreView] = [
+                (i, times[i], limits[i], model.finished, model.waiting_sync)
+                for i, model in enumerate(state._models)
+            ]
+        else:
+            cores_view = [
+                (
+                    cs.core_id,
+                    cs.local_time,
+                    cs.max_local_time,
+                    cs.model.finished,
+                    cs.model.waiting_sync,
+                )
+                for cs in state.cores
+            ]
         global_time = outcome.global_time
 
-        self._count("global-time-min")
+        checks = self.checks
+        checks["global-time-min"] = checks.get("global-time-min", 0) + 1
         derived, contributors = self._derive_global(cores_view)
         if derived != global_time:
             self._fail(
@@ -358,7 +373,9 @@ class SlackSanitizer:
         # core blocks) adds members whose warped clocks may sit below the
         # old minimum — that regression is legal slack behavior.
         if self._contrib is not None and contributors <= self._contrib:
-            self._count("global-time-monotonic")
+            checks["global-time-monotonic"] = (
+                checks.get("global-time-monotonic", 0) + 1
+            )
             if global_time < self._global:
                 self._fail(
                     "global-time-monotonic",
@@ -381,7 +398,7 @@ class SlackSanitizer:
                 cycle=global_time,
             )
 
-        self._count("pacing-window")
+        checks["pacing-window"] = checks.get("pacing-window", 0) + 1
         problem = state.scheme.pacing_violation(cores_view, global_time, capped)
         if problem is not None:
             self._fail(
@@ -394,12 +411,19 @@ class SlackSanitizer:
     # Checkpoint / rollback probes (CheckpointController)
     # ------------------------------------------------------------------ #
 
-    def on_checkpoint(self, snapshot) -> None:
-        """A checkpoint was taken; fingerprint it for rollback checks."""
+    def on_checkpoint(self, snapshot, state) -> None:
+        """A checkpoint was taken; fingerprint it for rollback checks.
+
+        ``state`` is the live root at the checkpoint instant — with
+        copy-on-write capture the snapshot holds no materialized state
+        object, and the live root *is* the checkpointed content until the
+        next write.  A later rollback must re-derive this exact digest
+        from the restored root.
+        """
         if not self.enabled:
             return
         self._count("rollback-state-digest")
-        self._ckpt_digests[snapshot.boundary] = state_digest(snapshot.state)
+        self._ckpt_digests[snapshot.boundary] = state_digest(state)
 
     def on_rollback(self, restored_state, snapshot) -> None:
         """A rollback restored ``snapshot``; the restored working state

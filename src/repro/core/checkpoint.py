@@ -2,64 +2,78 @@
 
 SlackSim checkpoints by ``fork()``: the parent process's frozen address
 space *is* the checkpoint, and copy-on-write makes its cost proportional to
-the pages the child subsequently writes.  The in-memory analogue here is a
-deep copy of the snapshot-able :class:`~repro.core.state.SimulationState`
-root, with a cost model::
+the pages the child subsequently writes.  The in-memory analogue
+(``repro.core.snapshot``) is the same shape: cache-array banks are
+captured as dirty pages against shadow copies, the cache status map as an
+undo journal, and only the small residue of the
+:class:`~repro.core.state.SimulationState` root is deep-copied.  The
+modeled cost follows the paper::
 
     cost = checkpoint_base_ns + pages_touched * checkpoint_per_page_ns
 
-where ``pages_touched`` counts distinct target pages written since the
+where ``pages_touched`` counts distinct *target* pages written since the
 previous checkpoint — the same footprint-proportional shape as fork+COW.
+The count is measured by :func:`take_snapshot` itself (it drains the
+per-core touched-page sets) and carried on the snapshot, so callers
+charge for what the snapshot actually saw rather than a separate
+estimate.
 """
 
 from __future__ import annotations
 
-import copy
 from typing import Optional
 
 from repro.config import HostCostModel
+from repro.core import snapshot as cow
 from repro.core.state import SimulationState
 from repro.errors import CheckpointError
 
 
 class Snapshot:
-    """One global checkpoint: a frozen copy of the simulation state."""
+    """One global checkpoint: a copy-on-write capture of the state root."""
 
-    __slots__ = ("state", "boundary", "host_time", "pages")
+    __slots__ = ("cow", "boundary", "host_time", "pages")
 
     def __init__(
-        self, state: SimulationState, boundary: int, host_time: float, pages: int
+        self, capture: cow.StateSnapshot, boundary: int, host_time: float, pages: int
     ) -> None:
-        self.state = state
+        self.cow = capture
         self.boundary = boundary  # target time of the checkpoint
         self.host_time = host_time  # modeled host time it was taken
+        #: Distinct target pages written since the previous checkpoint
+        #: (measured here; drives the modeled checkpoint cost).
         self.pages = pages
+
+    @property
+    def host_pages(self) -> int:
+        """Dirty SoA pages the capture actually copied (host-side)."""
+        return self.cow.host_pages
 
 
 def take_snapshot(state: SimulationState, boundary: int, host_time: float) -> Snapshot:
     """Capture a global checkpoint of ``state``.
 
-    Also counts and clears the per-core touched-page sets, so the *next*
-    checkpoint is charged only for pages written after this one.
+    Counts and clears the per-core touched-page sets *before* the capture,
+    so the next checkpoint is charged only for pages written after this
+    one and a rolled-back replay re-counts from the checkpoint's zero.
     """
     pages = 0
     for cs in state.cores:
         pages += len(cs.model.pages_touched)
         cs.model.pages_touched.clear()
-    frozen = copy.deepcopy(state)
-    return Snapshot(frozen, boundary, host_time, pages)
+    return Snapshot(cow.take(state), boundary, host_time, pages)
 
 
 def restore_snapshot(snapshot: Optional[Snapshot]) -> SimulationState:
     """Materialize a fresh working state from a snapshot.
 
     The snapshot itself stays pristine (a second rollback to the same
-    checkpoint is possible), so the restore is another deep copy — mirroring
-    how a forked parent can itself fork again after being awakened.
+    checkpoint is possible) — mirroring how a forked parent can itself
+    fork again after being awakened.
     """
     if snapshot is None:
         raise CheckpointError("no checkpoint available to roll back to")
-    return copy.deepcopy(snapshot.state)
+    return cow.restore(snapshot.cow)
 
 
 def checkpoint_cost_ns(cost: HostCostModel, pages: int) -> float:

@@ -55,6 +55,7 @@ class ServiceOutcome:
         "violations",
         "global_time",
         "idle",
+        "maybe_wake",
     )
 
     def __init__(
@@ -65,6 +66,7 @@ class ServiceOutcome:
         global_time: int,
         idle: bool,
         events_merged: int = 0,
+        maybe_wake: bool = True,
     ) -> None:
         self.events_served = events_served
         self.events_merged = events_merged
@@ -72,6 +74,10 @@ class ServiceOutcome:
         self.violations = violations
         self.global_time = global_time
         self.idle = idle
+        # False only when the step provably changed nothing a parked core
+        # thread waits on (no event delivered, pacing limits untouched),
+        # letting the scheduler skip its wake scan.
+        self.maybe_wake = maybe_wake
 
 
 class ManagerState:
@@ -108,6 +114,11 @@ class ManagerState:
         self._grant_floor = -1
         self._serving_conservative = False
         self._batch_grant_min: Optional[int] = None
+        # Pacing-limit staleness: for uniform-window schemes the limits are
+        # a pure function of (global time, scheme window), so the per-core
+        # rewrite can be skipped when neither moved.  True forces the first
+        # service step to populate the limit bank.
+        self._limits_stale = True
         # Cache-to-cache supply latency (an owner's L1 answers a snoop in
         # about the time an L2 hit takes on this target).
         self.c2c_latency = target.l2.cache.hit_latency
@@ -164,7 +175,21 @@ class ManagerState:
                 self.detector, new_global, events_served=self.events_served
             )
 
-        self._update_max_locals(sim, force_window, window_cap)
+        # Uniform-window limits only move when the global time or the
+        # scheme's window does (control_tick is the sole window mutator on
+        # this path; the speculative throttle always comes with a
+        # force_window/window_cap override, which recomputes regardless).
+        limits_ran = (
+            advanced
+            or adjusted
+            or self._limits_stale
+            or force_window is not None
+            or window_cap is not None
+            or not scheme.uniform_window
+        )
+        if limits_ran:
+            self._update_max_locals(sim, force_window, window_cap)
+            self._limits_stale = False
 
         outcome = self._outcome
         outcome.events_served = served
@@ -173,6 +198,11 @@ class ManagerState:
         outcome.violations = self.detector.drain_pending()
         outcome.global_time = new_global
         outcome.idle = served == 0 and not adjusted and not advanced
+        # A parked core waits on an InQ delivery (only ``_serve`` delivers)
+        # or on its pacing limit moving (only ``_update_max_locals`` writes
+        # the limit bank); when neither happened this step, no wake
+        # condition can have newly become true.
+        outcome.maybe_wake = served > 0 or limits_ran
         san = self.sanitizer
         if san is not None and san.enabled:
             san.on_manager_step(
@@ -191,14 +221,18 @@ class ManagerState:
         Returns the number of entries merged; ``core_ids`` restricts the
         drain (hierarchical mode).
         """
-        fresh: List[OutMsg] = []
-        append = fresh.append
+        fresh: Optional[List[OutMsg]] = None
         cores = sim.cores if core_ids is None else [sim.cores[i] for i in core_ids]
         for cs in cores:
             outq = cs.outq
+            if not outq:
+                continue
+            if fresh is None:
+                fresh = []
+            append = fresh.append
             while outq:
                 append(outq.popleft())
-        if not fresh:
+        if fresh is None:
             return 0
         fresh.sort(key=_ARRIVAL_ORDER)
         self.gq.extend(fresh)
@@ -305,7 +339,7 @@ class ManagerState:
         grant = self.bus.grant_request(ts)
         snoop_seen = grant + self.bus.config.request_cycles
 
-        if bus_op == BusOpKind.UPGR and core_id not in self.cache_map.sharers_of(line):
+        if bus_op == BusOpKind.UPGR and not self.cache_map.is_sharer(line, core_id):
             # The upgrader's copy was invalidated while the UPGR was in
             # flight; the transaction degenerates to a full GETX.
             bus_op = BusOpKind.GETX
@@ -399,33 +433,34 @@ class ManagerState:
     ) -> None:
         scheme = sim.scheme
         global_time = self.global_time
+        times = sim.local_times
+        limits = sim.max_local_times
         if force_window is None and window_cap is None:
             if scheme.uniform_window:
                 # Hot path: every core shares one window-derived limit
-                # (exactly what the default max_local_for computes).
+                # (exactly what the default max_local_for computes), written
+                # straight into the flat bank.
                 window = scheme.window()
                 limit = None if window is None else global_time + window
-                for cs in sim.cores:
+                for idx, cs in enumerate(sim.cores):
                     if not cs.model.finished:
-                        cs.max_local_time = limit
+                        limits[idx] = limit
                 return
             max_local_for = scheme.max_local_for
-            for cs in sim.cores:
+            for idx, cs in enumerate(sim.cores):
                 if not cs.model.finished:
-                    cs.max_local_time = max_local_for(
-                        cs.core_id, cs.local_time, global_time
-                    )
+                    limits[idx] = max_local_for(cs.core_id, times[idx], global_time)
             return
-        for cs in sim.cores:
-            if cs.finished:
+        for idx, cs in enumerate(sim.cores):
+            if cs.model.finished:
                 continue
             if force_window is not None:
                 limit: Optional[int] = global_time + force_window
             else:
-                limit = scheme.max_local_for(cs.core_id, cs.local_time, global_time)
+                limit = scheme.max_local_for(cs.core_id, times[idx], global_time)
             if window_cap is not None:
                 limit = window_cap if limit is None else min(limit, window_cap)
-            cs.max_local_time = limit
+            limits[idx] = limit
 
     def quiescent(self, sim: SimulationState) -> bool:
         """True when no requests are in flight toward the manager."""

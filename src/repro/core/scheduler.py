@@ -60,6 +60,7 @@ class Scheduler:
     def __init__(self, sim, host: HostConfig) -> None:
         self.sim = sim
         self.host = host
+        self._manager_migrates = host.manager_migrates
         self.contexts = [HostContext(i) for i in range(host.num_contexts)]
         self.stats = HostStats(host.num_contexts)
         # Telemetry (host-side, observation only; None when not attached).
@@ -82,6 +83,12 @@ class Scheduler:
         # Threads currently not READY (each exactly once); lets the wake
         # scan touch only sleepers instead of every thread.
         self._parked: List[HostThread] = []
+        # True while a thread parked since the last wake scan: a thread
+        # can park already wake-eligible (e.g. a stall skip landing on its
+        # pacing limit with an InQ entry due right there), so the scan
+        # after the next manager step must run even if that step was a
+        # no-op.
+        self._parked_dirty = True
         num_cores = len(sim.state.cores)
         for index in range(num_cores):
             runner = CoreRunner(index, sim, host)
@@ -155,19 +162,100 @@ class Scheduler:
         telemetry = self._telemetry
         sanitizer = getattr(sim, "sanitizer", None)
         idle_manager_steps = 0
+        last_state = None
+        models = cores = None
+        # Termination can only newly hold after a core reports done (a
+        # model finished) or a rollback swaps the root; ``check_done``
+        # re-arms on exactly those events, sparing the finished-sweep on
+        # the bulk of iterations.  Once every model is finished the flag
+        # stays armed until the quiescence conditions drain.
+        check_done = True
+        migrates = self._manager_migrates
+        contexts = self.contexts
+        _ready = _READY
         while True:
             state = sim.state
-            cores = state.cores
-            for cs in cores:
-                if not cs.model.finished:
-                    break
-            else:
-                if state.manager.quiescent(state) and all(
-                    not cs.inq for cs in cores
-                ):
-                    break
+            if state is not last_state:
+                last_state = state
+                cores = state.cores
+                models = state._models
+                check_done = True
+            if check_done:
+                for model in models:
+                    if not model.finished:
+                        check_done = False
+                        break
+                else:
+                    if state.manager.quiescent(state) and all(
+                        not cs.inq for cs in cores
+                    ):
+                        break
 
-            thread, start = self._pick()
+            # _pick() inlined (the method remains the single-step API for
+            # tests/controllers; keep the two in lockstep).  Inlining
+            # saves a call, the manager/heap attribute loads, and the
+            # tuple allocations for the manager-vs-top comparison on
+            # every scheduler iteration.
+            have_manager = manager_thread.state == _ready
+            m_dispatch = 0.0
+            m_ready = 0.0
+            if have_manager:
+                if migrates:
+                    target = self._migrate_min
+                    if target is None:
+                        target = contexts[0]
+                        best = target.clock
+                        for ctx in contexts:
+                            clock = ctx.clock
+                            if clock < best:
+                                best = clock
+                                target = ctx
+                        self._migrate_min = target
+                    mctx = manager_thread.context
+                    if target is not mctx:
+                        # ThreadSet.remove/append inlined (dict-backed);
+                        # the manager migrates on most picks.
+                        del mctx.threads._items[manager_thread]
+                        target.threads._items[manager_thread] = None
+                        manager_thread.context = target
+                m_ready = manager_thread.ready_time
+                m_dispatch = manager_thread.context.clock
+                if m_ready > m_dispatch:
+                    m_dispatch = m_ready
+            thread = None
+            start = m_dispatch
+            while heap:
+                dispatch, ready, pos, cand = heap[0]
+                if cand.state != _ready:
+                    heappop(heap)
+                    cand.queued = False
+                    continue
+                cur_ready = cand.ready_time
+                cur_dispatch = cand.context.clock
+                if cur_ready > cur_dispatch:
+                    cur_dispatch = cur_ready
+                if cur_dispatch != dispatch or cur_ready != ready:
+                    heapreplace(heap, (cur_dispatch, cur_ready, pos, cand))
+                    continue
+                # Validated minimum of the non-manager threads; the
+                # manager is last in thread order, so it wins only
+                # strictly (scalar compare == tuple compare, no allocs).
+                if not have_manager or (
+                    m_dispatch > dispatch
+                    or (m_dispatch == dispatch and m_ready >= ready)
+                ):
+                    heappop(heap)
+                    cand.queued = False
+                    thread = cand
+                    start = dispatch
+                else:
+                    thread = manager_thread
+                break
+            if thread is None:
+                if not have_manager:  # pragma: no cover
+                    raise DeadlockError("no runnable simulation thread")
+                thread = manager_thread
+
             result: StepResult = thread.runner.step(start)
             cost = result.cost_ns
             if jitter_frac > 0.0:
@@ -207,7 +295,9 @@ class Scheduler:
                         sampler.maybe_sample(self, outcome, context.clock)
                 if controller is not None:
                     controller.after_manager_step(self, outcome, context.clock)
-                self._wake_cores(context.clock)
+                if outcome.maybe_wake or self._parked_dirty:
+                    self._parked_dirty = False
+                    self._wake_cores(context.clock)
                 idle_manager_steps = idle_manager_steps + 1 if outcome.idle else 0
                 if idle_manager_steps > _DEADLOCK_LIMIT:
                     raise DeadlockError(self._deadlock_report())
@@ -220,16 +310,20 @@ class Scheduler:
                 stats.core_steps += 1
                 if sanitizer is not None and sanitizer.enabled:
                     # Re-fetch through sim.state: a rollback swaps the root.
-                    cs = sim.state.cores[thread.pos]
+                    pos = thread.pos
+                    st = sim.state
                     sanitizer.on_core_step(
-                        thread.pos, cs.local_time, cs.max_local_time
+                        pos, st.local_times[pos], st.max_local_times[pos]
                     )
                 if result.done:
+                    check_done = True  # a model may have just finished
                     thread.state = ThreadState.DONE
                     self._parked.append(thread)
+                    self._parked_dirty = True
                 elif result.blocked:
                     thread.state = ThreadState.BLOCKED
                     self._parked.append(thread)
+                    self._parked_dirty = True
                 elif not thread.queued:
                     # _enqueue inlined: the context clock and ready time
                     # both equal ``end`` right after the step.
@@ -261,7 +355,7 @@ class Scheduler:
         m_dispatch = 0.0
         m_ready = 0.0
         if have_manager:
-            if self.host.manager_migrates:
+            if self._manager_migrates:
                 # The OS load-balances the odd thread out (9 simulation
                 # threads on 8 contexts): the manager migrates to the
                 # least-loaded context instead of starving one core thread
@@ -269,7 +363,17 @@ class Scheduler:
                 # it — ablation A3.)
                 target = self._migrate_min
                 if target is None:
-                    target = min(self.contexts, key=_CLOCK_KEY)
+                    # First-minimum scan over the context clocks (min() with
+                    # a key lambda costs a function call per context; this
+                    # loop is hit after nearly every manager advance).
+                    contexts = self.contexts
+                    target = contexts[0]
+                    best = target.clock
+                    for ctx in contexts:
+                        clock = ctx.clock
+                        if clock < best:
+                            best = clock
+                            target = ctx
                     self._migrate_min = target
                 if target is not manager.context:
                     manager.context.threads.remove(manager)
@@ -321,17 +425,33 @@ class Scheduler:
         ready = ThreadState.READY
         still_parked: List[HostThread] = []
         for thread in parked:
-            cs = cores[thread.runner.index]
+            # Only core runners are ever parked, and core threads occupy
+            # positions [0, num_cores), so pos doubles as the core index.
+            cs = cores[thread.pos]
             if thread.state == done:
                 # A finished core thread briefly revives to drain coherence
                 # messages still addressed to it.
                 if not cs.inq:
                     still_parked.append(thread)
                     continue
-            elif not self._core_runnable(cs):
-                still_parked.append(thread)
-                continue
             else:
+                # _core_runnable inlined: this loop runs for every parked
+                # thread after every manager step.
+                model = cs.model
+                if not model.finished:
+                    inq = cs.inq
+                    if model.waiting_sync:
+                        if not inq:
+                            still_parked.append(thread)
+                            continue
+                    else:
+                        idx = cs._idx
+                        local = cs._times[idx]
+                        if not inq or inq[0].ts > local:
+                            max_local = cs._limits[idx]
+                            if max_local is not None and local >= max_local:
+                                still_parked.append(thread)
+                                continue
                 self.stats.wakeups += 1
             thread.state = ready
             if thread.ready_time < wake_at:
@@ -348,10 +468,11 @@ class Scheduler:
         inq = cs.inq
         if model.waiting_sync:
             return bool(inq)  # descheduled until something is delivered
-        local = cs.local_time
+        idx = cs._idx
+        local = cs._times[idx]
         if inq and inq[0].ts <= local:
             return True
-        max_local = cs.max_local_time
+        max_local = cs._limits[idx]
         return max_local is None or local < max_local
 
     def wake_all(self, at_time: float) -> None:
@@ -369,6 +490,7 @@ class Scheduler:
             else:
                 parked.append(thread)
         self._parked = parked
+        self._parked_dirty = True
 
     def pause_all_contexts(self, cost_ns: float) -> float:
         """Global pause: synchronize every context, charge ``cost_ns``.

@@ -26,15 +26,16 @@ class FixedSlackPolicy(SchemePolicy):
         else:
             self.barrier_sync = False
             self.conservative_service = False
+        # The bound is immutable; evaluate the window once instead of per
+        # manager service step.
+        self._window = None if config.bound is None else max(1, config.bound)
 
     @property
     def kind(self) -> str:
         return self.config.kind
 
     def window(self) -> Optional[int]:
-        if self.config.bound is None:
-            return None
-        return max(1, self.config.bound)
+        return self._window
 
 
 class QuantumPolicy(SchemePolicy):

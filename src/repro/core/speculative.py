@@ -77,18 +77,23 @@ class CheckpointController:
 
     def on_run_start(self, scheduler) -> None:
         """Take the initial (time-zero) checkpoint before simulation."""
-        pages = 0  # nothing written yet; cost is the bare fork
+        # The capture happens before the pause: snapshot content is pure
+        # simulation state, so the host time the contexts resume at does
+        # not affect it (only the snapshot's host_time stamp, set below).
+        snapshot = take_snapshot(self.sim.state, 0, 0.0)
+        pages = snapshot.pages  # nothing written yet; cost is the bare fork
         cost = checkpoint_cost_ns(self.cost, pages)
         resume = scheduler.pause_all_contexts(cost)
-        self.snapshot = take_snapshot(self.sim.state, 0, resume)
+        snapshot.host_time = resume
+        self.snapshot = snapshot
         scheduler.stats.checkpoints += 1
         scheduler.stats.checkpoint_cost_ns += cost
         tel = self.sim.telemetry
         if tel is not None and tel.enabled:
-            tel.on_checkpoint(resume - cost, cost, 0, pages)
+            tel.on_checkpoint(resume - cost, cost, 0, pages, snapshot.host_pages)
         san = getattr(self.sim, "sanitizer", None)
         if san is not None and san.enabled:
-            san.on_checkpoint(self.snapshot)
+            san.on_checkpoint(snapshot, self.sim.state)
         scheduler.wake_all(resume)
 
     def overrides(self) -> Dict[str, object]:
@@ -159,9 +164,15 @@ class CheckpointController:
             record.first_offset = offset
 
     def _take_checkpoint(self, scheduler) -> None:
-        pages = sum(len(cs.model.pages_touched) for cs in self.sim.state.cores)
+        # Capture first: the snapshot measures the touched-page count and
+        # the cost is charged from that measurement (no separate caller
+        # estimate).  Snapshot content is host-time independent, so taking
+        # it before the pause is equivalent.
+        snapshot = take_snapshot(self.sim.state, self.next_boundary, 0.0)
+        pages = snapshot.pages
         cost = checkpoint_cost_ns(self.cost, pages)
         resume = scheduler.pause_all_contexts(cost)
+        snapshot.host_time = resume
         tel = self.sim.telemetry
         if self.replaying:
             scheduler.stats.replay_target_cycles += self.config.interval
@@ -170,14 +181,16 @@ class CheckpointController:
                 # Close the replay span before the checkpoint span opens so
                 # the controller track stays in timestamp order.
                 tel.on_replay_end(resume - cost)
-        self.snapshot = take_snapshot(self.sim.state, self.next_boundary, resume)
+        self.snapshot = snapshot
         scheduler.stats.checkpoints += 1
         scheduler.stats.checkpoint_cost_ns += cost
         if tel is not None and tel.enabled:
-            tel.on_checkpoint(resume - cost, cost, self.next_boundary, pages)
+            tel.on_checkpoint(
+                resume - cost, cost, self.next_boundary, pages, snapshot.host_pages
+            )
         san = getattr(self.sim, "sanitizer", None)
         if san is not None and san.enabled:
-            san.on_checkpoint(self.snapshot)
+            san.on_checkpoint(snapshot, self.sim.state)
 
         self.records.append(self._current)
         start = self.next_boundary

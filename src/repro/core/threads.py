@@ -74,6 +74,24 @@ class CoreRunner:
         # scheduler before the next step runs, so a single instance per
         # runner avoids an allocation per scheduling step.
         self._result = StepResult(0.0)
+        # Host cost constants are immutable for the life of the run; the
+        # two fused sums fold the per-cycle slack check into the cycle
+        # charge (exact: every cost constant is an integer-valued float, so
+        # the reassociation cannot round).
+        cost = host.cost
+        self._cost_binds = (
+            cost.per_mem_event_ns,
+            cost.per_instruction_ns,
+            cost.slack_check_ns,
+            cost.core_cycle_ns + cost.slack_check_ns,
+            cost.stall_cycle_ns + cost.slack_check_ns,
+        )
+        self._batch = host.max_batch_cycles
+        # Root-stable binds (core state, clock banks, pipeline geometry,
+        # program, L1), re-derived only when a rollback installs a fresh
+        # root (cs.model is assigned exactly once, in CoreState.__init__,
+        # so everything below is fixed for the life of one root).
+        self._state_binds: Optional[tuple] = None
         # barrier_sync is fixed when the policy is constructed (and
         # preserved across rollback snapshots), so the per-step barrier
         # check can cache it instead of re-deriving it from the state.
@@ -92,36 +110,76 @@ class CoreRunner:
         return self.sim.state.cores[self.index]
 
     def step(self, host_now: float) -> StepResult:
-        cost_model: HostCostModel = self.cost
-        cs = self.sim.state.cores[self.index]
-        model = cs.model
+        # One root-identity check + one tuple unpack replaces the ~10
+        # attribute chains the prologue used to pay on every call (with
+        # max_batch_cycles=8 this runs roughly once per simulated cycle).
+        # Everything in the tuple is fixed for the life of one root:
+        # cs.model is assigned exactly once (CoreState.__init__), and the
+        # model's outbox/program/L1/pages_touched are object-stable — a
+        # rollback installs a fresh SimulationState, caught by the identity
+        # check.  The lone exception is ``_pending_loads``, which
+        # complete_fill may rebind during an InQ delivery — it is re-read
+        # per step and after every delivery point.
+        binds = self._state_binds
+        state = self.sim.state
+        if binds is None or binds[0] is not state:
+            cs = state.cores[self.index]
+            model = cs.model
+            program = model.program
+            l1 = model.l1
+            binds = (
+                state,
+                cs,
+                model,
+                cs.inq,
+                cs._times,
+                cs._limits,
+                cs._idx,
+                model.outbox,
+                model._icache is None,
+                model._issue_width,
+                model._window_size,
+                program,
+                program._buffer,
+                l1,
+                l1.access_line,
+                l1._line_bits,
+                model.pages_touched,
+                model._page_shift,
+            )
+            self._state_binds = binds
+        (
+            _,
+            cs,
+            model,
+            inq,
+            times,
+            limits,
+            cidx,
+            outbox,
+            fast_pipeline,
+            issue_width,
+            window_size,
+            program,
+            op_buffer,
+            l1,
+            access_line,
+            line_bits,
+            pages_touched,
+            page_shift,
+        ) = binds
+        (
+            per_mem_event_ns,
+            per_instruction_ns,
+            slack_check_ns,
+            cycle_plus_slack_ns,
+            stall_plus_slack_ns,
+        ) = self._cost_binds
+        pending = model._pending_loads
+        apply = self._apply
         cost = 0.0
         cycles = 0
-        batch = self.host.max_batch_cycles
-        # Hot loop: bind the per-event costs and queues once per step.
-        per_mem_event_ns = cost_model.per_mem_event_ns
-        core_cycle_ns = cost_model.core_cycle_ns
-        per_instruction_ns = cost_model.per_instruction_ns
-        stall_cycle_ns = cost_model.stall_cycle_ns
-        slack_check_ns = cost_model.slack_check_ns
-        inq = cs.inq
-        outbox = model.outbox
-        apply = self._apply
-        # Pipeline hot-path binds for the inlined cycle body below.  All of
-        # these objects are stable for the life of the model except
-        # ``_pending_loads``, which complete_fill may rebind during an InQ
-        # delivery — it is re-read after every delivery point.
-        fast_pipeline = model._icache is None
-        issue_width = model._issue_width
-        window_size = model._window_size
-        program = model.program
-        op_buffer = program._buffer
-        l1 = model.l1
-        access_line = l1.access_line
-        line_bits = l1._line_bits
-        pending = model._pending_loads
-        pages_touched = model.pages_touched
-        page_shift = model._page_shift
+        batch = self._batch
 
         result = self._result
         result.outcome = None
@@ -144,7 +202,7 @@ class CoreRunner:
         while cycles < batch:
             # Deliver every InQ entry whose timestamp has been reached (or
             # passed: the slack time-distortion case).
-            local = cs.local_time
+            local = times[cidx]
             if next_due is not None and next_due <= local:
                 while inq and inq[0].ts <= local:
                     apply(cs, inq.popleft())
@@ -164,7 +222,7 @@ class CoreRunner:
                 continue
             if model.finished:
                 break
-            max_local = cs.max_local_time
+            max_local = limits[cidx]
             if max_local is not None and local >= max_local:
                 break  # at_limit: the slack window forbids another cycle
 
@@ -185,11 +243,10 @@ class CoreRunner:
                 if m_cap > 1:
                     m, instrs = model.commit_burst(m_cap)
                     if m:
-                        cs.local_time = local + m
+                        times[cidx] = local + m
                         cycles += m
                         cost += (
-                            m * (core_cycle_ns + slack_check_ns)
-                            + instrs * per_instruction_ns
+                            m * cycle_plus_slack_ns + instrs * per_instruction_ns
                         )
                         tel = self._tel
                         if tel is not None and tel.enabled:
@@ -289,13 +346,16 @@ class CoreRunner:
                         if kind is _LOCK_ACQ or kind is _BARRIER_ARR:
                             self._sync_wait_start = local
                 outbox.clear()
-            cs.local_time = local + 1
+            times[cidx] = local + 1
             cycles += 1
+            # Fused constants: (cycle + slack check) in one add.  Exact —
+            # every term is an integer-valued float, so the reassociation
+            # relative to the historic (cycle, then check) order cannot
+            # round.
             if committed:
-                cost += core_cycle_ns + committed * per_instruction_ns
+                cost += cycle_plus_slack_ns + committed * per_instruction_ns
             else:
-                cost += stall_cycle_ns
-            cost += slack_check_ns
+                cost += stall_plus_slack_ns
 
             if committed == 0 and not emitted and not model.finished:
                 # The pipeline can only resume after an InQ delivery;
@@ -304,28 +364,28 @@ class CoreRunner:
                 break
 
         if cost <= 0.0:
-            cost = cost_model.slack_check_ns  # every step consumes host time
+            cost = slack_check_ns  # every step consumes host time
         if model.finished:
             result.cost_ns = cost
             result.blocked = False
             result.done = True
             return result
-        max_local = cs.max_local_time
-        at_limit = max_local is not None and cs.local_time >= max_local
+        max_local = limits[cidx]
+        at_limit = max_local is not None and times[cidx] >= max_local
         blocked = at_limit or (model.waiting_sync and not inq)
         if blocked and at_limit:
             tel = self._tel
             if tel is not None and tel.enabled:
-                tel.on_slack_stall(self.index, cs.local_time, max_local)
+                tel.on_slack_stall(self.index, times[cidx], max_local)
             # Window edges synchronize with a heavyweight barrier under
             # cycle-by-cycle/quantum schemes and during the forced
             # cycle-by-cycle replay after a speculative rollback.
             if self._barrier_static:
-                cost += cost_model.barrier_ns  # futex sleep at the barrier
+                cost += self.cost.barrier_ns  # futex sleep at the barrier
             else:
                 controller = self.sim.controller
                 if controller is not None and controller.replaying:
-                    cost += cost_model.barrier_ns
+                    cost += self.cost.barrier_ns
         result.cost_ns = cost
         result.blocked = blocked
         result.done = False
@@ -363,22 +423,25 @@ class CoreRunner:
 
     def _skip_stalls(self, cs: CoreState) -> float:
         """Bulk-advance known-stalled cycles; return the host cost."""
-        target = cs.local_time + self.host.max_stall_batch
-        max_local = cs.max_local_time
+        times = cs._times
+        cidx = cs._idx
+        local = times[cidx]
+        target = local + self.host.max_stall_batch
+        max_local = cs._limits[cidx]
         if max_local is not None and max_local < target:
             target = max_local
         if cs.inq:
             due = cs.inq[0].ts
             if due < target:
                 target = due
-        skip = target - cs.local_time
+        skip = target - local
         if skip <= 0:
             return 0.0
         tel = self._tel
         if tel is not None and tel.enabled:
-            tel.on_stall_skip(self.index, cs.local_time, skip)
+            tel.on_stall_skip(self.index, local, skip)
         cs.model.skip_stall_cycles(skip)
-        cs.local_time += skip
+        times[cidx] = local + skip
         per_cycle = self.cost.stall_cycle_ns + self.cost.slack_check_ns
         return skip * per_cycle
 

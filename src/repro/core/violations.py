@@ -68,6 +68,15 @@ class MapMonitorTable:
     def __len__(self) -> int:
         return len(self._monitors)
 
+    def __deepcopy__(self, memo) -> "MapMonitorTable":
+        # The table is a flat int->int dict that grows with the workload's
+        # line footprint; a C-level dict copy is exact and spares the
+        # checkpoint residue a per-entry deepcopy walk.
+        new = MapMonitorTable()
+        new._monitors = dict(self._monitors)
+        memo[id(self)] = new
+        return new
+
 
 # repro: hot-path
 class ViolationRecord:

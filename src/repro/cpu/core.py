@@ -24,6 +24,7 @@ coherence traffic flows through it (see DESIGN.md substitutions).
 
 from __future__ import annotations
 
+import copy
 from collections import deque
 from enum import IntEnum
 from typing import Deque, List, Optional, Tuple
@@ -154,6 +155,30 @@ class CoreModel:
         self.sync_stall_cycles = 0
         self.instructions = 0
 
+    def __deepcopy__(self, memo) -> "CoreModel":
+        """Checkpoint-residue clone: share immutables, copy live state.
+
+        Starts from a reference-sharing ``__dict__`` copy (correct for
+        every scalar and frozen-config attribute, present and future) and
+        then replaces the mutable fields explicitly — keep that list in
+        lockstep with ``__init__`` when adding mutable state.
+        """
+        cls = self.__class__
+        new = cls.__new__(cls)
+        memo[id(self)] = new
+        d = new.__dict__
+        d.update(self.__dict__)
+        d["l1"] = copy.deepcopy(self.l1, memo)
+        d["program"] = self.program.__deepcopy__(memo)
+        d["outbox"] = copy.deepcopy(self.outbox, memo)
+        if self._icache is not None:
+            # Through the memo: the snapshot layer maps tracked arrays
+            # onto frozen stubs.
+            d["_icache"] = copy.deepcopy(self._icache, memo)
+        d["_pending_loads"] = deque(self._pending_loads)  # tuples of ints
+        d["pages_touched"] = set(self.pages_touched)
+        return new
+
     # ------------------------------------------------------------------ #
     # Pipeline
     # ------------------------------------------------------------------ #
@@ -181,7 +206,7 @@ class CoreModel:
                 + (self._fetch_seq // self._instrs_per_line) % self._code_lines
             )
             if line != self._fetch_line:
-                if self._icache.lookup(line) is not None:
+                if self._icache.find(line) is not None:
                     self._fetch_line = line
                 else:
                     self.outbox.append(
@@ -298,7 +323,7 @@ class CoreModel:
         )
         if line == self._fetch_line:
             return True
-        if self._icache.lookup(line) is not None:
+        if self._icache.find(line) is not None:
             self._fetch_line = line
             return True
         self.outbox.append(CoreRequest(RequestKind.IFETCH, line_addr=line))

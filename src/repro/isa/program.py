@@ -62,6 +62,12 @@ class Stmt:
 
     __slots__ = ()
 
+    def __deepcopy__(self, memo) -> "Stmt":
+        # Statement trees are immutable program structure (fields are
+        # assigned once in __init__ and only read by the interpreter):
+        # checkpoint snapshots share them instead of walking the tree.
+        return self
+
 
 class Emit(Stmt):
     """Emit zero or more operations computed from the context."""
@@ -147,6 +153,39 @@ class ProgramInterpreter:
     def finished(self) -> bool:
         """True once the THREAD_END op has been produced."""
         return self._ended and not self._buffer
+
+    def __deepcopy__(self, memo) -> "ProgramInterpreter":
+        """Hand-rolled clone for the checkpoint residue.
+
+        The statement tree and the buffered ops are immutable and shared;
+        only the activation records, the context, and the buffer container
+        itself are live state.  Keep in lockstep with __init__/_Frame.
+        """
+        new = self.__class__.__new__(self.__class__)
+        memo[id(self)] = new
+        new._program = self._program
+        ctx = self.ctx
+        new_ctx = ProgramContext.__new__(ProgramContext)
+        new_ctx.tid = ctx.tid
+        new_ctx.vars = dict(ctx.vars)  # loop variables: str -> int
+        rng = ctx.rng
+        new_rng = rng.__class__.__new__(rng.__class__)
+        new_rng.state = rng.state
+        new_ctx.rng = new_rng
+        new.ctx = new_ctx
+        frames = []
+        for frame in self._frames:
+            nf = _Frame.__new__(_Frame)
+            nf.stmts = frame.stmts  # shared immutable statement sequence
+            nf.idx = frame.idx
+            nf.var = frame.var
+            nf.remaining = frame.remaining
+            nf.trip = frame.trip
+            frames.append(nf)
+        new._frames = frames
+        new._buffer = deque(self._buffer)  # Ops are immutable: shared
+        new._ended = self._ended
+        return new
 
     def next_op(self) -> Optional[Op]:
         """Return the next operation, or None when the thread is done.

@@ -6,12 +6,23 @@ synthetic operation streams, so there are no functional values to track —
 and the paper notes workload-state violations cannot occur anyway because
 synchronization executes inside the simulator).
 
-Lookups are O(1): each set keeps a ``{tag: line}`` dict alongside the way
-list, maintained through fill/invalidate.  The way list is retained for
-LRU victim selection (fills are miss-rate-rare) and for residency dumps;
-hit/miss decisions, eviction victims, and LRU ordering are bit-for-bit
-identical to an associativity-wide way scan (tests/test_cache_index.py
-checks this against a reference implementation over random streams).
+Line state lives in flat structure-of-arrays banks — three parallel lists
+``_tag``/``_state``/``_lru`` indexed by ``slot = set_index * associativity
++ way`` — instead of per-line objects.  Hit/miss decisions come from a
+single ``{line_addr: slot}`` dict over valid lines, so the hot path is one
+dict probe with no tag/set arithmetic; the way-range of a set is scanned
+only for victim selection (fills are miss-rate-rare).  Decisions, eviction
+victims, and LRU ordering are bit-for-bit identical to an
+associativity-wide way scan (tests/test_cache_index.py checks this against
+a reference implementation over random streams).
+
+The banks double as the copy-on-write substrate for checkpoints
+(``repro.core.snapshot``): content writes (``_tag``/``_state``) mark a
+fixed-size *page* of slots dirty, and ``snapshot_sync``/
+``snapshot_restore`` copy only the pages dirtied since the previous
+snapshot instead of the whole array.  The LRU bank is the exception —
+every access writes it, so it is shadowed wholesale with one C-level
+list copy per snapshot rather than page-tracked on the access path.
 """
 
 from __future__ import annotations
@@ -24,24 +35,52 @@ from repro.memory.mesi import MesiState
 
 _INVALID = MesiState.INVALID
 
+#: Dirty-tracking granularity: one page is ``2**PAGE_BITS`` consecutive
+#: slots across the content banks.  64 slots keeps page copies slice-sized
+#: while a busy checkpoint interval still touches a small fraction of a
+#: large L2 (tail pages of a non-multiple bank are simply short).
+PAGE_BITS = 6
+PAGE_SLOTS = 1 << PAGE_BITS
 
-class CacheLine:
-    """One cache line: tag, MESI state, LRU stamp."""
 
-    __slots__ = ("tag", "state", "lru")
+class LineView:
+    """Read/write view of one resident line (tests and cold paths).
 
-    def __init__(self) -> None:
-        self.tag = -1
-        self.state = MesiState.INVALID
-        self.lru = 0
+    The hot paths work on raw slot indices; this proxy keeps the historic
+    ``lookup(addr).state`` object API alive without storing per-line
+    objects.  Writes go through the array so dirty-page tracking sees
+    them.
+    """
+
+    __slots__ = ("_array", "slot")
+
+    def __init__(self, array: "CacheArray", slot: int) -> None:
+        self._array = array
+        self.slot = slot
 
     @property
-    def valid(self) -> bool:
-        return self.state != MesiState.INVALID
+    def tag(self) -> int:
+        return self._array._tag[self.slot]
 
-    def _sort_key(self) -> Tuple[bool, int]:
-        # Victim priority: invalid ways first, then least-recently used.
-        return (self.state != MesiState.INVALID, self.lru)
+    @property
+    def lru(self) -> int:
+        return self._array._lru[self.slot]
+
+    @property
+    def state(self) -> MesiState:
+        return MesiState(self._array._state[self.slot])
+
+    @state.setter
+    def state(self, value: MesiState) -> None:
+        array = self._array
+        if value == _INVALID:
+            array.invalidate(array.line_addr_of_slot(self.slot))
+        else:
+            array.write_state(self.slot, value)
+
+
+#: Legacy export name: the per-line object type callers used to receive.
+CacheLine = LineView
 
 
 class CacheArray:
@@ -50,73 +89,92 @@ class CacheArray:
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
         self.mapper = AddressMapper(config)
-        self._sets: List[List[CacheLine]] = [
-            [CacheLine() for _ in range(config.associativity)]
-            for _ in range(config.num_sets)
-        ]
-        # Per-set tag index over *valid* lines only; the single source of
-        # truth for hit/miss decisions.
-        self._index: List[Dict[int, CacheLine]] = [
-            {} for _ in range(config.num_sets)
-        ]
+        num_slots = config.num_sets * config.associativity
+        self._assoc = config.associativity
+        # Structure-of-arrays banks: slot = set_index * assoc + way.
+        self._tag: List[int] = [-1] * num_slots
+        self._state: List[int] = [0] * num_slots  # MesiState values
+        self._lru: List[int] = [0] * num_slots
+        # Tag index over *valid* lines only, keyed by full line address;
+        # the single source of truth for hit/miss decisions.
+        self._index: Dict[int, int] = {}
         self._set_mask = config.num_sets - 1
         self._set_bits = self.mapper.set_bits
         self._clock = 0  # LRU stamp source
+        # Copy-on-write bookkeeping (driven by repro.core.snapshot).
+        self._dirty: set = set()  # page indices written since last sync
+        self._shadow: Optional[Tuple[List[int], List[int], List[int]]] = None
+        self._snap_epoch = 0  # serial of the snapshot the shadow matches
         # Statistics
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __deepcopy__(self, memo) -> "CacheArray":
-        """Checkpoint fast path: copy lines directly, rebuild the index.
+        """Standalone clone: banks are flat int lists, copied directly.
 
-        Cache arrays dominate snapshot cost (thousands of lines per L1/L2);
-        the generic deepcopy machinery spends most of its time reconstructing
-        them object by object.  Config and mapper are immutable and shared.
+        Checkpoints no longer deepcopy arrays (they go through the
+        dirty-page shadow banks); this remains for tests and ad-hoc
+        cloning.  Config and mapper are immutable and shared.
         """
         cls = self.__class__
         new = cls.__new__(cls)
         memo[id(self)] = new
         new.config = self.config
         new.mapper = self.mapper
+        new._assoc = self._assoc
+        new._tag = list(self._tag)
+        new._state = list(self._state)
+        new._lru = list(self._lru)
+        new._index = dict(self._index)
         new._set_mask = self._set_mask
         new._set_bits = self._set_bits
         new._clock = self._clock
+        new._dirty = set(self._dirty)
+        shadow = self._shadow
+        new._shadow = (
+            None
+            if shadow is None
+            else (list(shadow[0]), list(shadow[1]), list(shadow[2]))
+        )
+        new._snap_epoch = self._snap_epoch
         new.hits = self.hits
         new.misses = self.misses
         new.evictions = self.evictions
-        invalid = _INVALID
-        new_line = CacheLine.__new__
-        new_sets: List[List[CacheLine]] = []
-        new_index: List[Dict[int, CacheLine]] = []
-        for ways in self._sets:
-            copies: List[CacheLine] = []
-            index: Dict[int, CacheLine] = {}
-            for line in ways:
-                copy = new_line(CacheLine)
-                copy.tag = line.tag
-                copy.state = line.state
-                copy.lru = line.lru
-                copies.append(copy)
-                if copy.state != invalid:
-                    index[copy.tag] = copy
-            new_sets.append(copies)
-            new_index.append(index)
-        new._sets = new_sets
-        new._index = new_index
         return new
 
-    def lookup(self, line_addr: int, touch: bool = True) -> Optional[CacheLine]:
-        """Return the resident line for ``line_addr``, or None on miss.
+    # ------------------------------------------------------------------ #
+    # Access paths
+    # ------------------------------------------------------------------ #
 
-        ``touch=False`` performs a snoop-style probe that does not perturb
-        LRU state.
+    def find(self, line_addr: int, touch: bool = True) -> Optional[int]:
+        """Return the slot holding ``line_addr``, or None on miss.
+
+        This is the *only* tag-scan implementation: ``lookup`` and the
+        L1/L2 access paths all funnel through it.  ``touch=False``
+        performs a snoop-style probe that does not perturb LRU state.
         """
-        line = self._index[line_addr & self._set_mask].get(line_addr >> self._set_bits)
-        if line is not None and touch:
-            self._clock += 1
-            line.lru = self._clock
-        return line
+        slot = self._index.get(line_addr)
+        if slot is not None and touch:
+            clock = self._clock + 1
+            self._clock = clock
+            self._lru[slot] = clock
+            # No dirty marking: the LRU bank is written on every access,
+            # so the snapshot layer copies it wholesale instead of paying
+            # per-touch page bookkeeping on the hottest path in the
+            # memory system (see snapshot_sync).
+        return slot
+
+    def lookup(self, line_addr: int, touch: bool = True) -> Optional[LineView]:
+        """Return a view of the resident line for ``line_addr``, or None.
+
+        Object-API wrapper over :meth:`find` for tests and cold paths;
+        hot paths use :meth:`find` and the banks directly.
+        """
+        slot = self.find(line_addr, touch)
+        if slot is None:
+            return None
+        return LineView(self, slot)
 
     def fill(self, line_addr: int, state: MesiState) -> Tuple[Optional[int], MesiState]:
         """Insert ``line_addr`` with ``state``; return the victim.
@@ -130,50 +188,155 @@ class CacheArray:
         tag across ways.
         """
         set_index = line_addr & self._set_mask
-        tag = line_addr >> self._set_bits
-        index = self._index[set_index]
-        victim = min(self._sets[set_index], key=CacheLine._sort_key)
+        tags = self._tag
+        states = self._state
+        lrus = self._lru
+        # Victim priority: invalid ways first, then least-recently used;
+        # ties keep the lowest way (bit-identical to min() over the set).
+        base = set_index * self._assoc
+        victim = base
+        best_valid = states[base] != 0
+        best_lru = lrus[base]
+        for slot in range(base + 1, base + self._assoc):
+            valid = states[slot] != 0
+            if valid < best_valid or (valid == best_valid and lrus[slot] < best_lru):
+                victim = slot
+                best_valid = valid
+                best_lru = lrus[slot]
         victim_addr: Optional[int] = None
-        victim_state = victim.state
-        if victim_state != _INVALID:
-            victim_addr = (victim.tag << self._set_bits) | set_index
+        victim_state = states[victim]
+        if victim_state != 0:
+            victim_addr = (tags[victim] << self._set_bits) | set_index
             self.evictions += 1
-            del index[victim.tag]
-        victim.tag = tag
-        victim.state = state
-        self._clock += 1
-        victim.lru = self._clock
+            del self._index[victim_addr]
+        tags[victim] = line_addr >> self._set_bits
+        states[victim] = state
+        clock = self._clock + 1
+        self._clock = clock
+        lrus[victim] = clock
+        if self._shadow is not None:
+            self._dirty.add(victim >> PAGE_BITS)
         if state != _INVALID:
-            index[tag] = victim
-        return victim_addr, victim_state
+            self._index[line_addr] = victim
+        return victim_addr, MesiState(victim_state)
 
     def invalidate(self, line_addr: int) -> MesiState:
         """Invalidate ``line_addr`` if resident; return its prior state."""
-        line = self._index[line_addr & self._set_mask].pop(
-            line_addr >> self._set_bits, None
-        )
-        if line is None:
-            return MesiState.INVALID
-        prior = line.state
-        line.state = MesiState.INVALID
-        return prior
+        slot = self._index.pop(line_addr, None)
+        if slot is None:
+            return _INVALID
+        states = self._state
+        prior = states[slot]
+        states[slot] = 0
+        if self._shadow is not None:
+            self._dirty.add(slot >> PAGE_BITS)
+        return MesiState(prior)
+
+    def write_state(self, slot: int, state: MesiState) -> None:
+        """Set a valid slot's MESI state (must not be INVALID)."""
+        self._state[slot] = state
+        if self._shadow is not None:
+            self._dirty.add(slot >> PAGE_BITS)
 
     def set_state(self, line_addr: int, state: MesiState) -> None:
         """Set the MESI state of a resident line (no-op if absent)."""
         if state == _INVALID:
             self.invalidate(line_addr)
             return
-        line = self._index[line_addr & self._set_mask].get(
-            line_addr >> self._set_bits
-        )
-        if line is not None:
-            line.state = state
+        slot = self._index.get(line_addr)
+        if slot is not None:
+            self._state[slot] = state
+            if self._shadow is not None:
+                self._dirty.add(slot >> PAGE_BITS)
+
+    def line_addr_of_slot(self, slot: int) -> int:
+        """Reconstruct the line address stored in ``slot``."""
+        return (self._tag[slot] << self._set_bits) | (slot // self._assoc)
 
     def resident_lines(self) -> Dict[int, MesiState]:
         """Map of all valid line addresses to states (tests/invariants)."""
-        result: Dict[int, MesiState] = {}
-        for set_index, ways in enumerate(self._sets):
-            for line in ways:
-                if line.state != _INVALID:
-                    result[(line.tag << self._set_bits) | set_index] = line.state
-        return result
+        states = self._state
+        return {
+            line_addr: MesiState(states[slot])
+            for line_addr, slot in sorted(self._index.items())
+        }
+
+    # ------------------------------------------------------------------ #
+    # Copy-on-write snapshot substrate (driven by repro.core.snapshot)
+    # ------------------------------------------------------------------ #
+
+    def snapshot_sync(self) -> int:
+        """Fold writes since the last sync into the shadow banks.
+
+        Content banks (``_tag``/``_state``) are folded page-by-page from
+        the dirty set; the LRU bank is write-hot (every access touches
+        it), so it is re-shadowed wholesale with one C-level ``list``
+        copy instead of being page-tracked on the access path.  After
+        this call the shadows hold the array's current contents and the
+        dirty set is empty, so a later :meth:`snapshot_restore` rewinds
+        exactly to this point.  Returns the number of content pages
+        copied (the first sync materializes the shadow and reports every
+        page; dirty tracking only starts once a shadow exists — before
+        that the write paths skip the bookkeeping entirely, so
+        non-checkpointed runs never pay for it).
+        """
+        dirty = self._dirty
+        if self._shadow is None:
+            self._shadow = (list(self._tag), list(self._state), list(self._lru))
+            dirty.clear()
+            return (len(self._tag) + PAGE_SLOTS - 1) >> PAGE_BITS
+        stag, sstate, slru = self._shadow
+        tags, states = self._tag, self._state
+        for page in dirty:
+            lo = page << PAGE_BITS
+            hi = lo + PAGE_SLOTS
+            stag[lo:hi] = tags[lo:hi]
+            sstate[lo:hi] = states[lo:hi]
+        slru[:] = self._lru
+        pages = len(dirty)
+        dirty.clear()
+        return pages
+
+    def snapshot_restore(self) -> int:
+        """Rewind every page written since the last sync to its shadow.
+
+        The tag index is patched per restored page, so repeated restores
+        from the same sync point are supported (the shadow is never
+        mutated here).  Returns the number of pages copied back.
+        """
+        shadow = self._shadow
+        if shadow is None:
+            raise RuntimeError("snapshot_restore before any snapshot_sync")
+        stag, sstate, slru = shadow
+        # The LRU bank rewinds wholesale even with no content pages dirty:
+        # it is written on every access and not page-tracked.
+        self._lru[:] = slru
+        dirty = self._dirty
+        if not dirty:
+            return 0
+        index = self._index
+        tags, states = self._tag, self._state
+        set_bits = self._set_bits
+        assoc = self._assoc
+        num_slots = len(states)
+        # Phase 1: unregister every currently-valid line in a dirty page.
+        # (Two phases: a line may have moved between two dirty pages, so
+        # all stale entries must be gone before any page re-registers.)
+        for page in dirty:
+            lo = page << PAGE_BITS
+            hi = min(lo + PAGE_SLOTS, num_slots)
+            for slot in range(lo, hi):
+                if states[slot] != 0:
+                    index.pop((tags[slot] << set_bits) | (slot // assoc), None)
+        # Phase 2: copy the shadow back and re-register its valid lines.
+        for page in dirty:
+            lo = page << PAGE_BITS
+            hi = lo + PAGE_SLOTS
+            tags[lo:hi] = stag[lo:hi]
+            states[lo:hi] = sstate[lo:hi]
+            for slot in range(lo, min(hi, num_slots)):
+                if states[slot] != 0:
+                    index[(tags[slot] << set_bits) | (slot // assoc)] = slot
+        pages = len(dirty)
+        dirty.clear()
+        return pages

@@ -10,45 +10,40 @@ bookkeeping — violation monitoring wraps it in
 The map may over-approximate sharers (clean L1 evictions are silent, as on
 a real snooping bus), which is harmless: an invalidation sent to a core
 that no longer holds the line is a no-op.
+
+Each entry is an immutable ``(sharers_mask, owner)`` tuple — a bitmask of
+core ids plus the exclusive owner — so the bus-service path allocates no
+sets and snapshots reduce to a first-touch undo journal: every mutation
+records the line's previous entry once per checkpoint interval, and
+``journal_revert`` replays those records to rewind the map in O(lines
+touched) (see ``repro.core.snapshot``).
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+#: Journal marker for "line was absent before this interval".
+_ABSENT = None
 
-class MapEntry:
-    """Sharers and exclusive owner for one line."""
-
-    __slots__ = ("sharers", "owner")
-
-    def __init__(self) -> None:
-        self.sharers: Set[int] = set()
-        self.owner: Optional[int] = None  # core holding the line in E/M
+#: One map entry: (bitmask of sharer core ids, exclusive owner or None).
+Entry = Tuple[int, Optional[int]]
 
 
 class CacheStatusMap:
     """Line-granular global view of all L1 contents."""
 
     def __init__(self) -> None:
-        self._entries: Dict[int, MapEntry] = {}
+        self._entries: Dict[int, Entry] = {}
+        # First-touch undo journal since the last checkpoint: line_addr ->
+        # entry tuple before the interval's first mutation (None=absent).
+        self._journal: Dict[int, Optional[Entry]] = {}
         # Statistics
         self.gets_served = 0
         self.getx_served = 0
         self.upgr_served = 0
         self.writebacks = 0
         self.cache_to_cache = 0
-
-    def entry(self, line_addr: int) -> Optional[MapEntry]:
-        """The map entry for a line, or None if never seen."""
-        return self._entries.get(line_addr)
-
-    def _get_or_create(self, line_addr: int) -> MapEntry:
-        entry = self._entries.get(line_addr)
-        if entry is None:
-            entry = MapEntry()
-            self._entries[line_addr] = entry
-        return entry
 
     # ------------------------------------------------------------------ #
     # Transactions (called by the manager in host arrival order)
@@ -63,16 +58,19 @@ class CacheStatusMap:
         transfer), if any.
         """
         self.gets_served += 1
-        entry = self._get_or_create(line_addr)
-        others = entry.sharers - {requester}
+        cur = self._entries.get(line_addr)
+        journal = self._journal
+        if line_addr not in journal:
+            journal[line_addr] = cur
+        mask, owner = cur if cur is not None else (0, None)
+        rbit = 1 << requester
+        others = mask & ~rbit
         downgrade_target: Optional[int] = None
-        if entry.owner is not None and entry.owner != requester:
-            downgrade_target = entry.owner
+        if owner is not None and owner != requester:
+            downgrade_target = owner
             self.cache_to_cache += 1
-        entry.owner = None if others else requester
-        entry.sharers.add(requester)
-        if downgrade_target is not None:
-            entry.owner = None
+        new_owner = None if (others or downgrade_target is not None) else requester
+        self._entries[line_addr] = (mask | rbit, new_owner)
         return bool(others), downgrade_target
 
     def apply_getx(self, line_addr: int, requester: int) -> Tuple[List[int], Optional[int]]:
@@ -83,47 +81,95 @@ class CacheStatusMap:
         the data cache-to-cache (None means the L2/memory supplies it).
         """
         self.getx_served += 1
-        entry = self._get_or_create(line_addr)
-        targets = sorted(entry.sharers - {requester})
-        source = entry.owner if entry.owner not in (None, requester) else None
+        cur = self._entries.get(line_addr)
+        journal = self._journal
+        if line_addr not in journal:
+            journal[line_addr] = cur
+        mask, owner = cur if cur is not None else (0, None)
+        targets = _bits_ascending(mask & ~(1 << requester))
+        source = owner if owner is not None and owner != requester else None
         if source is not None:
             self.cache_to_cache += 1
-        entry.sharers = {requester}
-        entry.owner = requester
+        self._entries[line_addr] = (1 << requester, requester)
         return targets, source
 
     def apply_upgr(self, line_addr: int, requester: int) -> List[int]:
         """Store to a Shared line: invalidate all other sharers, no data."""
         self.upgr_served += 1
-        entry = self._get_or_create(line_addr)
-        targets = sorted(entry.sharers - {requester})
-        entry.sharers = {requester}
-        entry.owner = requester
+        cur = self._entries.get(line_addr)
+        journal = self._journal
+        if line_addr not in journal:
+            journal[line_addr] = cur
+        mask = cur[0] if cur is not None else 0
+        targets = _bits_ascending(mask & ~(1 << requester))
+        self._entries[line_addr] = (1 << requester, requester)
         return targets
 
     def apply_writeback(self, line_addr: int, core: int) -> None:
         """A dirty line left core ``core``'s L1."""
         self.writebacks += 1
-        entry = self._entries.get(line_addr)
-        if entry is None:
+        cur = self._entries.get(line_addr)
+        if cur is None:
             return
-        entry.sharers.discard(core)
-        if entry.owner == core:
-            entry.owner = None
-        if not entry.sharers:
+        journal = self._journal
+        if line_addr not in journal:
+            journal[line_addr] = cur
+        mask, owner = cur
+        mask &= ~(1 << core)
+        if owner == core:
+            owner = None
+        if mask:
+            self._entries[line_addr] = (mask, owner)
+        else:
             del self._entries[line_addr]
 
     # ------------------------------------------------------------------ #
+    # Snapshot support (driven by repro.core.snapshot)
+    # ------------------------------------------------------------------ #
+
+    def journal_reset(self) -> None:
+        """Start a new checkpoint interval: forget recorded prior values."""
+        self._journal.clear()
+
+    def journal_revert(self) -> int:
+        """Rewind every line mutated since the last reset; return count."""
+        entries = self._entries
+        journal = self._journal
+        for line_addr, old in journal.items():
+            if old is _ABSENT:
+                entries.pop(line_addr, None)
+            else:
+                entries[line_addr] = old
+        count = len(journal)
+        journal.clear()
+        return count
+
+    # ------------------------------------------------------------------ #
+
+    def is_sharer(self, line_addr: int, core: int) -> bool:
+        """Whether the map believes ``core`` holds the line."""
+        cur = self._entries.get(line_addr)
+        return cur is not None and bool(cur[0] >> core & 1)
 
     def sharers_of(self, line_addr: int) -> Set[int]:
         """Cores the map believes hold the line (may over-approximate)."""
-        entry = self._entries.get(line_addr)
-        return set(entry.sharers) if entry else set()
+        cur = self._entries.get(line_addr)
+        return set(_bits_ascending(cur[0])) if cur else set()
 
     def owner_of(self, line_addr: int) -> Optional[int]:
         """The exclusive owner the map believes holds the line, if any."""
-        entry = self._entries.get(line_addr)
-        return entry.owner if entry else None
+        cur = self._entries.get(line_addr)
+        return cur[1] if cur else None
 
     def __len__(self) -> int:
         return len(self._entries)
+
+
+def _bits_ascending(mask: int) -> List[int]:
+    """Set bit positions of ``mask``, lowest first."""
+    bits: List[int] = []
+    while mask:
+        low = mask & -mask
+        bits.append(low.bit_length() - 1)
+        mask ^= low
+    return bits

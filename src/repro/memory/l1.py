@@ -8,6 +8,7 @@ posts to its OutQ for the manager to service.
 
 from __future__ import annotations
 
+import copy
 from enum import IntEnum
 from typing import List, Optional, Tuple
 
@@ -79,6 +80,19 @@ class L1Cache:
         self.snoop_invalidations = 0
         self.snoop_downgrades = 0
 
+    def __deepcopy__(self, memo) -> "L1Cache":
+        """Checkpoint-residue clone: scalars share, array/MSHRs copy.
+
+        The array goes through the memo so the snapshot layer can map it
+        onto a frozen stub.
+        """
+        new = L1Cache.__new__(L1Cache)
+        memo[id(self)] = new
+        new.__dict__.update(self.__dict__)
+        new.array = copy.deepcopy(self.array, memo)
+        new.mshrs = self.mshrs.__deepcopy__(memo)
+        return new
+
     # ------------------------------------------------------------------ #
     # Access path (called by the core model)
     # ------------------------------------------------------------------ #
@@ -101,28 +115,24 @@ class L1Cache:
 
         Semantics are bit-for-bit those of :meth:`access`; for
         :attr:`L1Outcome.MISS` the bus op to issue is left in
-        :attr:`last_bus_op`.  The tag lookup and its LRU touch are inlined
-        from :meth:`CacheArray.lookup` — this is the only such duplicate.
+        :attr:`last_bus_op`.  The tag probe and LRU touch are
+        :meth:`CacheArray.find` — the one shared scan implementation.
         """
         array = self.array
-        line = array._index[line_addr & array._set_mask].get(
-            line_addr >> array._set_bits
-        )
+        slot = array.find(line_addr)
         if not is_store:
             self.loads += 1
-            if line is not None:
-                array._clock += 1
-                line.lru = array._clock
+            if slot is not None:
                 array.hits += 1
                 return _HIT
             kind = _GETS
         else:
             self.stores += 1
-            if line is not None:
-                array._clock += 1
-                line.lru = array._clock
-                if line.state >= _EXCLUSIVE:  # writable (E or M) -> M
-                    line.state = _MODIFIED
+            if slot is not None:
+                states = array._state
+                if states[slot] >= _EXCLUSIVE:  # writable (E or M) -> M
+                    # The find() above already dirtied this slot's page.
+                    states[slot] = _MODIFIED
                     array.hits += 1
                     return _HIT
                 # Store to a Shared line: needs an upgrade transaction.
@@ -169,9 +179,9 @@ class L1Cache:
         """
         entry = self.mshrs.release(line_addr)
         if entry.kind == BusOpKind.UPGR:
-            resident = self.array.lookup(line_addr, touch=False)
-            if resident is not None:
-                resident.state = state
+            slot = self.array.find(line_addr, touch=False)
+            if slot is not None:
+                self.array.write_state(slot, state)
                 return None, False
             # The line was invalidated by a remote GETX while the upgrade
             # was in flight; fall through and install it fresh.
@@ -198,12 +208,13 @@ class L1Cache:
 
     def snoop_downgrade(self, line_addr: int) -> MesiState:
         """Remote GETS: demote M/E to Shared; return the prior state."""
-        line = self.array.lookup(line_addr, touch=False)
-        if line is None:
+        array = self.array
+        slot = array.find(line_addr, touch=False)
+        if slot is None:
             return MesiState.INVALID
-        prior = line.state
+        prior = MesiState(array._state[slot])
         if prior in (MesiState.MODIFIED, MesiState.EXCLUSIVE):
-            line.state = MesiState.SHARED
+            array.write_state(slot, MesiState.SHARED)
             self.snoop_downgrades += 1
         return prior
 

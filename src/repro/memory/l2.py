@@ -61,8 +61,7 @@ class L2Cache:
             wait = start - at
             self.bank_conflict_cycles += wait
             self._bank_free_at[bank] = start + self.BANK_BUSY_CYCLES
-        line = self.array.lookup(line_addr)
-        if line is not None:
+        if self.array.find(line_addr) is not None:
             return wait + self.config.cache.hit_latency
         self.misses += 1
         self.array.fill(line_addr, MesiState.EXCLUSIVE)
@@ -73,11 +72,11 @@ class L2Cache:
     def writeback(self, line_addr: int) -> None:
         """Absorb a dirty line evicted from an L1."""
         self.writebacks_received += 1
-        line = self.array.lookup(line_addr, touch=False)
-        if line is None:
+        slot = self.array.find(line_addr, touch=False)
+        if slot is None:
             self.array.fill(line_addr, MesiState.MODIFIED)
         else:
-            line.state = MesiState.MODIFIED
+            self.array.write_state(slot, MesiState.MODIFIED)
 
     def miss_rate(self) -> float:
         """L2 miss rate over fill requests."""

@@ -23,6 +23,14 @@ class MshrEntry:
         self.issue_time = issue_time
         self.merged_rob_ids: List[int] = []
 
+    def __deepcopy__(self, memo) -> "MshrEntry":
+        # Flat scalars plus a list of ints: direct copies spare the
+        # checkpoint residue the generic per-field deepcopy walk.
+        new = MshrEntry(self.line_addr, self.kind, self.issue_time)
+        new.merged_rob_ids = list(self.merged_rob_ids)
+        memo[id(self)] = new
+        return new
+
 
 class MshrFile:
     """Fixed-capacity MSHR file keyed by line address."""
@@ -37,6 +45,18 @@ class MshrFile:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def __deepcopy__(self, memo) -> "MshrFile":
+        new = MshrFile.__new__(MshrFile)
+        memo[id(self)] = new
+        new.capacity = self.capacity
+        new._entries = {
+            line: entry.__deepcopy__(memo) for line, entry in self._entries.items()
+        }
+        new.allocations = self.allocations
+        new.merges = self.merges
+        new.full_stalls = self.full_stalls
+        return new
 
     @property
     def full(self) -> bool:

@@ -262,16 +262,28 @@ class TelemetrySession:
     # ------------------------------------------------------------------ #
 
     def on_checkpoint(
-        self, host_start: float, cost_ns: float, boundary: int, pages: int
+        self,
+        host_start: float,
+        cost_ns: float,
+        boundary: int,
+        pages: int,
+        host_pages: int = 0,
     ) -> None:
-        """A global checkpoint was established at ``boundary``."""
+        """A global checkpoint was established at ``boundary``.
+
+        ``pages`` is the modeled (target) touched-page count that priced
+        the checkpoint; ``host_pages`` is the number of dirty SoA pages
+        the copy-on-write capture actually copied into its shadows.
+        """
         self.metrics.counter("controller.checkpoints").inc()
         self.metrics.histogram("controller.checkpoint_pages").observe(pages)
+        self.metrics.histogram("controller.checkpoint_host_pages").observe(host_pages)
         tracer = self.tracer
         if tracer is not None:
             tracer.complete(
                 PID_HOST, TID_CONTROLLER, "checkpoint", host_start / 1000.0,
-                cost_ns / 1000.0, {"boundary": boundary, "pages": pages},
+                cost_ns / 1000.0,
+                {"boundary": boundary, "pages": pages, "host_pages": host_pages},
             )
 
     def on_rollback(

@@ -56,6 +56,13 @@ class SplitMix64:
         """Derive an independent child generator."""
         return SplitMix64(self.next_u64())
 
+    def __deepcopy__(self, memo) -> "SplitMix64":
+        # All state is one integer; skip the generic reduce protocol.
+        new = self.__class__.__new__(self.__class__)
+        new.state = self.state
+        memo[id(self)] = new
+        return new
+
     def snapshot(self) -> int:
         """Return the internal state (for explicit state capture)."""
         return self.state

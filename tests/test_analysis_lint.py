@@ -305,6 +305,70 @@ class TestCoreImportRule:
         assert codes(found) == []
 
 
+class TestDeepcopyOutsideSnapshotRule:
+    def test_deepcopy_call_flagged(self):
+        found = lint(
+            """
+            import copy
+
+            def save(state):
+                return copy.deepcopy(state)
+            """,
+            path=CPU_PATH,
+        )
+        assert codes(found) == ["RPR009"]
+
+    def test_aliased_import_resolved(self):
+        found = lint(
+            """
+            from copy import deepcopy as dc
+
+            def save(state):
+                return dc(state)
+            """,
+            path=CPU_PATH,
+        )
+        assert codes(found) == ["RPR009"]
+
+    def test_snapshot_layer_allowed(self):
+        source = """
+            import copy
+
+            def take(state):
+                return copy.deepcopy(state)
+            """
+        assert codes(lint(source, path="src/repro/core/snapshot.py")) == []
+        assert codes(lint(source, path="src/repro/core/checkpoint.py")) == []
+
+    def test_deepcopy_protocol_hook_exempt(self):
+        found = lint(
+            """
+            import copy
+
+            class Model:
+                def __deepcopy__(self, memo):
+                    new = Model.__new__(Model)
+                    memo[id(self)] = new
+                    new.l1 = copy.deepcopy(self.l1, memo)
+                    return new
+            """,
+            path=CPU_PATH,
+        )
+        assert codes(found) == []
+
+    def test_non_critical_packages_exempt(self):
+        found = lint(
+            """
+            import copy
+
+            def clone(report):
+                return copy.deepcopy(report)
+            """,
+            path=HARNESS_PATH,
+        )
+        assert codes(found) == []
+
+
 class TestSuppressions:
     def test_valid_suppression_silences_finding(self):
         found = lint(

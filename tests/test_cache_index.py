@@ -1,11 +1,14 @@
-"""Tag-indexed CacheArray vs a reference associativity-wide way scan.
+"""Tag-indexed SoA CacheArray vs a reference associativity-wide way scan.
 
-The production array answers hit/miss from a per-set ``{tag: line}`` dict
-(see ``repro.memory.cache``); this file drives it in lockstep with a
-straightforward way-scanning implementation of the same LRU policy and
-asserts that every observable — hit/miss decisions, returned states,
-eviction victims, LRU ordering, statistics, residency dumps — is
-bit-for-bit identical over random operation streams.
+The production array answers hit/miss from a flat ``{line_addr: slot}``
+dict over structure-of-arrays banks (see ``repro.memory.cache``); this
+file drives it in lockstep with a straightforward way-scanning
+implementation of the same LRU policy and asserts that every observable —
+hit/miss decisions, returned states, eviction victims, LRU ordering,
+statistics, residency dumps — is bit-for-bit identical over random
+operation streams.  A second suite covers ``L1Cache.access_line``, which
+funnels through the same ``CacheArray.find`` scan (the historic inlined
+duplicate it replaced).
 """
 
 import copy
@@ -13,9 +16,10 @@ import copy
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.config import CacheConfig
+from repro.config import CacheConfig, CoreConfig
 from repro.memory.cache import CacheArray
-from repro.memory.mesi import MesiState
+from repro.memory.l1 import L1Cache, L1Outcome
+from repro.memory.mesi import BusOpKind, MesiState
 
 #: Small geometry so random streams actually exercise conflict evictions.
 CONFIG = CacheConfig(size=1024, line_size=32, associativity=4, hit_latency=1)
@@ -106,12 +110,14 @@ class WayScanCache:
 
 
 def _check_index_invariant(array):
-    """The tag index holds exactly the valid lines of each set."""
-    for set_index, ways in enumerate(array._sets):
-        expected = {
-            line.tag: line for line in ways if line.state != MesiState.INVALID
-        }
-        assert array._index[set_index] == expected
+    """The tag index holds exactly the valid slots of the banks."""
+    expected = {}
+    assoc = array._assoc
+    for slot, state in enumerate(array._state):
+        if state != MesiState.INVALID:
+            line_addr = (array._tag[slot] << array._set_bits) | (slot // assoc)
+            expected[line_addr] = slot
+    assert array._index == expected
 
 
 # Line addresses collide heavily: few sets, few distinct tags per set.
@@ -195,3 +201,114 @@ def test_deepcopy_preserves_index_consistency(ops, split):
     assert clone.evictions == array.evictions
     _check_index_invariant(array)
     _check_index_invariant(clone)
+
+
+# --------------------------------------------------------------------- #
+# L1.access_line vs the reference scan (the dedupe of the historic
+# inlined lookup: access_line now funnels through CacheArray.find).
+# --------------------------------------------------------------------- #
+
+_L1_CONFIG = CacheConfig(size=512, line_size=32, associativity=2, hit_latency=1)
+_NUM_MSHRS = 4
+
+
+class RefL1:
+    """``L1Cache.access_line`` semantics over the way-scanning reference."""
+
+    def __init__(self):
+        self.cache = WayScanCache(_L1_CONFIG)
+        self.mshrs = {}  # line_addr -> BusOpKind
+
+    def access_line(self, line_addr, is_store):
+        line = self.cache.lookup(line_addr)
+        if not is_store:
+            if line is not None:
+                return L1Outcome.HIT, None
+            kind = BusOpKind.GETS
+        else:
+            if line is not None:
+                if line.state in (MesiState.EXCLUSIVE, MesiState.MODIFIED):
+                    line.state = MesiState.MODIFIED
+                    return L1Outcome.HIT, None
+                kind = BusOpKind.UPGR
+            else:
+                kind = BusOpKind.GETX
+        outstanding = self.mshrs.get(line_addr)
+        if outstanding is not None:
+            if not is_store or outstanding in (BusOpKind.GETX, BusOpKind.UPGR):
+                return L1Outcome.MERGED, None
+            return L1Outcome.BLOCKED, None
+        if len(self.mshrs) >= _NUM_MSHRS:
+            return L1Outcome.MSHR_FULL, None
+        self.mshrs[line_addr] = kind
+        return L1Outcome.MISS, kind
+
+    def fill(self, line_addr, state):
+        kind = self.mshrs.pop(line_addr)
+        if kind is BusOpKind.UPGR:
+            line = self.cache.lookup(line_addr, touch=False)
+            if line is not None:
+                line.state = state
+                return None, False
+        victim_addr, victim_state = self.cache.fill(line_addr, state)
+        return victim_addr, victim_state == MesiState.MODIFIED
+
+    def snoop_invalidate(self, line_addr):
+        return self.cache.invalidate(line_addr)
+
+    def snoop_downgrade(self, line_addr):
+        line = self.cache.lookup(line_addr, touch=False)
+        if line is None:
+            return MesiState.INVALID
+        prior = line.state
+        if prior in (MesiState.MODIFIED, MesiState.EXCLUSIVE):
+            line.state = MesiState.SHARED
+        return prior
+
+
+_L1_OPS = st.one_of(
+    st.tuples(st.just("access"), _ADDRS, st.booleans()),
+    st.tuples(st.just("fill"), st.booleans()),
+    st.tuples(st.just("snoop_inv"), _ADDRS),
+    st.tuples(st.just("snoop_down"), _ADDRS),
+)
+
+
+@given(st.lists(_L1_OPS, min_size=1, max_size=300))
+@settings(max_examples=150, deadline=None)
+def test_l1_access_line_matches_way_scan(ops):
+    l1 = L1Cache(0, _L1_CONFIG, CoreConfig(num_mshrs=_NUM_MSHRS))
+    ref = RefL1()
+    now = 0
+
+    for op in ops:
+        kind = op[0]
+        if kind == "access":
+            _, addr, is_store = op
+            now += 1
+            got = l1.access_line(addr, is_store, now)
+            want, want_op = ref.access_line(addr, is_store)
+            assert got == want
+            if got is L1Outcome.MISS:
+                assert l1.last_bus_op == want_op
+        elif kind == "fill":
+            if not ref.mshrs:
+                continue
+            # Complete the oldest outstanding miss, deterministically.
+            line_addr = min(ref.mshrs)
+            mshr_kind = ref.mshrs[line_addr]
+            if mshr_kind is BusOpKind.GETS:
+                state = MesiState.SHARED if op[1] else MesiState.EXCLUSIVE
+            else:
+                state = MesiState.MODIFIED
+            assert l1.fill(line_addr, state) == ref.fill(line_addr, state)
+        elif kind == "snoop_inv":
+            assert l1.snoop_invalidate(op[1]) == ref.snoop_invalidate(op[1])
+        else:
+            assert l1.snoop_downgrade(op[1]) == ref.snoop_downgrade(op[1])
+
+    assert l1.array.resident_lines() == ref.cache.resident_lines()
+    assert l1.array.evictions == ref.cache.evictions
+    assert l1.array._clock == ref.cache._clock
+    assert set(l1.mshrs._entries) == set(ref.mshrs)
+    _check_index_invariant(l1.array)

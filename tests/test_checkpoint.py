@@ -54,22 +54,35 @@ def run_partial(sim, steps=400):
 
 
 class TestSnapshotBasics:
-    def test_snapshot_is_deep(self):
+    def test_snapshot_freezes_state(self):
         sim = build_sim()
         run_partial(sim, 200)
         snap = take_snapshot(sim.state, boundary=0, host_time=0.0)
         before = sim.state.cores[0].local_time
+        resident_before = sim.state.cores[0].model.l1.resident_lines()
         run_partial(sim, 200)
-        assert snap.state.cores[0].local_time == before  # snapshot froze
+        restored = restore_snapshot(snap)
+        assert restored.cores[0].local_time == before  # snapshot froze
+        assert restored.cores[0].model.l1.resident_lines() == resident_before
 
     def test_restore_returns_fresh_copy(self):
         sim = build_sim()
         run_partial(sim, 200)
         snap = take_snapshot(sim.state, 0, 0.0)
+        old_root = sim.state
         restored1 = restore_snapshot(snap)
         restored2 = restore_snapshot(snap)
         assert restored1 is not restored2
-        assert restored1 is not snap.state
+        assert restored1 is not old_root
+
+    def test_superseded_snapshot_refuses_restore(self):
+        sim = build_sim()
+        run_partial(sim, 200)
+        stale = take_snapshot(sim.state, 0, 0.0)
+        run_partial(sim, 100)
+        take_snapshot(sim.state, 1, 0.0)  # overwrites the COW shadows
+        with pytest.raises(CheckpointError):
+            restore_snapshot(stale)
 
     def test_restore_none_raises(self):
         with pytest.raises(CheckpointError):

@@ -184,9 +184,12 @@ class TestReportCache:
         base = runner.plan("fft", SlackConfig(bound=100), scale=SCALE)
         for i, seed in enumerate((1, 2, 3)):
             spec = dataclasses.replace(base, seed=seed)
-            report, wall_s = execute_spec(spec)
+            report, _ = execute_spec(spec)
             key = spec_key(spec)
-            cache.put(key, report, wall_s)
+            # Fixed wall_s: the measured wall's float repr length varies
+            # run to run, which would make entry sizes (and the //3
+            # budget arithmetic below) nondeterministic.
+            cache.put(key, report, 0.125)
             # Deterministic mtimes: entry 0 is oldest, entry 2 newest.
             os.utime(cache._entry_path(key), (1000.0 + i, 1000.0 + i))
             keys.append(key)

@@ -21,7 +21,7 @@ from repro import (
 )
 from repro.analysis import SanitizerError, SlackSanitizer, state_digest
 from repro.config import quick_target_config
-from repro.core.checkpoint import take_snapshot
+from repro.core.checkpoint import restore_snapshot, take_snapshot
 from repro.workloads import make_workload
 
 ALL_SCHEMES = [
@@ -364,14 +364,14 @@ class TestRollbackDigest:
     def test_faithful_restore_passes(self):
         sim, snapshot = self._snapshot()
         san = attached(num_cores=4)
-        san.on_checkpoint(snapshot)
-        san.on_rollback(snapshot.state, snapshot)
+        san.on_checkpoint(snapshot, sim.state)
+        san.on_rollback(restore_snapshot(snapshot), snapshot)
         assert san.violations == []
 
     def test_tampered_restore_raises(self):
         sim, snapshot = self._snapshot()
         san = attached(num_cores=4)
-        san.on_checkpoint(snapshot)
+        san.on_checkpoint(snapshot, sim.state)
         sim.state.cores[0].local_time += 7  # the live state drifted
         with pytest.raises(SanitizerError) as exc:
             san.on_rollback(sim.state, snapshot)
@@ -381,8 +381,8 @@ class TestRollbackDigest:
         sim, snapshot = self._snapshot()
         san = attached(num_cores=4)
         san.on_core_step(0, 500, None)
-        san.on_checkpoint(snapshot)
-        san.on_rollback(snapshot.state, snapshot)
+        san.on_checkpoint(snapshot, sim.state)
+        san.on_rollback(restore_snapshot(snapshot), snapshot)
         # The restored clock (0) is far below 500; no monotonicity error.
         san.on_core_step(0, 1, None)
         assert san.violations == []

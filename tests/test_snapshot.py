@@ -1,0 +1,258 @@
+"""Round-trip semantics of the copy-on-write snapshot layer.
+
+The load-bearing property: for any reachable simulation state,
+``take_snapshot`` + arbitrary further execution + ``restore_snapshot``
+must be indistinguishable from the historic full-``deepcopy`` checkpoint
+— both in the restored structures (cache banks, status map, queues,
+clocks) and behaviorally (driving the restored state forward produces
+bit-for-bit the same execution as driving the deepcopy baseline).
+
+Covers every scheme kind, repeated rollback to the same checkpoint
+(speculative replay that violates again), and torn/partial-dirty-set
+cases where only some pages of an array changed between take and restore
+(hypothesis streams over a small CacheArray).
+"""
+
+import copy
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Simulation
+from repro.analysis.sanitizer import state_digest
+from repro.config import (
+    AdaptiveConfig,
+    AdaptiveQuantumConfig,
+    CacheConfig,
+    CheckpointConfig,
+    HostConfig,
+    P2PConfig,
+    QuantumConfig,
+    SlackConfig,
+    SpeculativeConfig,
+    quick_target_config,
+)
+from repro.core.checkpoint import restore_snapshot, take_snapshot
+from repro.core.scheduler import Scheduler
+from repro.core.snapshot import tracked_arrays
+from repro.memory.cache import CacheArray
+from repro.memory.mesi import MesiState
+from repro.workloads import make_workload
+
+#: One configuration per scheme kind.
+SCHEMES = [
+    pytest.param(SlackConfig(bound=0), id="cc"),
+    pytest.param(SlackConfig(bound=8), id="bounded"),
+    pytest.param(SlackConfig(bound=None), id="unbounded"),
+    pytest.param(QuantumConfig(quantum=64), id="quantum"),
+    pytest.param(AdaptiveConfig(), id="adaptive"),
+    pytest.param(AdaptiveQuantumConfig(), id="adaptive-quantum"),
+    pytest.param(
+        SpeculativeConfig(base=SlackConfig(bound=8), checkpoint=CheckpointConfig(interval=500)),
+        id="speculative",
+    ),
+    pytest.param(P2PConfig(), id="p2p"),
+]
+
+
+def build_sim(scheme):
+    return Simulation(
+        make_workload("synthetic", num_threads=4, steps=60, shared_lines=8, lock_every=16),
+        scheme=scheme,
+        target=quick_target_config(num_cores=4),
+        host=HostConfig(num_contexts=4),
+    )
+
+
+def run_partial(sim, steps=400):
+    """Drive a fresh scheduler a fixed number of picks, then stop."""
+    scheduler = Scheduler(sim, sim.host)
+    for _ in range(steps):
+        if sim.state.all_finished:
+            break
+        thread, start = scheduler._pick()
+        result = thread.runner.step(start)
+        thread.context.clock = start + result.cost_ns
+        thread.ready_time = thread.context.clock
+        if thread is scheduler.manager_thread:
+            scheduler._wake_cores(thread.context.clock)
+        else:
+            from repro.core.hostmodel import ThreadState
+
+            if result.done:
+                thread.state = ThreadState.DONE
+            elif result.blocked:
+                thread.state = ThreadState.BLOCKED
+    return scheduler
+
+
+def assert_states_equivalent(got, want):
+    """Structural equality of the snapshot-tracked state (banks included).
+
+    ``state_digest`` covers clocks, queues, stats, and scheme dynamics;
+    the bank/map comparisons cover what the digest does not (full cache
+    contents and LRU order).
+    """
+    assert state_digest(got) == state_digest(want)
+    assert got.local_times == want.local_times
+    assert got.max_local_times == want.max_local_times
+    for ga, wa in zip(tracked_arrays(got), tracked_arrays(want)):
+        assert ga._tag == wa._tag
+        assert ga._state == wa._state
+        assert ga._lru == wa._lru
+        assert ga._index == wa._index
+        assert ga._clock == wa._clock
+        assert (ga.hits, ga.misses, ga.evictions) == (wa.hits, wa.misses, wa.evictions)
+    gm, wm = got.manager, want.manager
+    assert gm.cache_map._entries == wm.cache_map._entries
+    assert gm.cache_map.gets_served == wm.cache_map.gets_served
+    assert gm.cache_map.cache_to_cache == wm.cache_map.cache_to_cache
+    assert gm.bus.request_free_at == wm.bus.request_free_at
+    assert gm.bus.response_free_at == wm.bus.response_free_at
+    for gc, wc in zip(got.cores, want.cores):
+        g_mshrs = {line: e.kind for line, e in gc.model.l1.mshrs._entries.items()}
+        w_mshrs = {line: e.kind for line, e in wc.model.l1.mshrs._entries.items()}
+        assert g_mshrs == w_mshrs
+        assert gc.model.pages_touched == wc.model.pages_touched
+
+
+class TestRoundTripAcrossSchemes:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_take_mutate_restore_matches_deepcopy_baseline(self, scheme):
+        sim = build_sim(scheme)
+        run_partial(sim, 300)
+        snap = take_snapshot(sim.state, boundary=0, host_time=0.0)
+        # Baseline AFTER the take: take_snapshot drains pages_touched, and
+        # the baseline must freeze the same post-checkpoint content.
+        baseline = copy.deepcopy(sim.state)
+        run_partial(sim, 300)  # mutate the live state past the checkpoint
+        restored = restore_snapshot(snap)
+        assert_states_equivalent(restored, baseline)
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_restored_state_replays_like_the_baseline(self, scheme):
+        """Behavioral equivalence: drive restore and baseline forward with
+        identical schedulers; the executions must match bit-for-bit."""
+        sim = build_sim(scheme)
+        run_partial(sim, 250)
+        snap = take_snapshot(sim.state, boundary=0, host_time=0.0)
+        baseline = copy.deepcopy(sim.state)
+        run_partial(sim, 250)
+
+        sim.state = restore_snapshot(snap)
+        run_partial(sim, 300)
+        digest_restored = state_digest(sim.state)
+
+        sim.state = baseline
+        run_partial(sim, 300)
+        assert state_digest(sim.state) == digest_restored
+
+
+class TestRepeatedRollback:
+    def test_rollback_replay_rollback_again(self):
+        """Speculative nesting: a replay that violates again rolls back to
+        the *same* checkpoint; both restores must produce the same state."""
+        sim = build_sim(SlackConfig(bound=8))
+        run_partial(sim, 300)
+        snap = take_snapshot(sim.state, boundary=0, host_time=0.0)
+        baseline = copy.deepcopy(sim.state)
+
+        run_partial(sim, 200)
+        sim.state = restore_snapshot(snap)
+        assert_states_equivalent(sim.state, baseline)
+
+        # Replay diverges (different length), violates again, rolls back.
+        run_partial(sim, 350)
+        sim.state = restore_snapshot(snap)
+        assert_states_equivalent(sim.state, baseline)
+
+    def test_next_checkpoint_supersedes_previous(self):
+        sim = build_sim(SlackConfig(bound=8))
+        run_partial(sim, 200)
+        first = take_snapshot(sim.state, boundary=0, host_time=0.0)
+        run_partial(sim, 200)
+        second = take_snapshot(sim.state, boundary=1, host_time=0.0)
+        baseline = copy.deepcopy(sim.state)
+        run_partial(sim, 200)
+        # Only the newest snapshot is restorable (matches the controller,
+        # which keeps exactly one live checkpoint).
+        from repro.errors import CheckpointError
+
+        with pytest.raises(CheckpointError):
+            restore_snapshot(first)
+        assert_states_equivalent(restore_snapshot(second), baseline)
+
+
+# --------------------------------------------------------------------- #
+# Torn / partial-dirty-set cases at the array level: between sync and
+# restore only some pages change, lines migrate between dirty pages,
+# and syncs stack across generations.
+# --------------------------------------------------------------------- #
+
+_CONFIG = CacheConfig(size=4096, line_size=32, associativity=4, hit_latency=1)
+_STATES = [MesiState.MODIFIED, MesiState.EXCLUSIVE, MesiState.SHARED]
+_ADDRS = st.integers(min_value=0, max_value=255)
+_OPS = st.one_of(
+    st.tuples(st.just("lookup"), _ADDRS),
+    st.tuples(st.just("fill"), _ADDRS, st.sampled_from(_STATES)),
+    st.tuples(st.just("invalidate"), _ADDRS),
+    st.tuples(st.just("set_state"), _ADDRS, st.sampled_from(_STATES + [MesiState.INVALID])),
+)
+
+
+def _drive(array, stream):
+    for op in stream:
+        kind, addr = op[0], op[1]
+        if kind == "lookup":
+            array.lookup(addr)
+        elif kind == "fill":
+            if array.find(addr, touch=False) is None:
+                array.fill(addr, op[2])
+        elif kind == "invalidate":
+            array.invalidate(addr)
+        else:
+            array.set_state(addr, op[2])
+
+
+def _assert_banks_equal(array, baseline):
+    assert array._tag == baseline._tag
+    assert array._state == baseline._state
+    assert array._lru == baseline._lru
+    assert array._index == baseline._index
+
+
+@given(st.lists(_OPS, max_size=200), st.lists(_OPS, max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_array_restore_rewinds_partial_dirty_sets(before, after):
+    array = CacheArray(_CONFIG)
+    _drive(array, before)
+    array.snapshot_sync()
+    baseline = copy.deepcopy(array)
+    _drive(array, after)  # dirties an arbitrary subset of pages
+    array.snapshot_restore()
+    _assert_banks_equal(array, baseline)
+
+
+@given(
+    st.lists(_OPS, max_size=120),
+    st.lists(_OPS, max_size=120),
+    st.lists(_OPS, max_size=120),
+)
+@settings(max_examples=60, deadline=None)
+def test_array_syncs_stack_across_generations(gen1, gen2, gen3):
+    """sync/mutate/sync/mutate/restore rewinds to the *second* sync, and a
+    second restore after further mutation rewinds there again."""
+    array = CacheArray(_CONFIG)
+    _drive(array, gen1)
+    array.snapshot_sync()
+    _drive(array, gen2)
+    array.snapshot_sync()
+    baseline = copy.deepcopy(array)
+    _drive(array, gen3)
+    array.snapshot_restore()
+    _assert_banks_equal(array, baseline)
+    # Restore is repeatable: mutate again, rewind again.
+    _drive(array, gen3)
+    array.snapshot_restore()
+    _assert_banks_equal(array, baseline)
