@@ -1,0 +1,201 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the distributed fabric, used by CI.
+
+Boots a real ``repro serve --coordinator`` subprocess plus two
+``repro worker`` subprocesses sharing one report store, then checks the
+fleet contract the README promises:
+
+* the quick golden cases (``fft-cc-c4-s0.25``, ``fft-bounded-c4-s0.25``,
+  ``fft-adaptive-c4-s0.25``) are each submitted twice — every result must
+  carry the digest recorded in ``benchmarks/golden_kernel.json``, and the
+  duplicate submissions must coalesce at the coordinator (3 dedup hits);
+* one worker is SIGKILLed while it is running a job — the coordinator
+  must evict it over the dead connection, re-dispatch its jobs to the
+  survivor, and the re-dispatched results must still match the golden
+  digests bit for bit;
+* the surviving worker exits 0 on SIGTERM (deregister + drain) and the
+  coordinator exits 0 on ``drain --stop``.
+
+Exit code 0 on success; any assertion or timeout fails the CI job.
+"""
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.harness.bench import BenchCase  # noqa: E402
+from repro.service import ServiceClient, ServiceError  # noqa: E402
+
+CASES = [BenchCase(scheme, 4, 0.25) for scheme in ("cc", "bounded", "adaptive")]
+BOOT_DEADLINE_S = 30.0
+RESULT_DEADLINE_S = 600.0
+
+
+def wait_for_health(socket_path: pathlib.Path, deadline_s: float) -> None:
+    deadline = time.monotonic() + deadline_s
+    last_error = "socket never appeared"
+    while time.monotonic() < deadline:
+        if socket_path.exists():
+            try:
+                with ServiceClient(socket_path, timeout=5.0) as client:
+                    client.health()
+                return
+            except ServiceError as exc:
+                last_error = str(exc)
+        time.sleep(0.1)
+    raise SystemExit(f"coordinator did not come up within {deadline_s:g}s: "
+                     f"{last_error}")
+
+
+def wait_for_workers(socket_path: pathlib.Path, count: int,
+                     deadline_s: float) -> None:
+    deadline = time.monotonic() + deadline_s
+    alive = -1
+    while time.monotonic() < deadline:
+        with ServiceClient(socket_path, timeout=5.0) as client:
+            alive = client.health()["workers_alive"]
+        if alive >= count:
+            return
+        time.sleep(0.1)
+    raise SystemExit(f"only {alive}/{count} workers registered within "
+                     f"{deadline_s:g}s")
+
+
+def spawn(args, env):
+    return subprocess.Popen(
+        args, env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def drain_output(name, process):
+    output = process.stdout.read() if process.stdout else ""
+    if output:
+        print(f"--- {name} output ---")
+        print(output, end="")
+
+
+def main() -> int:
+    golden = json.loads((REPO / "benchmarks" / "golden_kernel.json").read_text())
+
+    with tempfile.TemporaryDirectory(prefix="repro-fabric-smoke-") as td:
+        tmp = pathlib.Path(td)
+        socket_path = tmp / "coordinator.sock"
+        store = tmp / "store"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+
+        coordinator = spawn(
+            [
+                sys.executable, "-m", "repro", "serve", "--coordinator",
+                "--socket", str(socket_path),
+                "--cache-dir", str(store),
+                "--wal", str(tmp / "coordinator.wal"),
+                "--heartbeat-timeout", "2.0",
+            ],
+            env,
+        )
+        workers = {}
+        survivors = []
+        try:
+            wait_for_health(socket_path, BOOT_DEADLINE_S)
+            for worker_id in ("w-a", "w-b"):
+                workers[worker_id] = spawn(
+                    [
+                        sys.executable, "-m", "repro", "worker",
+                        "--coordinator-socket", str(socket_path),
+                        "--socket", str(tmp / f"{worker_id}.sock"),
+                        "--cache-dir", str(store),
+                        "--wal", str(tmp / f"{worker_id}.wal"),
+                        "--worker-id", worker_id,
+                    ],
+                    env,
+                )
+            wait_for_workers(socket_path, 2, BOOT_DEADLINE_S)
+
+            with ServiceClient(socket_path, timeout=RESULT_DEADLINE_S) as client:
+                submitted = []  # (case, job_id) — each case twice
+                for case in CASES:
+                    for _ in range(2):
+                        accepted = client.submit(case.spec())
+                        submitted.append((case, accepted["job_id"]))
+                print(f"submitted {len(submitted)} jobs "
+                      f"({', '.join(c.case_id for c in CASES)}, each twice)")
+
+                # Kill whichever worker is first seen running a job.
+                victim = None
+                deadline = time.monotonic() + RESULT_DEADLINE_S
+                while victim is None and time.monotonic() < deadline:
+                    for _, job_id in submitted:
+                        status = client.status(job_id)
+                        worker_id = status.get("worker")
+                        if status["state"] == "running" and worker_id in workers:
+                            victim = worker_id
+                            break
+                    else:
+                        time.sleep(0.05)
+                assert victim, "no job was ever observed running on a worker"
+                workers[victim].send_signal(signal.SIGKILL)
+                workers[victim].wait(timeout=10)
+                print(f"killed {victim} mid-run (SIGKILL)")
+                survivors = [w for w in workers if w != victim]
+
+                for case, job_id in submitted:
+                    doc = client.result(
+                        job_id, wait=True, timeout_s=RESULT_DEADLINE_S,
+                        report=False,
+                    )
+                    expected = golden[case.case_id]
+                    assert doc["digest"] == expected, (
+                        f"{job_id} ({case.case_id}): digest {doc['digest']} "
+                        f"!= golden {expected}"
+                    )
+                    print(f"{job_id}: {case.case_id} source={doc['source']} "
+                          f"worker={doc.get('worker')} digest ok")
+
+                fabric = client.request("fabric")
+                counters = fabric["metrics"]["counters"]
+                assert counters["fabric.dedup_hits"] == len(CASES), counters
+                assert counters["fabric.evictions"] >= 1, counters
+                assert counters["fabric.redispatched"] >= 1, counters
+                states = {w["worker_id"]: w["state"] for w in fabric["workers"]}
+                assert states[victim] == "evicted", states
+                assert all(states[w] == "alive" for w in survivors), states
+                print(f"fabric counters ok: dedup_hits={counters['fabric.dedup_hits']} "
+                      f"evictions={counters['fabric.evictions']} "
+                      f"redispatched={counters['fabric.redispatched']}")
+
+                for worker_id in survivors:
+                    workers[worker_id].send_signal(signal.SIGTERM)
+                    code = workers[worker_id].wait(timeout=60)
+                    assert code == 0, f"{worker_id} exited with {code}"
+
+                drained = client.drain(wait=True, stop=True)
+                assert drained["queue_depth"] == 0, drained
+
+            code = coordinator.wait(timeout=30)
+            assert code == 0, f"coordinator exited with {code}"
+        finally:
+            for name, process in list(workers.items()) + [
+                ("coordinator", coordinator)
+            ]:
+                if process.poll() is None:
+                    process.kill()
+                    process.wait(timeout=10)
+                drain_output(name, process)
+
+    print(f"fabric smoke OK: {len(CASES)} golden cases × 2, worker killed "
+          f"mid-run, every digest matched after re-dispatch")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,7 +11,13 @@ Subcommands::
     trace       summarize or validate a recorded telemetry trace
     cache       inspect, clear, or prune the persistent report cache
     lint        run the determinism linter over the source tree
-    serve       run the simulation job service daemon (unix socket / TCP)
+    serve       run the simulation job service daemon (unix socket / TCP);
+                --coordinator runs the fabric front door instead
+    worker      run a fleet worker: a service daemon registered with (and
+                heartbeating to) a fabric coordinator
+    fabric      show fleet status (workers, ring, backlogs, counters)
+    loadtest    replay a synthetic submission stream against a coordinator
+                and record the SLO bench (BENCH_service.json)
     submit      submit one run to a running service (optionally wait)
     jobs        list service jobs, or show health / drain the daemon
     result      fetch a finished job's report from the service
@@ -31,8 +37,12 @@ Examples::
     python -m repro experiment all -j 4 --output-dir out/
     python -m repro bench -j 4
     python -m repro cache info
-    python -m repro cache prune --max-mb 256
+    python -m repro cache prune --max-mb 256 --dry-run
     python -m repro serve --socket /tmp/repro.sock --jobs 4
+    python -m repro serve --coordinator --socket /tmp/coord.sock
+    python -m repro worker --coordinator-socket /tmp/coord.sock -j 2
+    python -m repro fabric status --socket /tmp/coord.sock
+    python -m repro loadtest --spawn 2 --requests 48 --duplicate-ratio 0.5
     python -m repro submit fft --scheme slack:8 --wait
     python -m repro jobs --health
     python -m repro result j-1 --wait
@@ -330,8 +340,18 @@ def cmd_cache(args: argparse.Namespace) -> int:
         if args.max_mb is None:
             print("error: cache prune requires --max-mb", file=sys.stderr)
             return 2
-        removed, freed = cache.prune(int(args.max_mb * 1024 * 1024))
+        removed, freed = cache.prune(
+            int(args.max_mb * 1024 * 1024), dry_run=args.dry_run
+        )
         info = cache.info()
+        if args.dry_run:
+            print(
+                f"would prune {removed} report(s), freeing "
+                f"{freed / (1024 * 1024):.1f} MB; "
+                f"{info['entries'] - removed} would remain "
+                f"({(info['bytes'] - freed) / 1024:.1f} KiB)"
+            )
+            return 0
         print(
             f"pruned {removed} report(s), freed {freed / 1024:.1f} KiB; "
             f"{info['entries']} remain ({info['bytes'] / 1024:.1f} KiB)"
@@ -399,6 +419,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if not host or not port.isdigit():
             raise SystemExit(f"error: --tcp expects HOST:PORT, got {args.tcp!r}")
         tcp_host, tcp_port = host, int(port)
+    if args.coordinator:
+        return _serve_coordinator(args, tcp_host, tcp_port)
     config = ServiceConfig(
         socket_path=pathlib.Path(args.socket) if args.socket else None,
         tcp_host=tcp_host,
@@ -434,12 +456,245 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_coordinator(
+    args: argparse.Namespace, tcp_host: Optional[str], tcp_port: int
+) -> int:
+    import asyncio
+    import pathlib
+
+    from repro.fabric.coordinator import CoordinatorConfig, FabricCoordinator
+
+    config = CoordinatorConfig(
+        socket_path=pathlib.Path(args.socket) if args.socket else None,
+        tcp_host=tcp_host,
+        tcp_port=tcp_port,
+        queue_limit=args.queue_limit,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        max_redispatch=args.max_redispatch,
+        store_dir=pathlib.Path(args.cache_dir) if args.cache_dir else None,
+        wal_path=pathlib.Path(args.wal) if args.wal else None,
+        fsync=not args.no_fsync,
+    )
+    coordinator = FabricCoordinator(config)
+
+    async def _serve() -> None:
+        await coordinator.start()
+        print(
+            f"repro fabric coordinator: listening on {coordinator.address} "
+            f"(queue_limit={config.queue_limit}, "
+            f"heartbeat_timeout={config.heartbeat_timeout_s:g}s, "
+            f"store={config.resolved_store_dir()}, "
+            f"wal={coordinator.store.path})",
+            flush=True,
+        )
+        try:
+            await coordinator.wait_stopped()
+        finally:
+            await coordinator.shutdown()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    import pathlib
+    import signal
+    import threading
+
+    from repro.fabric.worker import FabricWorker, WorkerConfig
+    from repro.harness.pool import resolve_jobs
+
+    coordinator: object
+    if args.coordinator_tcp:
+        host, _, port = args.coordinator_tcp.rpartition(":")
+        if not host or not port.isdigit():
+            raise SystemExit(
+                f"error: --coordinator-tcp expects HOST:PORT, "
+                f"got {args.coordinator_tcp!r}"
+            )
+        coordinator = (host, int(port))
+    elif args.coordinator_socket:
+        coordinator = args.coordinator_socket
+    else:
+        from repro.fabric.coordinator import CoordinatorConfig
+
+        coordinator = str(CoordinatorConfig().resolved_socket_path())
+    tcp_host: Optional[str] = None
+    tcp_port = 0
+    if args.tcp:
+        host, _, port = args.tcp.rpartition(":")
+        if not host or not port.isdigit():
+            raise SystemExit(f"error: --tcp expects HOST:PORT, got {args.tcp!r}")
+        tcp_host, tcp_port = host, int(port)
+    config = WorkerConfig(
+        coordinator=coordinator,
+        socket_path=pathlib.Path(args.socket) if args.socket else None,
+        tcp_host=tcp_host,
+        tcp_port=tcp_port,
+        jobs=resolve_jobs(args.jobs),
+        queue_limit=args.queue_limit,
+        cache_dir=pathlib.Path(args.cache_dir) if args.cache_dir else None,
+        wal_path=pathlib.Path(args.wal) if args.wal else None,
+        worker_id=args.worker_id,
+        heartbeat_period_s=args.heartbeat,
+        fsync=not args.no_fsync,
+    )
+    worker = FabricWorker(config).start()
+    print(
+        f"repro fabric worker {worker.worker_id}: listening on "
+        f"{worker.address}, coordinator {coordinator} "
+        f"(slots={config.jobs}, heartbeat={worker.heartbeat_period_s:g}s)",
+        flush=True,
+    )
+    done = threading.Event()
+    signal.signal(signal.SIGINT, lambda *_: done.set())
+    signal.signal(signal.SIGTERM, lambda *_: done.set())
+    done.wait()
+    print(f"repro fabric worker {worker.worker_id}: deregistering and draining",
+          flush=True)
+    worker.stop()
+    return 0
+
+
+def cmd_fabric(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(
+        _service_address(args), connect_retries=args.connect_retries
+    ) as client:
+        doc = client.request("fabric")
+    if args.json:
+        doc.pop("v", None)
+        doc.pop("ok", None)
+        doc.pop("op", None)
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    jobs = doc.get("jobs", {})
+    print(
+        f"fabric: {len(doc['workers'])} worker(s), "
+        f"queue depth {doc['queue_depth']} "
+        f"(unassigned {doc['unassigned']}), inflight {doc['inflight']}"
+    )
+    print("  jobs      : " + (
+        ", ".join(f"{state}={n}" for state, n in sorted(jobs.items())) or "none"
+    ))
+    backlogs = doc.get("backlogs", {})
+    for worker in doc["workers"]:
+        stats = worker.get("stats", {})
+        print(
+            f"  {worker['worker_id']:>6} {worker['state']:>8} "
+            f"gen {worker['generation']} slots {worker['slots']} "
+            f"backlog {backlogs.get(worker['worker_id'], 0)} "
+            f"depth {stats.get('queue_depth', '-')} "
+            f"inflight {stats.get('inflight', '-')} "
+            f"beat {worker['heartbeat_age_s']:.1f}s ago  {worker['address']}"
+        )
+    counters = doc.get("fleet_counters", {})
+    if counters:
+        interesting = {
+            name: value
+            for name, value in counters.items()
+            if name.startswith("service.") and value
+        }
+        print("  fleet     : " + (
+            ", ".join(f"{k.split('.', 1)[1]}={v}" for k, v in interesting.items())
+            or "no counters yet"
+        ))
+    return 0
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+    import tempfile
+
+    from repro.fabric.loadtest import (
+        LoadtestConfig,
+        SpawnedFabric,
+        run_loadtest,
+        write_bench,
+    )
+
+    config = LoadtestConfig(
+        requests=args.requests,
+        concurrency=args.concurrency,
+        duplicate_ratio=args.duplicate_ratio,
+        pattern=args.pattern,
+        rate=args.rate,
+        distinct_specs=args.specs,
+        seed=args.seed,
+        scale=args.scale,
+        slack_bound=args.slack_bound,
+        submit_timeout_s=args.timeout if args.timeout else 300.0,
+        verify_local=args.verify_local,
+    )
+    try:
+        config.validate()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.socket or args.tcp:
+        doc = run_loadtest(_service_address(args), config, execution="external")
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-loadtest-") as tmp:
+            fleet = SpawnedFabric(
+                pathlib.Path(tmp),
+                workers=args.spawn,
+                jobs_per_worker=args.spawn_jobs,
+                queue_limit=args.spawn_queue_limit,
+                isolated=args.isolated,
+            ).start()
+            try:
+                doc = run_loadtest(
+                    fleet.address,
+                    config,
+                    fleet=fleet.info(),
+                    execution=fleet.info()["execution"],
+                )
+            finally:
+                fleet.stop()
+    output = pathlib.Path(args.output)
+    write_bench(doc, output)
+    results = doc["results"]
+    latency = results["latency_ms"]
+    print(f"loadtest: {results['completed']}/{results['submitted']} completed, "
+          f"{results['rejected']} rejected (structured), "
+          f"{results['failed']} failed, "
+          f"{results['transport_errors']} transport error(s)")
+    print(f"  latency   : p50 {latency['p50']:.0f} ms, "
+          f"p90 {latency['p90']:.0f} ms, p99 {latency['p99']:.0f} ms "
+          f"(mean {latency['mean']:.0f}, max {latency['max']:.0f})")
+    print(f"  throughput: {results['throughput_jobs_s']:.2f} jobs/s over "
+          f"{results['duration_s']:.1f}s; "
+          f"rejection rate {results['rejection_rate']:.1%}")
+    print(f"  sources   : "
+          + json.dumps(results["sources"], sort_keys=True))
+    gate = doc["digest_gate"]
+    verdict = "PASS" if doc["passed"] else "FAIL"
+    print(f"  digest    : {gate['distinct_completed']} distinct spec(s), "
+          f"{gate['wire_verified']} wire-verified, "
+          f"{len(gate['local_checks'])} local re-run(s) — {verdict}")
+    for problem in gate["problems"]:
+        print(f"    problem: {problem}", file=sys.stderr)
+    print(f"wrote {output}")
+    return 0 if doc["passed"] else 1
+
+
 def cmd_submit(args: argparse.Namespace) -> int:
     from repro.core.report import SimulationReport
     from repro.service.client import ServiceClient
 
     spec = _submit_spec(args)
-    with ServiceClient(_service_address(args), timeout=args.timeout) as client:
+    with ServiceClient(
+        _service_address(args),
+        timeout=args.timeout,
+        connect_retries=args.connect_retries,
+    ) as client:
         accepted = client.submit(
             spec, priority=args.priority, timeout_s=args.job_timeout
         )
@@ -467,7 +722,9 @@ def cmd_jobs(args: argparse.Namespace) -> int:
 
     from repro.service.client import ServiceClient
 
-    with ServiceClient(_service_address(args)) as client:
+    with ServiceClient(
+        _service_address(args), connect_retries=args.connect_retries
+    ) as client:
         if args.health:
             print(json.dumps(client.health(), indent=2, sort_keys=True))
             return 0
@@ -505,7 +762,11 @@ def cmd_result(args: argparse.Namespace) -> int:
     from repro.core.report import SimulationReport
     from repro.service.client import ServiceClient
 
-    with ServiceClient(_service_address(args), timeout=args.timeout) as client:
+    with ServiceClient(
+        _service_address(args),
+        timeout=args.timeout,
+        connect_retries=args.connect_retries,
+    ) as client:
         doc = client.result(args.job_id, wait=args.wait, timeout_s=args.timeout)
     if args.json:
         print(json.dumps(doc, indent=2, sort_keys=True))
@@ -664,6 +925,9 @@ def build_parser() -> argparse.ArgumentParser:
     cache_parser.add_argument("--max-mb", type=float, default=None, metavar="MB",
                               help="prune: evict least-recently-used entries "
                                    "until the cache fits under MB megabytes")
+    cache_parser.add_argument("--dry-run", action="store_true",
+                              help="prune: report what would be evicted "
+                                   "(count and MB) without deleting anything")
     cache_parser.set_defaults(func=cmd_cache)
 
     conn_parser = argparse.ArgumentParser(add_help=False)
@@ -672,6 +936,10 @@ def build_parser() -> argparse.ArgumentParser:
                                   "<cache-dir>/service/repro.sock)")
     conn_parser.add_argument("--tcp", metavar="HOST:PORT",
                              help="connect over TCP instead of the unix socket")
+    conn_parser.add_argument("--connect-retries", type=int, default=5, metavar="N",
+                             help="retry the initial connection up to N times "
+                                  "with exponential backoff (covers the race "
+                                  "against a daemon still starting up)")
 
     serve_parser = sub.add_parser(
         "serve",
@@ -700,7 +968,117 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--no-fsync", action="store_true",
                               help="skip fsync on WAL appends (faster, loses "
                                    "the last events on a machine crash)")
+    serve_parser.add_argument("--coordinator", action="store_true",
+                              help="run the fabric coordinator instead of a "
+                                   "single daemon: shard submissions across "
+                                   "registered `repro worker` daemons")
+    serve_parser.add_argument("--heartbeat-timeout", type=float, default=5.0,
+                              metavar="S",
+                              help="coordinator: evict a worker that has not "
+                                   "heartbeat within S seconds")
+    serve_parser.add_argument("--max-redispatch", type=int, default=3,
+                              metavar="N",
+                              help="coordinator: fail a job after losing its "
+                                   "worker N+1 times")
     serve_parser.set_defaults(func=cmd_serve)
+
+    worker_parser = sub.add_parser(
+        "worker",
+        parents=[conn_parser],
+        help="run a fleet worker registered with a fabric coordinator",
+    )
+    worker_parser.add_argument("--coordinator-socket", metavar="PATH",
+                               help="coordinator unix socket (default "
+                                    "<cache-dir>/fabric/coordinator.sock)")
+    worker_parser.add_argument("--coordinator-tcp", metavar="HOST:PORT",
+                               help="reach the coordinator over TCP")
+    worker_parser.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                               help="concurrent worker slots (0 = all host CPUs)")
+    worker_parser.add_argument("--queue-limit", type=int, default=64,
+                               metavar="N",
+                               help="local admission-control high-water mark")
+    worker_parser.add_argument("--cache-dir", metavar="DIR",
+                               help="report store directory — point every "
+                                    "fleet member at the coordinator's shared "
+                                    "store")
+    worker_parser.add_argument("--wal", metavar="FILE",
+                               help="this worker's own WAL path (default "
+                                    "<cache-dir>/service/jobs.wal)")
+    worker_parser.add_argument("--worker-id", metavar="ID",
+                               help="stable identity across restarts "
+                                    "(default: coordinator-assigned w-N)")
+    worker_parser.add_argument("--heartbeat", type=float, default=None,
+                               metavar="S",
+                               help="heartbeat period (default: the "
+                                    "coordinator's hint, timeout/3)")
+    worker_parser.add_argument("--no-fsync", action="store_true",
+                               help="skip fsync on WAL appends")
+    worker_parser.set_defaults(func=cmd_worker)
+
+    fabric_parser = sub.add_parser(
+        "fabric",
+        parents=[conn_parser],
+        help="show fabric fleet status (workers, ring, backlogs, counters)",
+    )
+    fabric_parser.add_argument("action", choices=("status",),
+                               help="status: one fleet snapshot")
+    fabric_parser.add_argument("--json", action="store_true",
+                               help="print the raw fleet document")
+    fabric_parser.set_defaults(func=cmd_fabric)
+
+    loadtest_parser = sub.add_parser(
+        "loadtest",
+        parents=[conn_parser],
+        help="replay a synthetic submission stream; record BENCH_service.json",
+    )
+    loadtest_parser.add_argument("--requests", type=int, default=48, metavar="N",
+                                 help="total submissions in the stream")
+    loadtest_parser.add_argument("--concurrency", type=int, default=8,
+                                 metavar="N",
+                                 help="concurrent submitting clients")
+    loadtest_parser.add_argument("--duplicate-ratio", type=float, default=0.5,
+                                 metavar="R",
+                                 help="fraction of submissions repeating an "
+                                      "earlier spec (dedup/cache fodder)")
+    loadtest_parser.add_argument("--pattern",
+                                 choices=("uniform", "poisson", "burst"),
+                                 default="uniform",
+                                 help="arrival pattern for open-loop runs")
+    loadtest_parser.add_argument("--rate", type=float, default=0.0, metavar="R",
+                                 help="open-loop arrival rate in jobs/s "
+                                      "(0 = closed loop)")
+    loadtest_parser.add_argument("--specs", type=int, default=6, metavar="K",
+                                 help="distinct specs in the pool")
+    loadtest_parser.add_argument("--seed", type=int, default=1)
+    loadtest_parser.add_argument("--scale", type=float, default=0.05,
+                                 help="workload scale of each spec")
+    loadtest_parser.add_argument("--slack-bound", type=int, default=8,
+                                 metavar="N",
+                                 help="slack bound of the pool specs")
+    loadtest_parser.add_argument("--timeout", type=float, default=None,
+                                 metavar="S",
+                                 help="per-submission wait limit (default 300)")
+    loadtest_parser.add_argument("--verify-local", type=int, default=1,
+                                 metavar="N",
+                                 help="re-run N distinct specs locally and "
+                                      "require digest equality with the fabric")
+    loadtest_parser.add_argument("--spawn", type=int, default=2, metavar="N",
+                                 help="without --socket/--tcp: spawn an "
+                                      "in-process fleet of N workers")
+    loadtest_parser.add_argument("--spawn-jobs", type=int, default=1,
+                                 metavar="N",
+                                 help="slots per spawned worker")
+    loadtest_parser.add_argument("--spawn-queue-limit", type=int, default=256,
+                                 metavar="N",
+                                 help="spawned coordinator's admission limit "
+                                      "(lower it to measure saturation)")
+    loadtest_parser.add_argument("--isolated", action="store_true",
+                                 help="spawned workers run jobs in real "
+                                      "worker processes instead of inline "
+                                      "threads (slower, fully isolated)")
+    loadtest_parser.add_argument("--output", default="BENCH_service.json",
+                                 help="result file (default BENCH_service.json)")
+    loadtest_parser.set_defaults(func=cmd_loadtest)
 
     submit_parser = sub.add_parser(
         "submit",

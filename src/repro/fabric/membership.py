@@ -1,0 +1,323 @@
+"""Worker registry and consistent-hash ring for the simulation fabric.
+
+Two concerns live here, deliberately free of any I/O so they are
+unit-testable with a fake clock:
+
+- :class:`Membership` — the coordinator's view of the fleet: which
+  workers exist, where they listen, when each last proved it was alive,
+  and the join → alive → (leaving | evicted) lifecycle.  Liveness is a
+  heartbeat deadline: a worker that has not heartbeat within
+  ``timeout_s`` of ``clock()`` is expired and gets evicted by the
+  coordinator's sweep.
+- :class:`HashRing` — consistent hashing of job keys onto workers.  The
+  key is the run's :func:`~repro.harness.cache.spec_key` fingerprint, so
+  *duplicate submissions of the same spec always land on the same
+  shard*, which keeps the per-worker in-flight dedup/coalescing of
+  :mod:`repro.service.dispatch` effective across the whole fleet.
+  Virtual nodes (``replicas`` per worker) smooth the load split, and a
+  topology change moves only the keys adjacent to the joined/removed
+  worker — the classic consistent-hashing property, which bounds how
+  much re-dispatch a failure causes.
+
+Hashes are SHA-256 based: stable across processes and Python versions
+(never ``hash()``, which is salted per process).
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import hashlib
+import pathlib
+import time
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.service.protocol import ERR_BAD_REQUEST, ServiceError
+
+__all__ = [
+    "ALIVE",
+    "EVICTED",
+    "LEAVING",
+    "HashRing",
+    "Membership",
+    "WorkerAddress",
+    "WorkerInfo",
+]
+
+#: Worker lifecycle states.
+ALIVE = "alive"
+LEAVING = "leaving"  # graceful deregister; in-flight work may still finish
+EVICTED = "evicted"  # missed its heartbeat deadline or dropped a connection
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkerAddress:
+    """Where a worker daemon listens: a unix socket path or a TCP pair."""
+
+    kind: str  # "unix" | "tcp"
+    path: Optional[str] = None
+    host: Optional[str] = None
+    port: Optional[int] = None
+
+    @classmethod
+    def unix(cls, path: Union[str, pathlib.Path]) -> "WorkerAddress":
+        return cls(kind="unix", path=str(path))
+
+    @classmethod
+    def tcp(cls, host: str, port: int) -> "WorkerAddress":
+        return cls(kind="tcp", host=host, port=int(port))
+
+    @classmethod
+    def of(cls, address: Union[str, pathlib.Path, Tuple[str, int]]) -> "WorkerAddress":
+        """From a :data:`repro.service.client.Address`-shaped value."""
+        if isinstance(address, tuple):
+            return cls.tcp(address[0], address[1])
+        return cls.unix(address)
+
+    def to_wire(self) -> Dict[str, Any]:
+        if self.kind == "unix":
+            return {"kind": "unix", "path": self.path}
+        return {"kind": "tcp", "host": self.host, "port": self.port}
+
+    @classmethod
+    def from_wire(cls, doc: Mapping[str, Any]) -> "WorkerAddress":
+        kind = doc.get("kind")
+        if kind == "unix":
+            path = doc.get("path")
+            if not isinstance(path, str) or not path:
+                raise ServiceError(ERR_BAD_REQUEST, "unix address needs a path")
+            return cls.unix(path)
+        if kind == "tcp":
+            host, port = doc.get("host"), doc.get("port")
+            if not isinstance(host, str) or not isinstance(port, int):
+                raise ServiceError(ERR_BAD_REQUEST, "tcp address needs host+port")
+            return cls.tcp(host, port)
+        raise ServiceError(ERR_BAD_REQUEST, f"unknown address kind {kind!r}")
+
+    def connect_target(self) -> Union[str, Tuple[str, int]]:
+        """The value a :class:`~repro.service.client.ServiceClient` takes."""
+        if self.kind == "unix":
+            assert self.path is not None
+            return self.path
+        assert self.host is not None and self.port is not None
+        return (self.host, self.port)
+
+    def __str__(self) -> str:
+        if self.kind == "unix":
+            return f"unix:{self.path}"
+        return f"tcp:{self.host}:{self.port}"
+
+
+@dataclasses.dataclass
+class WorkerInfo:
+    """One registered worker, as the coordinator tracks it."""
+
+    worker_id: str
+    address: WorkerAddress
+    slots: int = 1
+    state: str = ALIVE
+    generation: int = 1  # bumped on re-register after eviction
+    registered_at: float = 0.0
+    last_heartbeat: float = 0.0
+    heartbeats: int = 0
+    #: Latest heartbeat stats doc (queue depth, inflight, counters…).
+    stats: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    @property
+    def alive(self) -> bool:
+        return self.state == ALIVE
+
+    def summary(self, now: float) -> Dict[str, Any]:
+        return {
+            "worker_id": self.worker_id,
+            "address": str(self.address),
+            "slots": self.slots,
+            "state": self.state,
+            "generation": self.generation,
+            "heartbeats": self.heartbeats,
+            "heartbeat_age_s": max(0.0, now - self.last_heartbeat),
+            "stats": dict(self.stats),
+        }
+
+
+def _ring_hash(token: str) -> int:
+    return int.from_bytes(
+        hashlib.sha256(token.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Consistent hashing of string keys onto worker ids."""
+
+    def __init__(self, replicas: int = 64) -> None:
+        self.replicas = max(1, replicas)
+        self._points: List[Tuple[int, str]] = []  # sorted (hash, worker_id)
+        self._members: Dict[str, Tuple[int, ...]] = {}
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, worker_id: str) -> bool:
+        return worker_id in self._members
+
+    def members(self) -> List[str]:
+        return sorted(self._members)
+
+    def add(self, worker_id: str) -> None:
+        if worker_id in self._members:
+            return
+        hashes = tuple(
+            _ring_hash(f"{worker_id}#{replica}") for replica in range(self.replicas)
+        )
+        self._members[worker_id] = hashes
+        for point in hashes:
+            bisect.insort(self._points, (point, worker_id))
+
+    def remove(self, worker_id: str) -> None:
+        if self._members.pop(worker_id, None) is None:
+            return
+        self._points = [
+            (point, owner) for point, owner in self._points if owner != worker_id
+        ]
+
+    def owner(self, key: str) -> Optional[str]:
+        """The worker owning ``key`` (clockwise successor on the ring)."""
+        if not self._points:
+            return None
+        point = _ring_hash(key)
+        index = bisect.bisect_right(self._points, (point, "￿"))
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
+
+
+class Membership:
+    """Join/leave/evict lifecycle plus the ring it keeps consistent.
+
+    ``clock`` is injectable (tests drive a fake); the default is
+    ``time.monotonic`` so wall-clock jumps never evict a healthy fleet.
+    """
+
+    def __init__(
+        self,
+        timeout_s: float = 5.0,
+        replicas: int = 64,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.timeout_s = timeout_s
+        self.clock: Callable[[], float] = clock if clock is not None else time.monotonic
+        self.ring = HashRing(replicas=replicas)
+        self.workers: Dict[str, WorkerInfo] = {}
+        self._next_number = 1
+
+    # ------------------------------------------------------------------ #
+    # Transitions
+    # ------------------------------------------------------------------ #
+
+    def join(
+        self,
+        address: WorkerAddress,
+        slots: int = 1,
+        worker_id: Optional[str] = None,
+    ) -> WorkerInfo:
+        """Register (or re-register) a worker and put it on the ring.
+
+        A worker re-joining under an id the coordinator evicted comes
+        back with a bumped ``generation`` — the coordinator can then tell
+        a stale pre-eviction connection from the reborn worker.
+        """
+        now = self.clock()
+        if worker_id is None:
+            worker_id = f"w-{self._next_number}"
+            self._next_number += 1
+        else:
+            # Keep generated ids from colliding with a caller-chosen w-N.
+            number = _worker_number(worker_id)
+            if number >= self._next_number:
+                self._next_number = number + 1
+        existing = self.workers.get(worker_id)
+        if existing is not None:
+            existing.address = address
+            existing.slots = max(1, slots)
+            existing.state = ALIVE
+            existing.generation += 1
+            existing.registered_at = now
+            existing.last_heartbeat = now
+            self.ring.add(worker_id)
+            return existing
+        info = WorkerInfo(
+            worker_id=worker_id,
+            address=address,
+            slots=max(1, slots),
+            registered_at=now,
+            last_heartbeat=now,
+        )
+        self.workers[worker_id] = info
+        self.ring.add(worker_id)
+        return info
+
+    def heartbeat(
+        self, worker_id: str, stats: Optional[Mapping[str, Any]] = None
+    ) -> Optional[WorkerInfo]:
+        """Record liveness; ``None`` means "unknown — re-register"."""
+        info = self.workers.get(worker_id)
+        if info is None or not info.alive:
+            return None
+        info.last_heartbeat = self.clock()
+        info.heartbeats += 1
+        if stats is not None:
+            info.stats = dict(stats)
+        return info
+
+    def leave(self, worker_id: str) -> Optional[WorkerInfo]:
+        """Graceful deregister: off the ring now, no new work assigned."""
+        info = self.workers.get(worker_id)
+        if info is None:
+            return None
+        info.state = LEAVING
+        self.ring.remove(worker_id)
+        return info
+
+    def evict(self, worker_id: str) -> Optional[WorkerInfo]:
+        """Forcible removal (missed deadline or dead connection)."""
+        info = self.workers.get(worker_id)
+        if info is None:
+            return None
+        info.state = EVICTED
+        self.ring.remove(worker_id)
+        return info
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def alive_workers(self) -> List[WorkerInfo]:
+        return [w for w in self.workers.values() if w.alive]
+
+    def expired(self, now: Optional[float] = None) -> List[WorkerInfo]:
+        """Alive workers whose heartbeat deadline has passed."""
+        if now is None:
+            now = self.clock()
+        return [
+            w
+            for w in self.workers.values()
+            if w.alive and now - w.last_heartbeat > self.timeout_s
+        ]
+
+    def owner(self, key: str) -> Optional[WorkerInfo]:
+        worker_id = self.ring.owner(key)
+        return self.workers.get(worker_id) if worker_id is not None else None
+
+    def summary(self) -> List[Dict[str, Any]]:
+        now = self.clock()
+        return [
+            self.workers[worker_id].summary(now)
+            for worker_id in sorted(self.workers, key=_worker_number)
+        ]
+
+
+def _worker_number(worker_id: str) -> int:
+    try:
+        return int(worker_id.rsplit("-", 1)[-1])
+    except ValueError:
+        return 0

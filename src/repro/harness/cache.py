@@ -259,13 +259,16 @@ class ReportCache:
             "bytes": total_bytes,
         }
 
-    def prune(self, max_bytes: int) -> "tuple[int, int]":
+    def prune(self, max_bytes: int, dry_run: bool = False) -> "tuple[int, int]":
         """Evict least-recently-used entries until the cache fits.
 
         "Used" is the file mtime: :meth:`put` creates the file and every
         OS keeps mtime on rewrite, so oldest-mtime is oldest-written;
-        long-lived daemons call this to bound on-disk growth.  Returns
-        ``(entries_removed, bytes_freed)``.
+        long-lived daemons call this to bound on-disk growth.  With
+        ``dry_run`` nothing is deleted — the return value reports what a
+        real prune *would* evict, which matters before pointing a whole
+        worker fleet at one shared store.  Returns ``(entries_removed,
+        bytes_freed)``.
         """
         entries = []
         total = 0
@@ -283,10 +286,11 @@ class ReportCache:
         for _, size, path in entries:
             if total - freed <= max_bytes:
                 break
-            try:
-                path.unlink()
-            except OSError:
-                continue
+            if not dry_run:
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
             removed += 1
             freed += size
         return removed, freed

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import pathlib
 import socket
+import time
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.core.report import SimulationReport
@@ -36,11 +37,28 @@ Address = Union[str, pathlib.Path, Tuple[str, int]]
 
 
 class ServiceClient:
-    """Blocking line-protocol client; usable as a context manager."""
+    """Blocking line-protocol client; usable as a context manager.
 
-    def __init__(self, address: Address, timeout: Optional[float] = 60.0) -> None:
+    ``connect_retries``/``connect_backoff_s`` bound a retry-with-backoff
+    loop around the initial connection: a freshly exec'd ``repro serve``
+    (or a fabric worker still registering) races any script that submits
+    immediately after, so callers that know the daemon is *supposed* to be
+    there ask for a few retries instead of hand-rolling sleep loops.  Only
+    the connection attempt retries — an established connection that dies
+    mid-request still surfaces ``UNAVAILABLE`` after one reconnect.
+    """
+
+    def __init__(
+        self,
+        address: Address,
+        timeout: Optional[float] = 60.0,
+        connect_retries: int = 0,
+        connect_backoff_s: float = 0.1,
+    ) -> None:
         self.address = address
         self.timeout = timeout
+        self.connect_retries = max(0, connect_retries)
+        self.connect_backoff_s = connect_backoff_s
         self._sock: Optional[socket.socket] = None
         self._file: Optional[Any] = None
 
@@ -51,19 +69,28 @@ class ServiceClient:
     def connect(self) -> "ServiceClient":
         if self._sock is not None:
             return self
-        try:
-            if isinstance(self.address, tuple):
-                sock = socket.create_connection(self.address, timeout=self.timeout)
-            else:
-                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-                sock.settimeout(self.timeout)
-                sock.connect(str(self.address))
-        except OSError as exc:
-            raise ServiceError(
-                ERR_UNAVAILABLE,
-                f"cannot reach the service at {self.address}: {exc} "
-                "(is `repro serve` running?)",
-            ) from exc
+        attempt = 0
+        while True:
+            try:
+                if isinstance(self.address, tuple):
+                    sock = socket.create_connection(
+                        self.address, timeout=self.timeout
+                    )
+                else:
+                    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                    sock.settimeout(self.timeout)
+                    sock.connect(str(self.address))
+                break
+            except OSError as exc:
+                if attempt >= self.connect_retries:
+                    raise ServiceError(
+                        ERR_UNAVAILABLE,
+                        f"cannot reach the service at {self.address}: {exc} "
+                        "(is `repro serve` running?)",
+                        details={"attempts": attempt + 1},
+                    ) from exc
+                time.sleep(self.connect_backoff_s * (2 ** attempt))
+                attempt += 1
         self._sock = sock
         self._file = sock.makefile("rwb")
         return self
@@ -142,9 +169,17 @@ class ServiceClient:
         job_id: str,
         wait: bool = False,
         timeout_s: Optional[float] = None,
+        report: bool = True,
     ) -> Dict[str, Any]:
-        """The raw result doc (digest, source, report as plain data)."""
-        return self.request("result", job_id=job_id, wait=wait, timeout_s=timeout_s)
+        """The raw result doc (digest, source, report as plain data).
+
+        ``report=False`` (a v2 addition) asks for the summary only —
+        digest, source, wall time — leaving the report body in the store.
+        """
+        request: Dict[str, Any] = {"job_id": job_id, "wait": wait, "timeout_s": timeout_s}
+        if not report:
+            request["report"] = False
+        return self.request("result", **request)
 
     def fetch_report(
         self,

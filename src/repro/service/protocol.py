@@ -13,9 +13,14 @@ Every response echoes the version and reports success explicitly::
      "error": {"code": "QUEUE_FULL", "message": "...", "details": {...}}}
 
 Operations (:data:`OPS`): ``submit``, ``status``, ``result``, ``cancel``,
-``jobs``, ``drain``, ``health``.  Error codes are structured and stable
-(:data:`ERROR CODES <ERR_QUEUE_FULL>`): clients branch on ``error.code``,
-never on message text.
+``jobs``, ``drain``, ``health``.  The fabric coordinator additionally
+speaks :data:`FABRIC_OPS` (``register``, ``heartbeat``, ``deregister``,
+``steal``, ``fabric``) — the worker-fleet control plane introduced with
+protocol version 2.  Version 2 is a strict superset of version 1: every
+v1 request is still accepted (see :data:`SUPPORTED_VERSIONS`), so old
+clients keep working against new daemons.  Error codes are structured
+and stable (:data:`ERROR CODES <ERR_QUEUE_FULL>`): clients branch on
+``error.code``, never on message text.
 
 The module also owns the :class:`~repro.harness.cache.RunSpec` wire codec
 (:func:`spec_to_wire` / :func:`spec_from_wire`).  Configurations are
@@ -56,7 +61,9 @@ from repro.memory.dram import DramConfig
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     "OPS",
+    "FABRIC_OPS",
     "ERR_BAD_REQUEST",
     "ERR_CANCELLED",
     "ERR_DRAINING",
@@ -69,6 +76,7 @@ __all__ = [
     "ERR_TIMEOUT",
     "ERR_UNAVAILABLE",
     "ERR_UNKNOWN_JOB",
+    "ERR_UNKNOWN_WORKER",
     "ERR_UNSUPPORTED",
     "ERR_WORKER_CRASHED",
     "ServiceError",
@@ -81,16 +89,27 @@ __all__ = [
 ]
 
 #: Bumped whenever a request or response field changes meaning or shape.
-PROTOCOL_VERSION = 1
+#: v2 added the fabric control plane (:data:`FABRIC_OPS`) without touching
+#: any v1 field, so both versions are accepted.
+PROTOCOL_VERSION = 2
 
-#: The operations the server accepts.
+#: Request versions a daemon answers (newest first in error details).
+SUPPORTED_VERSIONS = (2, 1)
+
+#: The operations every service daemon (a plain worker) accepts.
 OPS = ("submit", "status", "result", "cancel", "jobs", "drain", "health")
+
+#: Coordinator-only operations: worker registration/liveness, work
+#: stealing, and the fleet status document.  A plain worker rejects these
+#: with ``BAD_REQUEST`` exactly as it rejects any unknown op.
+FABRIC_OPS = ("register", "heartbeat", "deregister", "steal", "fabric")
 
 # Structured error codes.  Stable API: clients branch on these.
 ERR_BAD_REQUEST = "BAD_REQUEST"  # malformed JSON / unknown op / bad spec
 ERR_QUEUE_FULL = "QUEUE_FULL"  # admission control: past the high-water mark
 ERR_DRAINING = "DRAINING"  # server no longer accepts submissions
 ERR_UNKNOWN_JOB = "UNKNOWN_JOB"  # job id not in the store
+ERR_UNKNOWN_WORKER = "UNKNOWN_WORKER"  # heartbeat/steal from an unregistered worker
 ERR_CANCELLED = "CANCELLED"  # result requested for a cancelled job
 ERR_NOT_CANCELLABLE = "NOT_CANCELLABLE"  # job already running or terminal
 ERR_NOT_READY = "NOT_READY"  # result requested before the job finished

@@ -54,6 +54,7 @@ from repro.service.protocol import (
     ERR_UNSUPPORTED,
     OPS,
     PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
     ServiceError,
     decode_line,
     encode_line,
@@ -259,6 +260,11 @@ class SimulationService:
                 if stop_after:
                     self.request_stop()
                     break
+        except asyncio.CancelledError:
+            # Shutdown cancels parked handlers; ending the task cleanly
+            # here keeps the streams machinery from re-raising the
+            # cancellation into the loop's exception handler.
+            pass
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
@@ -278,13 +284,13 @@ class SimulationService:
             raw_op = request.get("op")
             if isinstance(raw_op, str):
                 op = raw_op
-            if request.get("v") != PROTOCOL_VERSION:
+            if request.get("v") not in SUPPORTED_VERSIONS:
                 return (
                     error_response(
                         op,
                         ERR_UNSUPPORTED,
                         f"protocol version {request.get('v')!r} not supported",
-                        details={"supported": [PROTOCOL_VERSION]},
+                        details={"supported": list(SUPPORTED_VERSIONS)},
                     ),
                     False,
                 )
@@ -432,15 +438,19 @@ class SimulationService:
                 "(pruned or cleared); resubmit the spec to recompute it",
                 details={"job_id": record.job_id, "digest": record.digest},
             )
-        return ok_response(
+        doc = ok_response(
             "result",
             job_id=record.job_id,
             digest=entry.digest,
             wall_s=record.wall_s,
             source=record.source,
             dedup_of=record.dedup_of,
-            report=entry.report.to_dict(),
         )
+        if request.get("report", True):
+            # v2: the fabric coordinator asks for the summary only — the
+            # report itself travels through the shared store.
+            doc["report"] = entry.report.to_dict()
+        return doc
 
     def _op_cancel(self, request: Dict[str, Any]) -> Dict[str, Any]:
         record = self._lookup(request)

@@ -77,6 +77,8 @@ class JobRecord:
     finished_at: Optional[float] = None
     attempts: int = 0
     retries: int = 0
+    worker: Optional[str] = None  # fabric: the worker the job was dispatched to
+    redispatches: int = 0  # fabric: times re-dispatched after a worker was lost
     digest: Optional[str] = None
     cache_key: Optional[str] = None
     wall_s: Optional[float] = None
@@ -105,6 +107,8 @@ class JobRecord:
             "finished_at": self.finished_at,
             "attempts": self.attempts,
             "retries": self.retries,
+            "worker": self.worker,
+            "redispatches": self.redispatches,
             "digest": self.digest,
             "wall_s": self.wall_s,
             "source": self.source,
@@ -179,6 +183,7 @@ class JobStore:
                 # so simply queue it again.
                 record.state = QUEUED
                 record.started_at = None
+                record.worker = None
         if self.jobs:
             self._next_seq = max(r.seq for r in self.jobs.values()) + 1
             self._next_job_number = (
@@ -208,6 +213,15 @@ class JobStore:
             if record.state == RUNNING:
                 record.started_at = at
                 record.attempts = int(event.get("attempts", record.attempts))
+                record.worker = event.get("worker", record.worker)
+            elif record.state == QUEUED:
+                # Fabric requeue: the worker the job was dispatched to died
+                # and the coordinator put the job back in line.
+                record.started_at = None
+                record.worker = None
+                record.redispatches = int(
+                    event.get("redispatches", record.redispatches)
+                )
             elif record.state in TERMINAL_STATES:
                 record.finished_at = at
                 record.digest = event.get("digest", record.digest)
@@ -217,6 +231,10 @@ class JobStore:
                 record.dedup_of = event.get("dedup_of", record.dedup_of)
                 record.error = event.get("error", record.error)
                 record.retries = int(event.get("retries", record.retries))
+                record.worker = event.get("worker", record.worker)
+                record.redispatches = int(
+                    event.get("redispatches", record.redispatches)
+                )
         else:
             raise ValueError(f"unknown WAL event type {kind!r}")
 
@@ -304,6 +322,8 @@ class JobStore:
                         "dedup_of": record.dedup_of,
                         "error": record.error,
                         "retries": record.retries,
+                        "worker": record.worker,
+                        "redispatches": record.redispatches,
                     }
                     fh.write(json.dumps(event, separators=(",", ":")) + "\n")
             fh.flush()

@@ -28,6 +28,7 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricsRegistry,
     NullMetricsRegistry,
+    sum_counter_docs,
 )
 from repro.telemetry.sampler import SAMPLE_COLUMNS, Sampler
 from repro.telemetry.session import METRICS_SCHEMA, TelemetrySession
@@ -51,6 +52,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "sum_counter_docs",
     "Tracer",
     "Sampler",
     "SAMPLE_COLUMNS",

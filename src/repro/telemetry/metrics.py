@@ -17,7 +17,7 @@ rolled back (mirroring :class:`~repro.core.scheduler.HostStats`).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 __all__ = [
     "Counter",
@@ -26,7 +26,26 @@ __all__ = [
     "MetricsRegistry",
     "NullMetricsRegistry",
     "NULL_REGISTRY",
+    "sum_counter_docs",
 ]
+
+
+def sum_counter_docs(docs: Iterable[Mapping[str, object]]) -> Dict[str, int]:
+    """Sum per-source counter documents into one fleet-wide view.
+
+    Each ``doc`` is the ``counters`` section of a
+    :meth:`MetricsRegistry.to_dict` (name → cumulative count).  Unlike
+    :meth:`MetricsRegistry.merge` — which *accumulates* into live
+    instruments and therefore must only ever see deltas — this is a pure
+    fold over point-in-time snapshots, which is exactly what a fabric
+    coordinator holds for each worker's latest heartbeat.
+    """
+    totals: Dict[str, int] = {}
+    for doc in docs:
+        for name, value in doc.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                totals[name] = totals.get(name, 0) + int(value)
+    return dict(sorted(totals.items()))
 
 
 class Counter:
