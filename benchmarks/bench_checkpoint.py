@@ -39,6 +39,7 @@ from repro.config import HostConfig, SlackConfig, paper_target_config
 from repro.core.checkpoint import restore_snapshot, take_snapshot
 from repro.core.hostmodel import ThreadState
 from repro.core.scheduler import Scheduler
+from repro.harness.hostinfo import host_fingerprint
 from repro.workloads import make_workload
 
 
@@ -174,6 +175,7 @@ def run_bench_checkpoint(
         )
     finest = min(rows, key=lambda r: r["interval"])
     doc = {
+        "host": host_fingerprint(),
         "benchmark": "checkpoint",
         "workload": "synthetic",
         "cores": cores,

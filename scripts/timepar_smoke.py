@@ -1,0 +1,62 @@
+"""CI smoke for time-parallel single runs (the `timepar-smoke` job).
+
+Runs three golden matrix cases (conservative, bounded slack, and
+speculative — the last exercises checkpoint/rollback inside epochs)
+through ``run_time_parallel`` at N=2, cold pass then warm pass, and
+requires every digest to match ``benchmarks/golden_kernel.json`` bit for
+bit.  This is the feature's only contract: epoch pipelining may change
+wall-clock, never the report.
+"""
+
+import json
+import pathlib
+import sys
+import tempfile
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.harness.bench import full_matrix
+from repro.harness.timepar import run_time_parallel
+
+#: Same trio the sanitizer smoke gates on: one plain scheme, the README
+#: reference scheme, and the rollback-heavy speculative scheme.
+CASE_IDS = ("fft-cc-c4-s0.5", "fft-bounded-c8-s0.5", "fft-speculative-c4-s0.5")
+EPOCHS = 2
+
+
+def main() -> int:
+    golden_path = pathlib.Path(__file__).resolve().parents[1] / "benchmarks"
+    golden = json.loads((golden_path / "golden_kernel.json").read_text())
+    cases = {case.case_id: case for case in full_matrix()}
+    missing = [cid for cid in CASE_IDS if cid not in cases or cid not in golden]
+    if missing:
+        print(f"FAIL: unknown or ungolden case(s): {missing}")
+        return 1
+
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="timepar-smoke-") as root:
+        for cid in CASE_IDS:
+            spec = cases[cid].spec()
+            cold = run_time_parallel(spec, epochs=EPOCHS, cache_root=root)
+            warm = run_time_parallel(spec, epochs=EPOCHS, cache_root=root)
+            for mode, result in (("cold", cold), ("warm", warm)):
+                status = "ok" if result.digest == golden[cid] else "DRIFT"
+                print(
+                    f"  {cid} [{mode}] digest {result.digest[:16]}... {status} "
+                    f"(mode={result.stats.mode}, diverged={result.stats.diverged})"
+                )
+                if result.digest != golden[cid]:
+                    failures.append((cid, mode, result.digest))
+            if warm.stats.mode == "warm" and warm.stats.diverged:
+                failures.append((cid, "warm-diverged", warm.stats.diverged))
+
+    if failures:
+        print(f"FAIL: {len(failures)} timepar digest mismatch(es): {failures}")
+        return 1
+    print(f"timepar smoke: {len(CASE_IDS)} cases x cold+warm at N={EPOCHS}, "
+          "all digests match golden")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,14 @@ from repro.analysis.findings import Finding
 #: contract that gates every PR.
 CRITICAL_PACKAGES = ("core", "cpu", "memory", "workloads", "isa", "sync")
 
+#: Individual modules outside those packages that are nonetheless
+#: digest-critical.  The time-parallel stitcher decides which epochs
+#: re-execute by comparing machine-wire digests; a clock or entropy draw
+#: on that path would make stitching host-dependent.  (repro.core.epochs
+#: is already covered by the ``core`` package; it is listed here so the
+#: scope survives a future move out of core.)
+CRITICAL_MODULES = ("repro/core/epochs.py", "repro/harness/timepar.py")
+
 #: The marker comment that declares a class hot-path (RPR005 then requires
 #: ``__slots__`` on it, forever).
 HOT_PATH_MARKER = "# repro: hot-path"
@@ -116,7 +124,10 @@ class LintContext:
 
     @property
     def in_critical_package(self) -> bool:
-        return self.package in CRITICAL_PACKAGES
+        if self.package in CRITICAL_PACKAGES:
+            return True
+        norm = self.path.replace("\\", "/")
+        return any(norm.endswith(mod) for mod in CRITICAL_MODULES)
 
     @property
     def in_core(self) -> bool:

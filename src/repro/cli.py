@@ -137,6 +137,8 @@ def _print_report(report) -> None:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.time_parallel > 1:
+        return _run_time_parallel_cli(args)
     telemetry = None
     want_trace = bool(args.trace or args.trace_jsonl)
     want_metrics = bool(args.metrics)
@@ -187,6 +189,71 @@ def cmd_run(args: argparse.Namespace) -> int:
                 },
             )
             print(f"  metrics           : {args.metrics}")
+    return 0
+
+
+def _run_time_parallel_cli(args: argparse.Namespace) -> int:
+    """``repro run --time-parallel N``: speculative epoch pipelining.
+
+    The stitched report is bit-identical to the serial run's (asserted in
+    tests/CI by digest); tracing and the sanitizer are rejected because
+    epoch workers run in separate processes and cannot share a tracer.
+    """
+    if args.trace or args.trace_jsonl or args.sanitize:
+        print(
+            "error: --time-parallel cannot be combined with --trace/"
+            "--trace-jsonl/--sanitize (epochs run in worker processes; "
+            "--metrics is supported and reports the epoch counters)",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.config import paper_host_config, paper_target_config
+    from repro.harness.cache import RunSpec
+    from repro.harness.timepar import run_time_parallel
+
+    telemetry = None
+    if args.metrics:
+        from repro.telemetry import TelemetrySession
+
+        telemetry = TelemetrySession(trace=False, metrics=True, sample_period=None)
+    spec = RunSpec(
+        benchmark=args.benchmark,
+        scheme=args.scheme,
+        scale=args.scale,
+        checkpoint=None,
+        detection=not args.no_detection,
+        seed=args.seed,
+        num_threads=args.threads,
+        target=paper_target_config(),
+        host=paper_host_config(),
+    )
+    result = run_time_parallel(
+        spec, epochs=args.time_parallel, jobs=args.jobs, telemetry=telemetry
+    )
+    _print_report(result.report)
+    stats = result.stats
+    print(f"  digest            : {result.digest}")
+    print(f"  time-parallel     : mode={stats.mode} epochs={stats.epochs} "
+          f"launched={stats.launched}")
+    if stats.mode == "warm":
+        print(f"  epoch stitching   : hits={stats.hits}/{stats.predicted} "
+              f"(hit rate {stats.hit_rate:.2f}), diverged={stats.diverged}, "
+              f"re-executed={stats.reexecuted}, wasted={stats.wasted}")
+    elif stats.mode == "cold":
+        print("  epoch stitching   : cold pass (cut states recorded; rerun "
+              "to speculate in parallel)")
+    if telemetry is not None and args.metrics:
+        telemetry.write_metrics(
+            args.metrics,
+            meta={
+                "benchmark": result.report.benchmark,
+                "scheme": result.report.scheme,
+                "cores": result.report.num_cores,
+                "seed": result.report.seed,
+                "digest": result.digest,
+            },
+        )
+        print(f"  metrics           : {args.metrics}")
     return 0
 
 
@@ -819,6 +886,15 @@ def build_parser() -> argparse.ArgumentParser:
                             metavar="CYCLES",
                             help="time-series sampling period in target "
                                  "cycles (0 disables sampling)")
+    run_parser.add_argument("--time-parallel", type=int, default=0, metavar="N",
+                            help="split the run into N speculative epochs "
+                                 "executed in parallel worker processes and "
+                                 "stitched back bit-identically (first run "
+                                 "of a configuration records cut states; "
+                                 "reruns speculate)")
+    run_parser.add_argument("--jobs", type=int, default=None, metavar="J",
+                            help="worker processes for --time-parallel "
+                                 "(default: all host CPUs)")
     run_parser.add_argument("--sanitize", action="store_true",
                             help="attach the slack sanitizer: assert timing "
                                  "invariants (local-time monotonicity, slack "

@@ -47,6 +47,11 @@ class Snapshot:
     @property
     def host_pages(self) -> int:
         """Dirty SoA pages the capture actually copied (host-side)."""
+        if self.cow is None:
+            raise CheckpointError(
+                "empty snapshot: no copy-on-write capture is attached "
+                "(the snapshot was constructed without taking one)"
+            )
         return self.cow.host_pages
 
 
@@ -73,6 +78,11 @@ def restore_snapshot(snapshot: Optional[Snapshot]) -> SimulationState:
     """
     if snapshot is None:
         raise CheckpointError("no checkpoint available to roll back to")
+    if snapshot.cow is None:
+        raise CheckpointError(
+            "empty snapshot: cannot restore a snapshot that carries no "
+            "copy-on-write capture"
+        )
     return cow.restore(snapshot.cow)
 
 

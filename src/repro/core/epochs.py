@@ -1,0 +1,733 @@
+"""Machine-state wire codec and epoch cuts for time-parallel runs.
+
+One long simulation is split into N *epochs* at deterministic cut points
+along its trajectory; each epoch can then be executed speculatively in a
+separate worker process starting from a *predicted* machine state, and the
+chain is stitched back together by comparing each epoch's actual end state
+against its successor's predicted start state (``repro.harness.timepar``
+drives the protocol; this module provides the mechanisms).
+
+Three mechanisms live here:
+
+- :func:`make_stop_predicate` — the epoch *cut rule*, evaluated by the
+  scheduler at the end of every manager step (the one program point where
+  every loop invariant holds).  Plain schemes cut at the first manager
+  step whose global time reaches the boundary; checkpointing runs cut
+  only when a checkpoint at/past the boundary has just been taken and no
+  replay is in flight, so the cut always lands on a consistent
+  checkpoint.  Cuts never mutate clocks or state: they merely partition
+  the deterministic trajectory.
+
+- :func:`encode_machine` — a **versioned, pickle-free wire codec** for
+  the full machine state (mirroring the ``RunSpec`` codec discipline of
+  ``repro.service.protocol``): the :class:`~repro.core.state.SimulationState`
+  object graph is rendered as tagged plain data against a **class
+  allowlist**, with memo references preserving aliasing (the flat clock
+  banks shared by root and cores, the ``_models`` view, shared configs),
+  floats via ``float.hex`` (exact to the last ulp), and dict entries in
+  insertion order (which is semantic: the manager serves maps and queues
+  in that order).  Program structure — statement trees whose ``Emit`` /
+  ``If`` / ``Loop`` nodes hold *callables* that cannot cross a process
+  boundary — is never serialized: both sides derive the identical
+  structure from the run configuration, so statements and their body
+  tuples are encoded as **anchor references** into a deterministic walk
+  of the fresh simulation's programs.
+
+- :func:`install_machine` — the inverse: decode into a freshly
+  constructed simulation + scheduler pair, rebuild the ready heap from
+  exact keys, and (for checkpointing runs) re-arm the controller's
+  rollback snapshot by re-capturing the installed state.
+
+The codec deliberately excludes host-side caches that the engine rebuilds
+on demand (copy-on-write shadows, the status-map undo journal, the
+manager's reused outcome scratch object): resetting them fresh on decode
+keeps the wire bytes — and therefore the epoch digests — a pure function
+of simulation-visible state.
+
+Wire bytes themselves (canonical JSON + SHA-256 digest) are produced by
+``repro.harness.timepar``; this module deals only in plain data, keeping
+``repro.core`` free of serialization imports.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.config import (
+    AdaptiveConfig,
+    AdaptiveQuantumConfig,
+    BusConfig,
+    CacheConfig,
+    CheckpointConfig,
+    CoreConfig,
+    L2Config,
+    MemoryConfig,
+    P2PConfig,
+    QuantumConfig,
+    SlackConfig,
+    SpeculativeConfig,
+    TargetConfig,
+)
+from repro.core import snapshot as cow
+from repro.core.checkpoint import Snapshot
+from repro.core.events import InMsg, InMsgKind, OutMsg
+from repro.core.hostmodel import ThreadState
+from repro.core.manager import ManagerState, ServiceOutcome
+from repro.core.schemes.adaptive import AdaptiveSlackPolicy
+from repro.core.schemes.adaptive_quantum import AdaptiveQuantumPolicy
+from repro.core.schemes.fixed import FixedSlackPolicy, QuantumPolicy
+from repro.core.schemes.p2p import P2PPolicy
+from repro.core.speculative import IntervalRecord
+from repro.core.state import CoreState, SimulationState
+from repro.core.violations import (
+    MapMonitorTable,
+    TimestampMonitor,
+    ViolationDetector,
+    ViolationRecord,
+)
+from repro.cpu.core import CoreModel, CoreRequest, RequestKind
+from repro.errors import EpochError
+from repro.isa.operations import Op, OpKind
+from repro.isa.program import If, Loop, ProgramContext, ProgramInterpreter, Stmt, _Frame
+from repro.memory.address import AddressMapper
+from repro.memory.bus import SnoopBus
+from repro.memory.cache import CacheArray
+from repro.memory.cache_map import CacheStatusMap
+from repro.memory.dram import DramConfig, DramModel
+from repro.memory.l1 import L1Cache
+from repro.memory.l2 import L2Cache
+from repro.memory.mesi import BusOpKind, MesiState
+from repro.memory.mshr import MshrEntry, MshrFile
+from repro.sync.primitives import (
+    BarrierTable,
+    LockTable,
+    SyncTimingConfig,
+    _BarrierState,
+    _LockState,
+)
+from repro.util import SplitMix64, XorShift64
+
+__all__ = [
+    "MACHINE_WIRE_VERSION",
+    "encode_machine",
+    "install_machine",
+    "machine_anchors",
+    "make_stop_predicate",
+]
+
+#: Bumped whenever the wire layout, the class allowlist, or the skip-field
+#: table changes shape.  Decoding a mismatched version raises
+#: :class:`~repro.errors.EpochError` (never a silent misparse).
+MACHINE_WIRE_VERSION = 1
+
+#: Every class the state-graph codec may encode/reconstruct.  Anything
+#: outside this allowlist raises a structured error naming the class —
+#: new state classes must be added here *deliberately* (and the wire
+#: version bumped if their shape matters).
+_REGISTRY: Dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        SimulationState,
+        CoreState,
+        ManagerState,
+        CoreModel,
+        CoreRequest,
+        ProgramInterpreter,
+        ProgramContext,
+        _Frame,
+        Op,
+        L1Cache,
+        MshrFile,
+        MshrEntry,
+        CacheArray,
+        AddressMapper,
+        CacheStatusMap,
+        SnoopBus,
+        L2Cache,
+        DramModel,
+        LockTable,
+        _LockState,
+        BarrierTable,
+        _BarrierState,
+        ViolationDetector,
+        TimestampMonitor,
+        MapMonitorTable,
+        ViolationRecord,
+        OutMsg,
+        InMsg,
+        FixedSlackPolicy,
+        QuantumPolicy,
+        AdaptiveSlackPolicy,
+        AdaptiveQuantumPolicy,
+        P2PPolicy,
+        SplitMix64,
+        XorShift64,
+        # Immutable configuration (aliased throughout the graph; encoded
+        # by reference via the memo so aliasing survives the round trip).
+        TargetConfig,
+        CoreConfig,
+        CacheConfig,
+        BusConfig,
+        L2Config,
+        MemoryConfig,
+        DramConfig,
+        SyncTimingConfig,
+        SlackConfig,
+        QuantumConfig,
+        AdaptiveConfig,
+        AdaptiveQuantumConfig,
+        P2PConfig,
+        CheckpointConfig,
+        SpeculativeConfig,
+    )
+}
+
+#: Enum classes the codec may carry (tagged by class name + value).
+_ENUMS: Dict[str, type] = {
+    cls.__name__: cls
+    for cls in (MesiState, BusOpKind, InMsgKind, RequestKind, OpKind, ThreadState)
+}
+
+#: Per-class fields excluded from the wire: host-side rebuild-on-demand
+#: caches whose content is history-dependent but simulation-invisible.
+#: They are reset fresh by the decoder (see ``_reset_skipped``), which
+#: keeps epoch digests a pure function of simulation-visible state.
+_SKIP_FIELDS: Dict[type, frozenset] = {
+    CacheArray: frozenset({"_dirty", "_shadow", "_snap_epoch"}),
+    CacheStatusMap: frozenset({"_journal"}),
+    ManagerState: frozenset({"_outcome"}),
+}
+
+#: Observation-only session references (telemetry / sanitizer probes) are
+#: never serialized regardless of the owning class; the worker re-attaches
+#: its own sessions (or none).
+_GLOBAL_SKIP = frozenset({"telemetry", "sanitizer"})
+
+
+# --------------------------------------------------------------------- #
+# Epoch cut rule
+# --------------------------------------------------------------------- #
+
+
+def make_stop_predicate(sim: Any, boundary: int) -> Callable[[ServiceOutcome], bool]:
+    """Build the ``Scheduler.run(stop_when=...)`` predicate for one cut.
+
+    Plain schemes cut at the first manager step whose global time has
+    reached ``boundary``.  Checkpointing runs (a
+    :class:`~repro.core.speculative.CheckpointController` is attached) cut
+    only at the end of the manager step in which a checkpoint at or past
+    ``boundary`` was taken, outside any replay window — so the captured
+    state always coincides with the controller's own rollback snapshot
+    and a mid-replay trajectory is never split.
+    """
+    controller = sim.controller
+    if controller is not None:
+
+        def stop_at_checkpoint(outcome: ServiceOutcome) -> bool:
+            snap = controller.snapshot
+            return (
+                not controller.replaying
+                and snap is not None
+                and snap.boundary >= boundary
+            )
+
+        return stop_at_checkpoint
+
+    def stop_at_global_time(outcome: ServiceOutcome) -> bool:
+        return outcome.global_time >= boundary
+
+    return stop_at_global_time
+
+
+# --------------------------------------------------------------------- #
+# Program-structure anchors
+# --------------------------------------------------------------------- #
+
+
+def machine_anchors(state: SimulationState) -> Tuple[Dict[int, int], List[Any]]:
+    """Deterministic walk of the state's program structure.
+
+    Returns ``(by_id, objects)``: the id->index map the encoder consults
+    and the index->object list the decoder resolves against.  Both sides
+    construct their simulation from the same configuration, so the walks
+    enumerate structurally identical objects in identical order; sharing
+    (a statement reused across threads, the ``()`` empty-body singleton)
+    is first-wins on both sides and therefore symmetric.
+    """
+    by_id: Dict[int, int] = {}
+    objects: List[Any] = []
+
+    def note(obj: Any) -> bool:
+        if id(obj) in by_id:  # repro: noqa[RPR003] walk-local dedup; indices, not ids, reach the wire
+            return False
+        by_id[id(obj)] = len(objects)  # repro: noqa[RPR003] walk-local dedup; indices, not ids, reach the wire
+        objects.append(obj)
+        return True
+
+    def walk(stmts: Tuple[Stmt, ...]) -> None:
+        if not note(stmts):
+            return
+        for stmt in stmts:
+            if not note(stmt):
+                continue
+            if isinstance(stmt, Loop):
+                walk(stmt.body)
+            elif isinstance(stmt, If):
+                walk(stmt.then_body)
+                walk(stmt.else_body)
+
+    for cs in state.cores:
+        walk(cs.model.program._program)
+    return by_id, objects
+
+
+def _anchor_signature(objects: List[Any]) -> List[str]:
+    """Structural shape of the anchor walk, compared on install.
+
+    Two workloads can anchor the *same number* of objects while differing
+    in shape (e.g. a scale change that only alters integer loop trip
+    counts), so the guard records per-object structure: body lengths and
+    literal trip counts (callable trip counts reduce to ``?`` — their
+    identity is covered by the surrounding structure and the run
+    configuration).
+    """
+    sig: List[str] = []
+    for obj in objects:
+        if type(obj) is tuple:
+            sig.append(f"t{len(obj)}")
+        elif isinstance(obj, Loop):
+            count = obj.count
+            sig.append(f"L{count}" if isinstance(count, int) else "L?")
+        elif isinstance(obj, If):
+            sig.append("I")
+        else:
+            sig.append(type(obj).__name__[:1])
+    return sig
+
+
+# --------------------------------------------------------------------- #
+# State-graph codec
+# --------------------------------------------------------------------- #
+
+
+def _object_fields(obj: Any) -> List[Tuple[str, Any]]:
+    """Enumerate an instance's live fields in deterministic order.
+
+    ``__slots__`` names in MRO order first (covering slotted classes),
+    then ``__dict__`` keys in insertion order (deterministic because the
+    construction path is).  Skip-table fields and unset slots are
+    omitted.
+    """
+    cls = type(obj)
+    names: List[str] = []
+    seen: set = set()
+    for klass in cls.__mro__:
+        slots = vars(klass).get("__slots__", ())
+        if isinstance(slots, str):
+            slots = (slots,)
+        for name in slots:
+            if name in ("__dict__", "__weakref__") or name in seen:
+                continue
+            seen.add(name)
+            names.append(name)
+    inst = getattr(obj, "__dict__", None)
+    if inst is not None:
+        for name in inst:
+            if name not in seen:
+                seen.add(name)
+                names.append(name)
+    skip = _SKIP_FIELDS.get(cls, frozenset())
+    fields: List[Tuple[str, Any]] = []
+    for name in names:
+        if name in _GLOBAL_SKIP or name in skip:
+            continue
+        try:
+            fields.append((name, getattr(obj, name)))
+        except AttributeError:
+            continue  # unset slot
+    return fields
+
+
+class _Encoder:
+    """Object graph -> tagged plain data (JSON-able)."""
+
+    def __init__(self, anchors: Dict[int, int]) -> None:
+        self._anchors = anchors
+        self._memo: Dict[int, int] = {}
+        self._alive: List[Any] = []  # keep ids stable for the walk
+        self._next = 0
+
+    def _assign(self, obj: Any) -> int:
+        index = self._next
+        self._next = index + 1
+        self._memo[id(obj)] = index  # repro: noqa[RPR003] encode-pass memo; only the index is serialized
+        self._alive.append(obj)
+        return index
+
+    def encode(self, obj: Any) -> Any:
+        if obj is None:
+            return None
+        t = type(obj)
+        if t is bool or t is int or t is str:
+            return obj
+        if t is float:
+            return ["f", obj.hex()]
+        oid = id(obj)  # repro: noqa[RPR003] memo/anchor key for this pass; never serialized
+        anchor = self._anchors.get(oid)
+        if anchor is not None:
+            return ["a", anchor]
+        ref = self._memo.get(oid)
+        if ref is not None:
+            return ["r", ref]
+        if t is tuple:
+            return ["t", [self.encode(v) for v in obj]]
+        if t is list:
+            index = self._assign(obj)
+            return ["l", index, [self.encode(v) for v in obj]]
+        if t is dict:
+            index = self._assign(obj)
+            return ["d", index, [[self.encode(k), self.encode(v)] for k, v in obj.items()]]
+        if t is set or t is frozenset:
+            index = self._assign(obj)
+            try:
+                items = sorted(obj)
+            except TypeError as exc:
+                raise EpochError(
+                    f"cannot canonicalize unordered {t.__name__} for the wire: {exc}"
+                ) from None
+            return ["s" if t is set else "fs", index, [self.encode(v) for v in items]]
+        if t is deque:
+            index = self._assign(obj)
+            return ["q", index, [self.encode(v) for v in obj]]
+        if isinstance(obj, Enum):
+            name = type(obj).__name__
+            if name not in _ENUMS:
+                raise EpochError(f"enum class {name!r} is not wire-allowlisted")
+            return ["e", name, obj.value]
+        if isinstance(obj, Stmt):
+            raise EpochError(
+                f"statement object {t.__name__} reachable from state but not "
+                "anchored in any core's program (corrupt interpreter frame?)"
+            )
+        name = t.__name__
+        if name not in _REGISTRY or _REGISTRY[name] is not t:
+            raise EpochError(
+                f"class {t.__module__}.{name} is not wire-allowlisted; "
+                "extend repro.core.epochs._REGISTRY deliberately"
+            )
+        index = self._assign(obj)
+        record = ["o", name, index, [[n, self.encode(v)] for n, v in _object_fields(obj)]]
+        return record
+
+
+class _Decoder:
+    """Tagged plain data -> object graph (against a fresh simulation)."""
+
+    def __init__(self, anchor_objects: List[Any]) -> None:
+        self._anchors = anchor_objects
+        self._memo: Dict[int, Any] = {}
+
+    def decode(self, data: Any) -> Any:
+        if data is None or isinstance(data, (bool, int, str)):
+            return data
+        if not isinstance(data, list) or not data:
+            raise EpochError(f"malformed wire node: {data!r}")
+        tag = data[0]
+        if tag == "f":
+            return float.fromhex(data[1])
+        if tag == "a":
+            index = data[1]
+            if not isinstance(index, int) or not 0 <= index < len(self._anchors):
+                raise EpochError(f"anchor index {index!r} out of range")
+            return self._anchors[index]
+        if tag == "r":
+            try:
+                return self._memo[data[1]]
+            except KeyError:
+                raise EpochError(f"dangling memo reference {data[1]!r}") from None
+        if tag == "t":
+            return tuple(self.decode(v) for v in data[1])
+        if tag == "l":
+            out: List[Any] = []
+            self._memo[data[1]] = out
+            out.extend(self.decode(v) for v in data[2])
+            return out
+        if tag == "d":
+            mapping: Dict[Any, Any] = {}
+            self._memo[data[1]] = mapping
+            for pair in data[2]:
+                mapping[self.decode(pair[0])] = self.decode(pair[1])
+            return mapping
+        if tag == "s":
+            values: set = set()
+            self._memo[data[1]] = values
+            values.update(self.decode(v) for v in data[2])
+            return values
+        if tag == "fs":
+            frozen = frozenset(self.decode(v) for v in data[2])
+            self._memo[data[1]] = frozen
+            return frozen
+        if tag == "q":
+            dq: deque = deque()
+            self._memo[data[1]] = dq
+            dq.extend(self.decode(v) for v in data[2])
+            return dq
+        if tag == "e":
+            enum_cls = _ENUMS.get(data[1])
+            if enum_cls is None:
+                raise EpochError(f"enum class {data[1]!r} is not wire-allowlisted")
+            try:
+                return enum_cls(data[2])
+            except ValueError as exc:
+                raise EpochError(str(exc)) from None
+        if tag == "o":
+            name = data[1]
+            cls = _REGISTRY.get(name)
+            if cls is None:
+                raise EpochError(
+                    f"class {name!r} is not wire-allowlisted on this side "
+                    f"(wire version {MACHINE_WIRE_VERSION} skew?)"
+                )
+            obj = object.__new__(cls)
+            self._memo[data[2]] = obj
+            for entry in data[3]:
+                object.__setattr__(obj, entry[0], self.decode(entry[1]))
+            _reset_skipped(obj)
+            return obj
+        raise EpochError(f"unknown wire tag {tag!r}")
+
+
+def _reset_skipped(obj: Any) -> None:
+    """Re-initialize the skip-table fields the wire deliberately omits."""
+    t = type(obj)
+    if t is CacheArray:
+        obj._dirty = set()
+        obj._shadow = None
+        obj._snap_epoch = 0
+    elif t is CacheStatusMap:
+        obj._journal = {}
+    elif t is ManagerState:
+        obj._outcome = ServiceOutcome(0, False, [], 0, True)
+
+
+# --------------------------------------------------------------------- #
+# Host-side record (hand-rolled: small, flat, no object graph)
+# --------------------------------------------------------------------- #
+
+
+def _encode_host(scheduler: Any) -> Dict[str, Any]:
+    stats = scheduler.stats
+    contexts: List[List[Any]] = []
+    for ctx in scheduler.contexts:
+        last = ctx.last_thread
+        contexts.append([ctx.clock.hex(), None if last is None else last.pos])
+    threads: List[List[Any]] = []
+    for thread in scheduler.threads:
+        threads.append(
+            [
+                int(thread.state),
+                thread.ready_time.hex(),
+                thread.steps,
+                thread.rng.state,
+                thread.context.index,
+            ]
+        )
+    return {
+        "contexts": contexts,
+        "threads": threads,
+        "parked": [thread.pos for thread in scheduler._parked],
+        "parked_dirty": scheduler._parked_dirty,
+        "stats": {
+            "manager_steps": stats.manager_steps,
+            "core_steps": stats.core_steps,
+            "wakeups": stats.wakeups,
+            "context_busy_ns": [v.hex() for v in stats.context_busy_ns],
+            "manager_busy_ns": stats.manager_busy_ns.hex(),
+            "submanager_busy_ns": stats.submanager_busy_ns.hex(),
+            "checkpoints": stats.checkpoints,
+            "checkpoint_cost_ns": stats.checkpoint_cost_ns.hex(),
+            "rollbacks": stats.rollbacks,
+            "rollback_cost_ns": stats.rollback_cost_ns.hex(),
+            "wasted_target_cycles": stats.wasted_target_cycles,
+            "replay_target_cycles": stats.replay_target_cycles,
+            "violations_observed": stats.violations_observed,
+        },
+    }
+
+
+def _install_host(scheduler: Any, rec: Dict[str, Any]) -> None:
+    contexts = scheduler.contexts
+    threads = scheduler.threads
+    if len(rec["contexts"]) != len(contexts) or len(rec["threads"]) != len(threads):
+        raise EpochError(
+            "host record shape mismatch: the receiving scheduler was built "
+            "from a different configuration than the captured one"
+        )
+    for thread, trec in zip(threads, rec["threads"]):
+        thread.state = ThreadState(trec[0])
+        thread.ready_time = float.fromhex(trec[1])
+        thread.steps = trec[2]
+        thread.rng.state = trec[3]
+        target_ctx = contexts[trec[4]]
+        if thread.context is not target_ctx:
+            # Only the (migrating) manager normally moves, but the record
+            # is authoritative for every thread.
+            thread.context.threads.remove(thread)
+            target_ctx.threads.append(thread)
+            thread.context = target_ctx
+        thread.queued = False
+    for ctx, crec in zip(contexts, rec["contexts"]):
+        ctx.clock = float.fromhex(crec[0])
+        ctx.last_thread = None if crec[1] is None else threads[crec[1]]
+    # Rebuild the ready heap from exact keys: every READY non-manager
+    # thread is queued (pos order); lazy top validation makes the pop
+    # order identical to the uncut run's.
+    scheduler._heap.clear()
+    for thread in threads:
+        if thread is not scheduler.manager_thread and thread.state == ThreadState.READY:
+            scheduler._enqueue(thread)
+    scheduler._parked = [threads[pos] for pos in rec["parked"]]
+    scheduler._parked_dirty = bool(rec["parked_dirty"])
+    scheduler._migrate_min = None  # recompute-on-demand cache
+
+    stats = scheduler.stats
+    srec = rec["stats"]
+    stats.manager_steps = srec["manager_steps"]
+    stats.core_steps = srec["core_steps"]
+    stats.wakeups = srec["wakeups"]
+    stats.context_busy_ns = [float.fromhex(v) for v in srec["context_busy_ns"]]
+    stats.manager_busy_ns = float.fromhex(srec["manager_busy_ns"])
+    stats.submanager_busy_ns = float.fromhex(srec["submanager_busy_ns"])
+    stats.checkpoints = srec["checkpoints"]
+    stats.checkpoint_cost_ns = float.fromhex(srec["checkpoint_cost_ns"])
+    stats.rollbacks = srec["rollbacks"]
+    stats.rollback_cost_ns = float.fromhex(srec["rollback_cost_ns"])
+    stats.wasted_target_cycles = srec["wasted_target_cycles"]
+    stats.replay_target_cycles = srec["replay_target_cycles"]
+    stats.violations_observed = srec["violations_observed"]
+
+
+# --------------------------------------------------------------------- #
+# Controller record
+# --------------------------------------------------------------------- #
+
+
+def _interval_data(record: IntervalRecord) -> List[Any]:
+    return [
+        record.index,
+        record.start,
+        record.end,
+        record.violations,
+        record.first_offset,
+        record.rolled_back,
+    ]
+
+
+def _interval_from(data: List[Any]) -> IntervalRecord:
+    record = IntervalRecord(data[0], data[1], data[2])
+    record.violations = data[3]
+    record.first_offset = data[4]
+    record.rolled_back = data[5]
+    return record
+
+
+def _encode_controller(controller: Any) -> Dict[str, Any]:
+    if controller.replaying:
+        raise EpochError(
+            "cannot capture an epoch inside a rollback replay window; the "
+            "cut rule only fires outside replays"
+        )
+    snap = controller.snapshot
+    if snap is None:
+        raise EpochError("controller has no checkpoint yet; cut fired too early")
+    return {
+        "next_boundary": controller.next_boundary,
+        "records": [_interval_data(r) for r in controller.records],
+        "current": _interval_data(controller._current),
+        "snapshot": [snap.boundary, snap.host_time.hex(), snap.pages],
+    }
+
+
+def _install_controller(
+    controller: Any, rec: Dict[str, Any], state: SimulationState
+) -> None:
+    controller.next_boundary = rec["next_boundary"]
+    controller.replaying = False
+    controller.records = [_interval_from(r) for r in rec["records"]]
+    controller._current = _interval_from(rec["current"])
+    boundary, host_time_hex, pages = rec["snapshot"]
+    # The cut rule guarantees the captured state *is* the state at the
+    # controller's latest checkpoint, so re-capturing the installed state
+    # reproduces the rollback target exactly (fresh COW generation, same
+    # content); boundary/host_time/pages carry over from the capture.
+    capture = cow.take(state)
+    controller.snapshot = Snapshot(capture, boundary, float.fromhex(host_time_hex), pages)
+
+
+# --------------------------------------------------------------------- #
+# Public entry points
+# --------------------------------------------------------------------- #
+
+
+def encode_machine(sim: Any, scheduler: Any) -> Dict[str, Any]:
+    """Capture the full machine (simulation root + host scheduler state +
+    controller) as versioned plain data.
+
+    Must be called at an epoch cut (the end of a manager step); the
+    result round-trips through :func:`install_machine` bit-for-bit.
+    """
+    state = sim.state
+    by_id, objects = machine_anchors(state)
+    encoder = _Encoder(by_id)
+    root = encoder.encode(state)
+    controller = sim.controller
+    return {
+        "v": MACHINE_WIRE_VERSION,
+        "anchors": _anchor_signature(objects),
+        "root": root,
+        "host": _encode_host(scheduler),
+        "ctrl": None if controller is None else _encode_controller(controller),
+    }
+
+
+def install_machine(sim: Any, scheduler: Any, payload: Dict[str, Any]) -> None:
+    """Install a captured machine into a freshly built sim + scheduler.
+
+    ``sim``/``scheduler`` must have been constructed from the *same*
+    configuration as the captured run and must not have executed yet
+    (beyond construction).  After installation, ``scheduler.run``
+    continues the captured trajectory bit-for-bit.
+    """
+    if not isinstance(payload, dict):
+        raise EpochError(f"machine payload must be a mapping, got {type(payload).__name__}")
+    version = payload.get("v")
+    if version != MACHINE_WIRE_VERSION:
+        raise EpochError(
+            f"unsupported machine wire version {version!r} "
+            f"(this side speaks {MACHINE_WIRE_VERSION})"
+        )
+    _, objects = machine_anchors(sim.state)
+    signature = _anchor_signature(objects)
+    if payload.get("anchors") != signature:
+        raise EpochError(
+            "program-structure mismatch: the capture's anchor walk does not "
+            "match the receiver's — different workload, thread count, or "
+            "scale?"
+        )
+    decoder = _Decoder(objects)
+    state = decoder.decode(payload["root"])
+    if not isinstance(state, SimulationState):
+        raise EpochError("machine root did not decode to a SimulationState")
+    sim.state = state
+    _install_host(scheduler, payload["host"])
+    ctrl_rec = payload.get("ctrl")
+    controller = sim.controller
+    if (ctrl_rec is None) != (controller is None):
+        raise EpochError(
+            "checkpoint-controller mismatch between capture and receiver "
+            "(different scheme/checkpoint configuration)"
+        )
+    if controller is not None and ctrl_rec is not None:
+        _install_controller(controller, ctrl_rec, state)

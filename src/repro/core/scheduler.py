@@ -18,7 +18,7 @@ from __future__ import annotations
 import heapq
 from heapq import heappop, heappush, heapreplace
 from operator import attrgetter
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.config import HostConfig
 from repro.core.hostmodel import HostContext, HostThread, ThreadState
@@ -143,11 +143,25 @@ class Scheduler:
 
     # ------------------------------------------------------------------ #
 
-    def run(self, max_target_cycles: Optional[int] = None) -> HostStats:
+    def run(
+        self,
+        max_target_cycles: Optional[int] = None,
+        stop_when: Optional[Callable[..., bool]] = None,
+    ) -> HostStats:
         """Run to completion; return host statistics.
 
         ``max_target_cycles`` is a safety net: the run aborts with
         :class:`DeadlockError` if the target execution time exceeds it.
+
+        ``stop_when`` (optional) is evaluated with the manager's
+        :class:`~repro.core.manager.ServiceOutcome` at the end of every
+        manager step; returning True suspends the run at that point.  The
+        suspension is resumable: every piece of scheduler state (heap
+        membership, parked list, context clocks, statistics) is left
+        exactly as the loop maintains it, so a subsequent ``run`` call on
+        the same scheduler continues the simulation bit-for-bit as if it
+        had never stopped.  This is the epoch-cut seam used by
+        ``repro.core.epochs`` / ``repro.harness.timepar``.
         """
         sim = self.sim
         stats = self.stats
@@ -306,6 +320,11 @@ class Scheduler:
                         f"target execution exceeded {max_target_cycles} cycles "
                         "(runaway simulation; check the workload's barriers)"
                     )
+                if stop_when is not None and stop_when(outcome):
+                    # Epoch cut: every loop invariant holds at the end of a
+                    # manager step (heap/parked membership, clocks, stats),
+                    # so breaking here leaves the scheduler resumable.
+                    break
             elif thread.pos < num_cores:  # core runner
                 stats.core_steps += 1
                 if sanitizer is not None and sanitizer.enabled:

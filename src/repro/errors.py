@@ -38,5 +38,14 @@ class CheckpointError(ReproError):
     """Checkpoint creation, discard, or rollback failed."""
 
 
+class EpochError(ReproError):
+    """Time-parallel epoch capture, transfer, or stitching failed.
+
+    Raised by the machine-state wire codec (``repro.core.epochs``) on
+    version/class mismatches and by the time-parallel harness
+    (``repro.harness.timepar``) when an epoch chain cannot be stitched.
+    """
+
+
 class ProtocolError(SimulationError):
     """A cache-coherence invariant was broken (MESI state machine bug)."""

@@ -39,6 +39,7 @@ from repro.core.report import SimulationReport
 from repro.fabric.coordinator import CoordinatorConfig, CoordinatorDaemon
 from repro.fabric.worker import FabricWorker, WorkerConfig
 from repro.harness.cache import RunSpec, spec_key
+from repro.harness.hostinfo import host_fingerprint
 from repro.harness.pool import PoolResult, execute_spec
 from repro.service.client import Address, ServiceClient
 from repro.service.protocol import (
@@ -448,4 +449,5 @@ class SpawnedFabric:
 
 
 def write_bench(doc: Dict[str, Any], path: pathlib.Path) -> None:
+    doc = dict(doc, host=host_fingerprint())
     path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")

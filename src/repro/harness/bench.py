@@ -36,6 +36,7 @@ from repro.config import (
 )
 from repro.core.simulation import Simulation
 from repro.harness.cache import ReportCache, RunSpec, spec_key
+from repro.harness.hostinfo import fingerprint_mismatches, host_fingerprint
 from repro.harness.pool import ParallelExecutor, execute_spec
 from repro.telemetry import TelemetrySession
 from repro.workloads import make_workload
@@ -291,8 +292,21 @@ def run_bench(
         calls = _count_calls(BenchCase(**REFERENCE_CASE))
         print(f"  reference-run function calls: {calls}")
 
+    # Wall-clock numbers are only comparable on the same host/interpreter:
+    # warn when the previous artifact was measured elsewhere, so a perf
+    # "regression" caused by a host change cannot pass as real.
+    if output:
+        try:
+            previous = json.loads(pathlib.Path(output).read_text())
+        except (OSError, ValueError):
+            previous = None
+        if previous is not None:
+            for line in fingerprint_mismatches(previous.get("host")):
+                print(f"  WARNING: cross-host comparison — {line}")
+
     total_wall = sum(r["wall_s"] for r in results)
     doc = {
+        "host": host_fingerprint(),
         "benchmark": _BENCHMARK,
         "matrix": "smoke" if smoke else "full",
         "sanitized": sanitize,

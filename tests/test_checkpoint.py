@@ -85,8 +85,20 @@ class TestSnapshotBasics:
             restore_snapshot(stale)
 
     def test_restore_none_raises(self):
-        with pytest.raises(CheckpointError):
+        with pytest.raises(CheckpointError, match="no checkpoint available"):
             restore_snapshot(None)
+
+    def test_restore_empty_snapshot_raises_structured_error(self):
+        """A Snapshot constructed without a COW capture (the
+        before-any-checkpoint edge) must raise CheckpointError from every
+        path, never AttributeError."""
+        from repro.core.checkpoint import Snapshot
+
+        empty = Snapshot(None, boundary=0, host_time=0.0, pages=0)
+        with pytest.raises(CheckpointError, match="empty snapshot"):
+            restore_snapshot(empty)
+        with pytest.raises(CheckpointError, match="empty snapshot"):
+            empty.host_pages
 
     def test_snapshot_counts_and_clears_pages(self):
         sim = build_sim()

@@ -183,6 +183,44 @@ class TestRepeatedRollback:
             restore_snapshot(first)
         assert_states_equivalent(restore_snapshot(second), baseline)
 
+    @settings(max_examples=8, deadline=None)
+    @given(
+        k1=st.integers(min_value=150, max_value=400),
+        k2=st.integers(min_value=50, max_value=300),
+        k3=st.integers(min_value=50, max_value=250),
+    )
+    def test_take_mutate_restore_reexecute_with_inner_rollback(self, k1, k2, k3):
+        """Property: take → mutate → restore → re-execute is bit-identical
+        even when a speculative rollback fires *inside* the restored
+        window (the epoch-stitching prerequisite: a re-executed epoch may
+        itself roll back, and must still land on the serial trajectory).
+        """
+        scheme = SpeculativeConfig(
+            base=SlackConfig(bound=8), checkpoint=CheckpointConfig(interval=500)
+        )
+
+        def reexecute_with_inner_rollback(sim):
+            # Inside the restored window: run, checkpoint, run, roll back
+            # to the inner checkpoint (the speculative rollback), resume.
+            run_partial(sim, k3)
+            inner = take_snapshot(sim.state, boundary=1, host_time=0.0)
+            run_partial(sim, k3)
+            sim.state = restore_snapshot(inner)
+            run_partial(sim, k3)
+            return state_digest(sim.state)
+
+        sim = build_sim(scheme)
+        run_partial(sim, k1)
+        snap = take_snapshot(sim.state, boundary=0, host_time=0.0)
+        baseline = copy.deepcopy(sim.state)
+        run_partial(sim, k2)  # mutate the live state past the checkpoint
+
+        sim.state = restore_snapshot(snap)
+        digest_restored = reexecute_with_inner_rollback(sim)
+
+        sim.state = baseline
+        assert reexecute_with_inner_rollback(sim) == digest_restored
+
 
 # --------------------------------------------------------------------- #
 # Torn / partial-dirty-set cases at the array level: between sync and
