@@ -19,6 +19,16 @@ End-to-end digest comparison tells you *that* one of them broke, never
   paths, ``__slots__`` on hot-path-marked classes, telemetry reached only
   through the guarded probe seams, no heavyweight imports in ``core/``;
 
+- a **whole-program analyzer** (``python -m repro analyze``, or
+  ``repro lint --deep`` to run both layers at once): three passes over a
+  shared project call graph — interprocedural taint flow from
+  nondeterminism sources into digest-critical sinks with full
+  source→call-chain→sink witness paths (RPR101), codec/schema drift
+  between the dataclass definitions and the wire manifests in
+  ``service/protocol.py`` / ``core/epochs.py`` (RPR102), and asyncio
+  read-modify-write-across-await atomicity in the service and fabric
+  layers (RPR103);
+
 - a **runtime slack sanitizer** ("SlackSan", ``repro run --sanitize``):
   an opt-in checker wired through the same seams the telemetry probes use,
   maintaining per-core vector clocks and asserting the paper's invariants
@@ -28,20 +38,36 @@ End-to-end digest comparison tells you *that* one of them broke, never
 """
 
 from repro.analysis.baseline import Baseline
-from repro.analysis.engine import LintResult, lint_paths, lint_source
+from repro.analysis.callgraph import ProjectGraph, build_graph
+from repro.analysis.engine import (
+    ALL_RULES,
+    DEEP_RULES,
+    LintResult,
+    analyze_paths,
+    explain_rule,
+    lint_paths,
+    lint_source,
+)
 from repro.analysis.findings import Finding
-from repro.analysis.rules import RULES, Rule, explain_rule
+from repro.analysis.fixes import fix_unused_noqa
+from repro.analysis.rules import RULES, Rule
 from repro.analysis.sanitizer import SanitizerError, SlackSanitizer, state_digest
 
 __all__ = [
+    "ALL_RULES",
     "Baseline",
+    "DEEP_RULES",
     "Finding",
     "LintResult",
+    "ProjectGraph",
     "RULES",
     "Rule",
     "SanitizerError",
     "SlackSanitizer",
+    "analyze_paths",
+    "build_graph",
     "explain_rule",
+    "fix_unused_noqa",
     "lint_paths",
     "lint_source",
     "state_digest",

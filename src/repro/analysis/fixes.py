@@ -1,0 +1,180 @@
+"""``repro lint --fix-noqa``: delete suppressions that suppress nothing.
+
+A ``# repro: noqa[RPRxxx] reason`` comment earns its place by matching a
+finding on its line; when the underlying code is fixed the comment stays
+behind as dead documentation that silently re-arms if the same defect
+ever returns.  RPR008 flags these as "unused noqa" — this module removes
+them mechanically instead of by hand.
+
+Scope mirrors the hygiene scoping in :mod:`repro.analysis.engine`: a
+plain ``--fix-noqa`` only proves shallow codes unused (a deep code may
+be held by a finding the per-file pass cannot see), and ``--deep``
+widens the proof to the whole-program codes.  Codes outside the
+registered universe are never touched — they are RPR008 findings for a
+human, not fixer fodder.
+
+Rewrites are token-accurate: the noqa marker is located via its COMMENT
+token (never raw text, so noqa-shaped examples in docstrings survive),
+unused codes are dropped from the bracket list, and the whole comment —
+or the whole line, for a comment-only line — disappears once nothing
+remains worth keeping.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import tokenize
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.callgraph import build_graph
+from repro.analysis.engine import (
+    ALL_RULES_BY_CODE,
+    DEEP_CODES,
+    DEEP_RULES,
+    SHALLOW_CODES,
+    _read_files,
+)
+from repro.analysis.noqa import _NOQA_RE
+from repro.analysis.rules import RULES, LintContext
+
+__all__ = ["NoqaFix", "fix_unused_noqa", "rewrite_source"]
+
+
+class NoqaFix:
+    """One applied rewrite: which codes left which line."""
+
+    __slots__ = ("path", "line", "removed_codes", "dropped_comment")
+
+    def __init__(
+        self,
+        path: str,
+        line: int,
+        removed_codes: Tuple[str, ...],
+        dropped_comment: bool,
+    ) -> None:
+        self.path = path
+        self.line = line
+        self.removed_codes = removed_codes
+        self.dropped_comment = dropped_comment
+
+    def render(self) -> str:
+        what = (
+            "removed noqa comment"
+            if self.dropped_comment
+            else f"removed {', '.join(self.removed_codes)} from noqa"
+        )
+        return f"{self.path}:{self.line}: {what}"
+
+
+def _used_codes(
+    files: Sequence[Tuple[str, str]], include_deep: bool
+) -> Dict[Tuple[str, int], Set[str]]:
+    """``(path, line) -> codes`` that have a live finding there.
+
+    Computed from the *raw* rule output (pre-suppression): a suppression
+    is "used" exactly when a rule would have fired on its line.
+    """
+    used: Dict[Tuple[str, int], Set[str]] = {}
+    for rel, source in files:
+        try:
+            tree = ast.parse(source, filename=rel)
+        except SyntaxError:
+            continue
+        ctx = LintContext(rel, source, tree)
+        for rule in RULES:
+            for finding in rule.check(ctx):
+                used.setdefault((rel, finding.line), set()).add(finding.code)
+    if include_deep:
+        graph = build_graph(files)
+        for deep_rule in DEEP_RULES:
+            for finding in deep_rule.check_project(graph):
+                used.setdefault((finding.path, finding.line), set()).add(
+                    finding.code
+                )
+    return used
+
+
+def rewrite_source(
+    rel: str,
+    source: str,
+    used: Dict[Tuple[str, int], Set[str]],
+    scope: FrozenSet[str],
+) -> Tuple[str, List[NoqaFix]]:
+    """Strip unused noqa codes from one file's source; pure function."""
+    lines: List[Optional[str]] = list(source.splitlines(keepends=True))
+    fixes: List[NoqaFix] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):
+        return source, fixes
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _NOQA_RE.search(token.string)
+        if match is None:
+            continue
+        lineno, col = token.start
+        codes = [
+            part.strip().upper()
+            for part in match.group("codes").split(",")
+            if part.strip()
+        ]
+        live = used.get((rel, lineno), set())
+        removable = [
+            code
+            for code in codes
+            if code in scope and code in ALL_RULES_BY_CODE and code not in live
+        ]
+        if not removable:
+            continue
+        kept = [code for code in codes if code not in removable]
+        original = lines[lineno - 1]
+        assert original is not None
+        eol = original[len(original.rstrip("\r\n")) :]
+        body = original.rstrip("\r\n")
+        #: Comment text before the marker — "# " usually, sometimes prose.
+        prefix = token.string[: match.start()]
+        dropped = False
+        if kept:
+            reason = match.group("reason").strip()
+            new_body = (
+                body[:col]
+                + (prefix + f"repro: noqa[{','.join(kept)}] {reason}").rstrip()
+            )
+        elif prefix.strip("# \t;,-"):
+            # The comment carries other prose; keep it, drop the marker.
+            new_body = body[:col] + prefix.rstrip().rstrip(";,-").rstrip()
+        else:
+            new_body = body[:col].rstrip()
+            dropped = True
+        if dropped and not new_body:
+            lines[lineno - 1] = None  # comment-only line: delete it outright
+        else:
+            lines[lineno - 1] = new_body + eol
+        fixes.append(NoqaFix(rel, lineno, tuple(removable), dropped))
+    return "".join(line for line in lines if line is not None), fixes
+
+
+def fix_unused_noqa(
+    paths: Sequence[str],
+    root: Optional[str] = None,
+    include_deep: bool = False,
+    dry_run: bool = False,
+) -> List[NoqaFix]:
+    """Remove provably-unused noqa codes under ``paths``; returns fixes."""
+    scope = SHALLOW_CODES | DEEP_CODES if include_deep else SHALLOW_CODES
+    files = _read_files(paths, root)
+    used = _used_codes(files, include_deep)
+    all_fixes: List[NoqaFix] = []
+    for rel, source in files:
+        new_source, fixes = rewrite_source(rel, source, used, scope)
+        if not fixes:
+            continue
+        all_fixes.extend(fixes)
+        if not dry_run:
+            filename = os.path.join(root, rel) if root else rel
+            with open(filename, "w", encoding="utf-8") as fh:
+                fh.write(new_source)
+    return all_fixes

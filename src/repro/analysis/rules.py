@@ -30,8 +30,12 @@ from repro.analysis.findings import Finding
 
 #: Packages whose behaviour feeds the report digest.  A wall-clock read or
 #: entropy draw anywhere in here breaks the "same seed => same digest"
-#: contract that gates every PR.
-CRITICAL_PACKAGES = ("core", "cpu", "memory", "workloads", "isa", "sync")
+#: contract that gates every PR.  ``fabric`` is in scope because workers
+#: replay RunSpecs and publish digests to the shared store: any
+#: nondeterminism there poisons cross-host result comparison.  Its
+#: legitimate wall-clock uses (timeouts, heartbeats, latency telemetry)
+#: carry reasoned RPR001 suppressions.
+CRITICAL_PACKAGES = ("core", "cpu", "memory", "workloads", "isa", "sync", "fabric")
 
 #: Individual modules outside those packages that are nonetheless
 #: digest-critical.  The time-parallel stitcher decides which epochs
@@ -199,6 +203,10 @@ class Rule:
     summary: str = ""
     rationale: str = ""
     fix_example: str = ""
+    #: Whole-program rules (checked over the project call graph by
+    #: ``repro analyze``, not per-file) set this True and implement
+    #: ``check_project`` instead of ``check``.
+    deep: bool = False
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
         raise NotImplementedError
@@ -664,9 +672,13 @@ RULES: Sequence[Rule] = (
 RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in RULES}
 
 
-def explain_rule(code: str) -> Optional[str]:
-    """Human-readable rationale + fix example for one rule code."""
-    rule = RULES_BY_CODE.get(code.upper())
+def explain_rule(code: str, registry: Optional[Dict[str, Rule]] = None) -> Optional[str]:
+    """Human-readable rationale + fix example for one rule code.
+
+    ``registry`` widens the lookup (the engine passes the combined
+    shallow+deep registry so ``--explain RPR101`` works too).
+    """
+    rule = (registry or RULES_BY_CODE).get(code.upper())
     if rule is None:
         return None
     lines = [

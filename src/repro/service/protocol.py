@@ -277,6 +277,130 @@ _SPEC_FIELDS: Tuple[Tuple[str, Tuple[type, ...], bool], ...] = (
 )
 
 
+#: The wire-field manifest: the deliberate, reviewed record of every
+#: ``(field, declared type)`` each registered class ships on the wire.
+#: ``_encode_value`` walks ``dataclasses.fields`` generically, so the
+#: *code* cannot drift — this table is the second, independently
+#: maintained description that ``repro analyze`` (RPR102) statically
+#: diffs against the real dataclass definitions.  Adding, renaming, or
+#: retyping a config field without updating this manifest (and bumping
+#: :data:`PROTOCOL_VERSION` when the wire shape changes) fails CI.
+WIRE_FIELDS: Dict[str, Tuple[Tuple[str, str], ...]] = {
+    "AdaptiveConfig": (
+        ("target_rate", "float"),
+        ("band", "float"),
+        ("initial_bound", "int"),
+        ("min_bound", "int"),
+        ("max_bound", "int"),
+        ("adjust_period", "int"),
+        ("increase_step", "int"),
+        ("decrease_factor", "float"),
+    ),
+    "AdaptiveQuantumConfig": (
+        ("initial_quantum", "int"),
+        ("min_quantum", "int"),
+        ("max_quantum", "int"),
+        ("low_traffic", "float"),
+        ("high_traffic", "float"),
+        ("adjust_period", "int"),
+    ),
+    "BusConfig": (
+        ("request_cycles", "int"),
+        ("response_cycles", "int"),
+        ("arbitration_latency", "int"),
+    ),
+    "CacheConfig": (
+        ("size", "int"),
+        ("line_size", "int"),
+        ("associativity", "int"),
+        ("hit_latency", "int"),
+    ),
+    "CheckpointConfig": (("interval", "int"),),
+    "CoreConfig": (
+        ("issue_width", "int"),
+        ("window_size", "int"),
+        ("num_mshrs", "int"),
+        ("int_alu_latency", "int"),
+        ("mul_latency", "int"),
+        ("fp_latency", "int"),
+        ("fdiv_latency", "int"),
+        ("model_icache", "bool"),
+        ("code_footprint", "int"),
+        ("instruction_bytes", "int"),
+    ),
+    "DramConfig": (
+        ("num_banks", "int"),
+        ("row_bytes", "int"),
+        ("row_hit_latency", "int"),
+        ("row_miss_latency", "int"),
+        ("bank_busy_cycles", "int"),
+    ),
+    "HostConfig": (
+        ("num_contexts", "int"),
+        ("cost", "HostCostModel"),
+        ("seed", "int"),
+        ("max_batch_cycles", "int"),
+        ("max_stall_batch", "int"),
+        ("manager_poll_ns", "float"),
+        ("manager_migrates", "bool"),
+        ("num_submanagers", "int"),
+    ),
+    "HostCostModel": (
+        ("core_cycle_ns", "float"),
+        ("stall_cycle_ns", "float"),
+        ("per_instruction_ns", "float"),
+        ("per_mem_event_ns", "float"),
+        ("slack_check_ns", "float"),
+        ("manager_cycle_ns", "float"),
+        ("per_gq_event_ns", "float"),
+        ("adaptive_adjust_ns", "float"),
+        ("violation_tracking_ns", "float"),
+        ("barrier_ns", "float"),
+        ("wake_latency_ns", "float"),
+        ("context_switch_ns", "float"),
+        ("checkpoint_base_ns", "float"),
+        ("checkpoint_per_page_ns", "float"),
+        ("rollback_ns", "float"),
+        ("jitter_frac", "float"),
+    ),
+    "L2Config": (
+        ("cache", "CacheConfig"),
+        ("num_banks", "int"),
+        ("miss_latency", "int"),
+        ("dram", "Optional[object]"),
+    ),
+    "MemoryConfig": (("page_size", "int"),),
+    "P2PConfig": (("period", "int"), ("max_lead", "int")),
+    "QuantumConfig": (("quantum", "int"),),
+    "SlackConfig": (("bound", "Optional[int]"),),
+    "SpeculativeConfig": (
+        ("base", "SchemeConfig"),
+        ("checkpoint", "CheckpointConfig"),
+        ("tracked", "Tuple[str, ...]"),
+    ),
+    "TargetConfig": (
+        ("num_cores", "int"),
+        ("core", "CoreConfig"),
+        ("l1i", "CacheConfig"),
+        ("l1d", "CacheConfig"),
+        ("bus", "BusConfig"),
+        ("l2", "L2Config"),
+        ("memory", "MemoryConfig"),
+    ),
+    "RunSpec": (
+        ("benchmark", "str"),
+        ("scheme", "SchemeConfig"),
+        ("scale", "float"),
+        ("checkpoint", "Optional[CheckpointConfig]"),
+        ("detection", "bool"),
+        ("seed", "int"),
+        ("num_threads", "int"),
+        ("target", "TargetConfig"),
+        ("host", "HostConfig"),
+    ),
+}
+
+
 def spec_to_wire(spec: RunSpec) -> Dict[str, Any]:
     """Render a fully-resolved :class:`RunSpec` as a plain JSON object."""
     doc: Dict[str, Any] = {}

@@ -214,10 +214,13 @@ class SimulationService:
 
     async def shutdown(self) -> None:
         """Stop listening, let in-flight work settle, close the store."""
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        # Swap-then-use: claim the reference before the first suspension
+        # point so a concurrent shutdown() sees None and becomes a no-op
+        # instead of double-closing.
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
         for task in list(self._connections):
             # Handlers parked in readline() would otherwise outlive the
             # loop and raise at garbage collection.
@@ -225,9 +228,9 @@ class SimulationService:
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
         self.dispatcher.request_stop()
-        if self._runner is not None:
-            await self._runner
-            self._runner = None
+        runner, self._runner = self._runner, None
+        if runner is not None:
+            await runner
         await self.dispatcher.join()
         self.store.close()
         if self.config.tcp_host is None and isinstance(self.address, str):

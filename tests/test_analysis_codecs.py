@@ -1,0 +1,171 @@
+"""Tests for the codec/schema drift checker (RPR102).
+
+The acceptance criterion from the issue: adding a field to a (copy of a)
+config dataclass without updating the wire manifests must provably fail
+the checker.  The canary works on modified copies of the *real* sources
+— the checker is pure AST, it never imports the code under test — so
+these tests exercise exactly the drift a future PR would introduce.
+"""
+
+import os
+import textwrap
+
+from repro.analysis.callgraph import build_graph, load_files
+from repro.analysis.codecs import (
+    CodecDriftRule,
+    check_protocol,
+    check_state_codec,
+    render_state_manifest,
+)
+
+
+def codec_findings(graph):
+    return list(CodecDriftRule().check_project(graph))
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def repo_files():
+    return load_files([os.path.join(REPO_ROOT, "src", "repro")], REPO_ROOT)
+
+
+def graph_with(replacements):
+    """The real repo graph, with some files' sources text-substituted."""
+    files = []
+    for path, source in repo_files():
+        for fragment, replacement in replacements.get(path, []):
+            assert fragment in source, f"{fragment!r} not in {path}"
+            source = source.replace(fragment, replacement)
+        files.append((path, source))
+    return build_graph(files)
+
+
+class TestCleanRepository:
+    def test_no_drift_today(self):
+        """Acceptance criterion: manifests and classes agree right now."""
+        graph = build_graph(repo_files())
+        findings = list(codec_findings(graph))
+        rendered = "\n".join(f.render() for f in findings)
+        assert findings == [], f"codec drift:\n{rendered}"
+
+    def test_state_manifest_renderer_matches_checked_in_manifest(self):
+        """The dev aid that (re)generates STATE_FIELDS agrees with the
+        hand-checked-in copy — so fixing E-series drift is mechanical."""
+        from repro.core.epochs import STATE_FIELDS
+
+        graph = build_graph(repo_files())
+        rendered = render_state_manifest(graph)
+        for name, fields in STATE_FIELDS.items():
+            assert f'"{name}": {fields!r}'.replace("'", '"') in rendered.replace(
+                "'", '"'
+            )
+
+
+class TestCanary:
+    """Add a field to a copy of a real config dataclass: both manifests
+    must scream."""
+
+    INJECTION = {
+        "src/repro/config/schemes.py": [
+            (
+                "    initial_bound: int = 1\n",
+                "    initial_bound: int = 1\n    sneaky_knob: int = 7\n",
+            )
+        ]
+    }
+
+    def test_added_config_field_fails_protocol_check(self):
+        graph = graph_with(self.INJECTION)
+        findings = list(check_protocol(graph))
+        assert any(
+            "AdaptiveConfig" in f.message and "sneaky_knob" in f.message
+            for f in findings
+        ), [f.message for f in findings]
+        assert all(f.code == "RPR102" for f in findings)
+
+    def test_added_config_field_fails_state_codec_check(self):
+        graph = graph_with(self.INJECTION)
+        findings = list(check_state_codec(graph))
+        assert any(
+            "AdaptiveConfig" in f.message and "sneaky_knob" in f.message
+            for f in findings
+        ), [f.message for f in findings]
+
+    def test_finding_anchored_at_class_definition(self):
+        graph = graph_with(self.INJECTION)
+        findings = list(codec_findings(graph))
+        assert findings, "canary produced no findings"
+        for finding in findings:
+            assert finding.path == "src/repro/config/schemes.py"
+
+
+class TestRetype:
+    def test_changed_annotation_detected(self):
+        """Retyping a wired field without touching the manifest is drift."""
+        graph = graph_with(
+            {
+                "src/repro/config/schemes.py": [
+                    (
+                        "    initial_bound: int = 1\n",
+                        "    initial_bound: float = 1\n",
+                    )
+                ]
+            }
+        )
+        findings = list(check_protocol(graph))
+        assert any(
+            "initial_bound" in f.message
+            and "int" in f.message
+            and "float" in f.message
+            for f in findings
+        ), [f.message for f in findings]
+
+
+class TestStaleManifest:
+    def test_removed_field_reports_stale_entry(self):
+        """Deleting a field the manifest still lists is also drift."""
+        graph = graph_with(
+            {
+                "src/repro/config/schemes.py": [
+                    ("    band: float = 0.05", "    _band: float = 0.05")
+                ]
+            }
+        )
+        protocol = list(check_protocol(graph))
+        state = list(check_state_codec(graph))
+        assert any("band" in f.message for f in protocol), [
+            f.message for f in protocol
+        ]
+        assert any("band" in f.message for f in state), [
+            f.message for f in state
+        ]
+
+
+class TestSyntheticShapes:
+    def test_slots_class_fields_extracted(self):
+        """Field extraction covers __slots__ and self.X assignment styles
+        (the machine-state classes are not dataclasses)."""
+        graph = build_graph(
+            [
+                (
+                    "src/repro/core/fake.py",
+                    textwrap.dedent(
+                        """
+                        class Thing:
+                            __slots__ = ("a", "b")
+
+                            def __init__(self):
+                                self.a = 1
+                                self.b = 2
+                                self.c = 3
+                        """
+                    ),
+                )
+            ]
+        )
+        from repro.analysis.codecs import _extract_shape, _locate_class
+
+        located = _locate_class(graph, "repro.core.fake", "Thing")
+        assert located is not None
+        shape = _extract_shape(graph, located[0], located[1])
+        assert tuple(sorted(shape.fields)) == ("a", "b", "c")

@@ -541,3 +541,281 @@ class TestCli:
         rerun = self._run("--baseline", str(baseline), str(target), cwd=str(tmp_path))
         assert rerun.returncode == 0, rerun.stdout + rerun.stderr
         assert "baselined" in rerun.stdout
+
+
+class TestBaselineMultiset:
+    """Satellite coverage: the baseline is a *multiset* keyed on
+    (code, path, line text) — line numbers and file order must not
+    matter, duplicate findings on one line must need duplicate entries."""
+
+    FILE_A = "src/repro/core/aaa.py"
+    FILE_B = "src/repro/core/bbb.py"
+    SOURCE = "order = {}\norder[id(object())] = 1\n"
+
+    def _findings(self, order):
+        out = []
+        for path in order:
+            out.extend(lint_source(path, self.SOURCE))
+        return out
+
+    def test_identical_findings_different_file_order(self):
+        baseline = Baseline.from_findings(
+            self._findings([self.FILE_A, self.FILE_B])
+        )
+        fresh, grandfathered, stale = baseline.partition(
+            self._findings([self.FILE_B, self.FILE_A])
+        )
+        assert fresh == []
+        assert len(grandfathered) == 2
+        assert stale == []
+
+    def test_line_number_shift_does_not_invalidate(self):
+        """Fingerprints key on the line *text*, not the line number."""
+        baseline = Baseline.from_findings(
+            lint_source(self.FILE_A, self.SOURCE)
+        )
+        shifted = "# a new leading comment\n" + self.SOURCE
+        fresh, grandfathered, stale = baseline.partition(
+            lint_source(self.FILE_A, shifted)
+        )
+        assert fresh == []
+        assert len(grandfathered) == 1
+        assert stale == []
+
+    def test_duplicate_findings_on_one_line(self):
+        """Two id() calls on one line are two findings with the same
+        fingerprint: one baseline entry grandfathers exactly one."""
+        doubled = "order = {}\norder[id(object())] = id(object())\n"
+        findings = lint_source(self.FILE_A, doubled)
+        assert len(findings) == 2
+        one_entry = Baseline.from_findings(findings[:1])
+        fresh, grandfathered, stale = one_entry.partition(findings)
+        assert len(grandfathered) == 1
+        assert len(fresh) == 1
+        assert stale == []
+        both = Baseline.from_findings(findings)
+        fresh, grandfathered, stale = both.partition(findings)
+        assert fresh == [] and len(grandfathered) == 2 and stale == []
+
+    def test_write_then_load_round_trips_duplicates(self, tmp_path):
+        doubled = "order = {}\norder[id(object())] = id(object())\n"
+        findings = lint_source(self.FILE_A, doubled)
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(findings).write(str(path))
+        loaded = Baseline.load(str(path))
+        fresh, grandfathered, stale = loaded.partition(findings)
+        assert fresh == [] and len(grandfathered) == 2 and stale == []
+
+
+class TestGithubFormat:
+    def _result(self, source, baseline=None):
+        from repro.analysis.engine import LintResult
+
+        findings = lint_source("src/repro/core/gh.py", source)
+        if baseline is None:
+            return LintResult(findings, [], [], 1)
+        return LintResult(*baseline.partition(findings), 1)
+
+    def test_fresh_finding_renders_error_annotation(self):
+        rendered = self._result("import json\n").render("github")
+        line = rendered.splitlines()[0]
+        assert line.startswith("::error file=src/repro/core/gh.py,line=1,")
+        assert "title=RPR007" in line
+        assert "::" in line.split("title=RPR007", 1)[1]
+
+    def test_baselined_finding_renders_notice(self):
+        source = "import json\n"
+        baseline = Baseline.from_findings(
+            lint_source("src/repro/core/gh.py", source)
+        )
+        rendered = self._result(source, baseline).render("github")
+        assert rendered.splitlines()[0].startswith("::notice ")
+
+    def test_message_special_characters_escaped(self):
+        from repro.analysis.engine import LintResult
+        from repro.analysis.findings import Finding
+
+        finding = Finding(
+            "RPR001", "src/a,b.py", 3, 1, "line one\nline two: 50%"
+        )
+        rendered = LintResult([finding], [], [], 1).render("github")
+        first = rendered.splitlines()[0]
+        assert "file=src/a%2Cb.py" in first
+        assert "line one%0Aline two: 50%25" in first
+        assert "\n" not in first
+
+    def test_cli_lint_github_format(self, tmp_path):
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        bad = tmp_path / "repro" / "core"
+        bad.mkdir(parents=True)
+        (bad / "bad.py").write_text("import json\n")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(repo_root, "src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", "--format", "github",
+             str(bad / "bad.py")],
+            capture_output=True, text=True, env=env, cwd=repo_root,
+        )
+        assert proc.returncode == 1
+        assert proc.stdout.startswith("::error file=")
+
+
+class TestFixNoqa:
+    def test_unused_code_removed_used_kept(self, tmp_path):
+        from repro.analysis.fixes import fix_unused_noqa
+
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        target = pkg / "mod.py"
+        target.write_text(
+            "import time\n"
+            "\n"
+            "\n"
+            "def stamp():\n"
+            "    return time.time()  # repro: noqa[RPR001] real waiver\n"
+            "\n"
+            "\n"
+            "def clean():\n"
+            "    return 1  # repro: noqa[RPR001] stale\n"
+        )
+        fixes = fix_unused_noqa([str(target)], root=str(tmp_path))
+        assert len(fixes) == 1
+        assert fixes[0].dropped_comment
+        text = target.read_text()
+        assert "real waiver" in text  # used suppression untouched
+        assert "stale" not in text
+        assert text.endswith("    return 1\n")
+
+    def test_partial_removal_keeps_other_codes(self, tmp_path):
+        from repro.analysis.fixes import fix_unused_noqa
+
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        target = pkg / "mod.py"
+        target.write_text(
+            "import time\n"
+            "\n"
+            "\n"
+            "def stamp():\n"
+            "    return time.time()  # repro: noqa[RPR001,RPR002] clock only\n"
+        )
+        fixes = fix_unused_noqa([str(target)], root=str(tmp_path))
+        assert [f.removed_codes for f in fixes] == [("RPR002",)]
+        assert "# repro: noqa[RPR001] clock only" in target.read_text()
+
+    def test_unregistered_codes_left_for_humans(self, tmp_path):
+        from repro.analysis.fixes import fix_unused_noqa
+
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        target = pkg / "mod.py"
+        body = "def f():\n    return 1  # repro: noqa[XXX999] mystery\n"
+        target.write_text(body)
+        fixes = fix_unused_noqa([str(target)], root=str(tmp_path))
+        assert fixes == []
+        assert target.read_text() == body
+
+    def test_deep_scope_requires_flag(self, tmp_path):
+        """Without --deep a deep-code noqa is out of proof scope."""
+        from repro.analysis.fixes import fix_unused_noqa
+
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        target = pkg / "mod.py"
+        target.write_text(
+            "def f():\n    return 1  # repro: noqa[RPR101] nothing flows\n"
+        )
+        assert fix_unused_noqa([str(target)], root=str(tmp_path)) == []
+        fixes = fix_unused_noqa(
+            [str(target)], root=str(tmp_path), include_deep=True
+        )
+        assert [f.removed_codes for f in fixes] == [("RPR101",)]
+        assert "noqa" not in target.read_text()
+
+    def test_cli_fix_noqa(self, tmp_path):
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        target = pkg / "mod.py"
+        target.write_text(
+            "def f():\n    return 1  # repro: noqa[RPR003] stale\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(repo_root, "src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", "--fix-noqa", str(target)],
+            capture_output=True, text=True, env=env, cwd=str(tmp_path),
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "removed 1 unused noqa code(s)" in proc.stdout
+        assert "noqa" not in target.read_text()
+
+
+class TestAnalyzeCli:
+    def _run(self, *argv, cwd=None):
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(repo_root, "src")
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "analyze", *argv],
+            capture_output=True, text=True, env=env, cwd=cwd or repo_root,
+        )
+
+    def test_analyze_repo_is_clean_against_checked_in_baseline(self):
+        """Acceptance criterion: `repro analyze` exits 0 on the repo with
+        the (empty) checked-in baseline."""
+        proc = self._run("--baseline", "analyze-baseline.json")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 new finding(s)" in proc.stdout
+
+    def test_checked_in_analyze_baseline_is_empty(self):
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        doc = json.load(open(os.path.join(repo_root, "analyze-baseline.json")))
+        assert doc["schema"] == "repro.analysis.baseline/v1"
+        assert doc["entries"] == []
+
+    def test_analyze_finds_seeded_taint_flow(self, tmp_path):
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "report.py").write_text(
+            "import time\n"
+            "\n"
+            "\n"
+            "class SimulationReport:\n"
+            "    def digest(self):\n"
+            "        return time.time()\n"
+        )
+        proc = self._run(str(pkg / "report.py"), cwd=str(tmp_path))
+        assert proc.returncode == 1
+        assert "RPR101" in proc.stdout
+        assert "via digest" in proc.stdout
+
+    def test_lint_deep_runs_both_layers(self, tmp_path):
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "report.py").write_text(
+            "import json\n"
+            "import time\n"
+            "\n"
+            "\n"
+            "class SimulationReport:\n"
+            "    def digest(self):\n"
+            "        return time.time()\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(repo_root, "src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", "--deep",
+             str(pkg / "report.py")],
+            capture_output=True, text=True, env=env, cwd=str(tmp_path),
+        )
+        assert proc.returncode == 1
+        assert "RPR007" in proc.stdout  # shallow: json import in core
+        assert "RPR001" in proc.stdout  # shallow: wall clock
+        assert "RPR101" in proc.stdout  # deep: taint flow
+
+    def test_explain_deep_rule(self):
+        proc = self._run("--explain", "RPR102")
+        assert proc.returncode == 0
+        assert "codec" in proc.stdout.lower()
