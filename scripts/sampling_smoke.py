@@ -1,0 +1,91 @@
+"""CI smoke for sampled simulation (the `sampling-smoke` job).
+
+Three digest- and statistics-gated checks, quarter-scale so the job
+stays under a minute:
+
+1. Rate 1.0 is the degenerate mode: for one case per scheme kind the
+   sampled digest must equal ``benchmarks/golden_kernel.json`` bit for
+   bit (sampling at full rate may not perturb the simulation at all).
+2. Rate 0.25 must be honest: on the conservative and bounded cases the
+   95% confidence intervals for CPI and violation rate must cover the
+   full run's values.
+3. Same sample seed twice must be byte-identical (digest and estimate).
+"""
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.harness.bench import smoke_matrix
+from repro.sampling import SamplingConfig, run_sampled
+
+#: One case per scheme kind that is legal under sampling, all at c4/s0.25.
+DIGEST_CASE_IDS = ("fft-cc-c4-s0.25", "fft-bounded-c4-s0.25", "fft-adaptive-c4-s0.25")
+
+#: Cases whose violation profile is stationary enough for CI coverage at
+#: rate 0.25 (adaptive's controller drifts the rate over the run, so its
+#: coverage is reported by the frontier experiment, not gated here).
+COVERAGE_CASE_IDS = ("fft-cc-c4-s0.25", "fft-bounded-c4-s0.25")
+
+SAMPLED = SamplingConfig(rate=0.25, interval=500, warmup=50)
+
+
+def main() -> int:
+    golden_path = pathlib.Path(__file__).resolve().parents[1] / "benchmarks"
+    golden = json.loads((golden_path / "golden_kernel.json").read_text())
+    cases = {case.case_id: case for case in smoke_matrix()}
+    wanted = set(DIGEST_CASE_IDS) | set(COVERAGE_CASE_IDS)
+    missing = [cid for cid in wanted if cid not in cases or cid not in golden]
+    if missing:
+        print(f"FAIL: unknown or ungolden case(s): {missing}")
+        return 1
+
+    failures = []
+
+    for cid in DIGEST_CASE_IDS:
+        result = run_sampled(cases[cid].spec(), SamplingConfig(rate=1.0))
+        status = "ok" if result.digest == golden[cid] else "DRIFT"
+        print(f"  {cid} [rate 1.0] digest {result.digest[:16]}... {status}")
+        if result.digest != golden[cid]:
+            failures.append((cid, "rate-1.0-digest", result.digest))
+
+    for cid in COVERAGE_CASE_IDS:
+        spec = cases[cid].spec()
+        full = run_sampled(spec, SamplingConfig(rate=1.0)).report
+        sampled = run_sampled(spec, SAMPLED)
+        again = run_sampled(spec, SAMPLED)
+        est = sampled.estimate
+        cpi_ok = est.cpi.covers(full.cpi)
+        vio_ok = est.violation_rate.covers(full.violation_rate)
+        det_ok = sampled.digest == again.digest and est == again.estimate
+        print(
+            f"  {cid} [rate 0.25] measured {est.num_measured}/{est.num_intervals} "
+            f"cpi {est.cpi.mean:.4f} (full {full.cpi:.4f}, "
+            f"covers={'y' if cpi_ok else 'N'}) "
+            f"vio covers={'y' if vio_ok else 'N'} "
+            f"deterministic={'y' if det_ok else 'N'}"
+        )
+        if not cpi_ok:
+            failures.append((cid, "cpi-ci-misses-full-run", est.cpi.to_dict()))
+        if not vio_ok:
+            failures.append(
+                (cid, "violation-ci-misses-full-run", est.violation_rate.to_dict())
+            )
+        if not det_ok:
+            failures.append((cid, "same-seed-not-byte-identical", sampled.digest))
+
+    if failures:
+        print(f"FAIL: {len(failures)} sampling smoke failure(s): {failures}")
+        return 1
+    print(
+        f"sampling smoke: {len(DIGEST_CASE_IDS)} rate-1.0 digests match golden, "
+        f"{len(COVERAGE_CASE_IDS)} rate-0.25 runs cover full-run CPI + "
+        "violation rate and are seed-deterministic"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,7 +43,13 @@ CRITICAL_PACKAGES = ("core", "cpu", "memory", "workloads", "isa", "sync", "fabri
 #: on that path would make stitching host-dependent.  (repro.core.epochs
 #: is already covered by the ``core`` package; it is listed here so the
 #: scope survives a future move out of core.)
-CRITICAL_MODULES = ("repro/core/epochs.py", "repro/harness/timepar.py")
+CRITICAL_MODULES = (
+    "repro/core/epochs.py",
+    "repro/harness/timepar.py",
+    "repro/sampling/engine.py",
+    "repro/sampling/phases.py",
+    "repro/sampling/estimator.py",
+)
 
 #: The marker comment that declares a class hot-path (RPR005 then requires
 #: ``__slots__`` on it, forever).

@@ -78,6 +78,14 @@ from repro.harness import experiments as experiments_mod
 from repro.harness.export import to_csv, to_json
 from repro.workloads import WORKLOADS, make_workload
 
+def _frontier_experiment(runner):
+    """Schemes x sampling-rates error-vs-speedup table (lazy import: the
+    sampling subsystem pulls in the full engine stack)."""
+    from repro.sampling import sampling_frontier
+
+    return sampling_frontier(runner)
+
+
 EXPERIMENTS = {
     "table1": experiments_mod.table1,
     "table2": experiments_mod.table2,
@@ -96,6 +104,7 @@ EXPERIMENTS = {
         seed=runner.seed
     ),
     "ablation-tracked": experiments_mod.ablation_tracked,
+    "frontier": _frontier_experiment,
 }
 
 
@@ -144,6 +153,8 @@ def _print_report(report) -> None:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.sample:
+        return _run_sampled_cli(args)
     if args.time_parallel > 1:
         return _run_time_parallel_cli(args)
     telemetry = None
@@ -196,6 +207,80 @@ def cmd_run(args: argparse.Namespace) -> int:
                 },
             )
             print(f"  metrics           : {args.metrics}")
+    return 0
+
+
+def _run_sampled_cli(args: argparse.Namespace) -> int:
+    """``repro run --sample``: live statistical sampling.
+
+    The sampling loop drives the scheduler directly through the interval
+    cut seam, so the process-crossing (--time-parallel) and probe-sharing
+    (--trace/--sanitize) modes are rejected; at --sample-rate 1.0 the
+    report digest is byte-identical to the plain run's.
+    """
+    if args.time_parallel > 1 or args.trace or args.trace_jsonl or args.sanitize:
+        print(
+            "error: --sample cannot be combined with --time-parallel/"
+            "--trace/--trace-jsonl/--sanitize (the sampling loop owns the "
+            "scheduler; --metrics is supported)",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.config import paper_host_config, paper_target_config
+    from repro.harness.cache import RunSpec
+    from repro.sampling import SamplingConfig, run_sampled
+
+    telemetry = None
+    if args.metrics:
+        from repro.telemetry import TelemetrySession
+
+        telemetry = TelemetrySession(trace=False, metrics=True, sample_period=None)
+    spec = RunSpec(
+        benchmark=args.benchmark,
+        scheme=args.scheme,
+        scale=args.scale,
+        checkpoint=None,
+        detection=not args.no_detection,
+        seed=args.seed,
+        num_threads=args.threads,
+        target=paper_target_config(),
+        host=paper_host_config(),
+    )
+    config = SamplingConfig(
+        rate=args.sample_rate,
+        interval=args.sample_interval,
+        warmup=args.warmup,
+        seed=args.sample_seed,
+    )
+    result = run_sampled(spec, config, telemetry=telemetry)
+    _print_report(result.report)
+    stats = result.stats
+    est = result.estimate
+    print(f"  digest            : {result.digest}")
+    print(f"  sampling          : rate={config.rate:g} interval={config.interval} "
+          f"warmup={config.warmup} seed={config.seed}")
+    print(f"  intervals         : {stats.intervals} total, "
+          f"{stats.measured_intervals} measured, {stats.fast_intervals} "
+          f"fast-forwarded, {stats.restored_intervals} restored, "
+          f"{stats.phases} phases")
+    print(f"  CPI estimate      : {est.cpi}")
+    print(f"  violation rate    : {est.violation_rate}")
+    print(f"  slowdown          : {est.slowdown_ns_per_cycle} ns/cycle")
+    print(f"  modeled speedup   : {stats.estimated_speedup:.2f}x over "
+          f"extrapolated detailed run "
+          f"(section-5.2 model predicts {stats.predicted_speedup:.2f}x)")
+    if telemetry is not None and args.metrics:
+        telemetry.write_metrics(
+            args.metrics,
+            meta={
+                "benchmark": result.report.benchmark,
+                "scheme": result.report.scheme,
+                "cores": result.report.num_cores,
+                "seed": result.report.seed,
+                "digest": result.digest,
+            },
+        )
+        print(f"  metrics           : {args.metrics}")
     return 0
 
 
@@ -947,6 +1032,25 @@ def build_parser() -> argparse.ArgumentParser:
                                  "invariants (local-time monotonicity, slack "
                                  "bounds, global-time derivation, rollback "
                                  "digests) at every step")
+    run_parser.add_argument("--sample", action="store_true",
+                            help="live statistical sampling: detect phases "
+                                 "online, fast-forward repetitive intervals "
+                                 "under unbounded slack, report estimates "
+                                 "with confidence intervals")
+    run_parser.add_argument("--sample-rate", type=float, default=0.25,
+                            metavar="R",
+                            help="probability a well-sampled phase is "
+                                 "measured anyway (1.0 = measure everything; "
+                                 "digest then matches the plain run)")
+    run_parser.add_argument("--sample-interval", type=int, default=1000,
+                            metavar="CYCLES",
+                            help="sampling interval in target cycles")
+    run_parser.add_argument("--warmup", type=int, default=100, metavar="CYCLES",
+                            help="detailed warmup cycles excluded from "
+                                 "measurement after a fast-forwarded interval")
+    run_parser.add_argument("--sample-seed", type=int, default=12345,
+                            help="seed of the sampling policy RNG (same spec "
+                                 "+ same seed = byte-identical sampled run)")
     run_parser.set_defaults(func=cmd_run)
 
     compare_parser = sub.add_parser("compare", help="compare slack bounds vs CC")

@@ -64,16 +64,19 @@ _BENCHMARK = "fft"
 class BenchCase:
     """One cell of the benchmark matrix."""
 
-    __slots__ = ("scheme", "cores", "scale")
+    __slots__ = ("scheme", "cores", "scale", "benchmark")
 
-    def __init__(self, scheme: str, cores: int, scale: float) -> None:
+    def __init__(
+        self, scheme: str, cores: int, scale: float, benchmark: str = _BENCHMARK
+    ) -> None:
         self.scheme = scheme
         self.cores = cores
         self.scale = scale
+        self.benchmark = benchmark
 
     @property
     def case_id(self) -> str:
-        return f"{_BENCHMARK}-{self.scheme}-c{self.cores}-s{self.scale:g}"
+        return f"{self.benchmark}-{self.scheme}-c{self.cores}-s{self.scale:g}"
 
     def scheme_config(self) -> SchemeConfig:
         return SCHEMES[self.scheme]()
@@ -81,7 +84,7 @@ class BenchCase:
     def spec(self) -> RunSpec:
         """The cell's full configuration (pool / report-cache identity)."""
         return RunSpec(
-            benchmark=_BENCHMARK,
+            benchmark=self.benchmark,
             scheme=self.scheme_config(),
             scale=self.scale,
             checkpoint=None,
@@ -93,25 +96,43 @@ class BenchCase:
         )
 
 
+#: Non-fft benchmarks promoted into the digest-gated matrix (kernels with
+#: materially different sharing patterns: ocean's nearest-neighbour grid
+#: sweeps, radix's all-to-all permutation passes).
+EXTRA_BENCHMARKS = ("ocean", "radix")
+
+
 def full_matrix() -> List[BenchCase]:
-    """The full matrix: every scheme x 4/8/16 cores at half scale, plus
-    the full-scale reference run."""
+    """The full matrix: every scheme x 4/8/16 cores at half scale on fft,
+    the full-scale reference run, and the promoted ocean/radix kernels
+    under the two workhorse schemes at 8 cores."""
     cases = [
         BenchCase(scheme, cores, 0.5)
         for cores in (4, 8, 16)
         for scheme in SCHEMES
     ]
     cases.append(BenchCase(**REFERENCE_CASE))
+    cases.extend(
+        BenchCase(scheme, 8, 0.5, benchmark=benchmark)
+        for benchmark in EXTRA_BENCHMARKS
+        for scheme in ("bounded", "adaptive")
+    )
     return cases
 
 
 def smoke_matrix() -> List[BenchCase]:
-    """The quick CI matrix: every scheme at 4 and 8 cores, quarter scale."""
-    return [
+    """The quick CI matrix: every scheme at 4 and 8 cores, quarter scale,
+    plus one bounded ocean/radix case each."""
+    cases = [
         BenchCase(scheme, cores, 0.25)
         for cores in (4, 8)
         for scheme in SCHEMES
     ]
+    cases.extend(
+        BenchCase("bounded", 4, 0.25, benchmark=benchmark)
+        for benchmark in EXTRA_BENCHMARKS
+    )
+    return cases
 
 
 def _record_from(
@@ -121,6 +142,7 @@ def _record_from(
     steps = report.core_steps + report.manager_steps
     return {
         "case": case.case_id,
+        "benchmark": case.benchmark,
         "scheme": case.scheme,
         "cores": case.cores,
         "scale": case.scale,

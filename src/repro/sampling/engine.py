@@ -1,0 +1,438 @@
+"""The sampled-execution engine: interval cuts, fast-forward, warmup.
+
+One simulation is driven through the same resumable cut seam the
+time-parallel harness uses (``Scheduler.run(stop_when=...)``), one
+*interval* at a time.  At each interval entry the phase detector
+predicts whether the upcoming interval repeats a well-sampled phase:
+
+- **measure** — run the interval under the configured scheme, diff the
+  engine counters (:class:`~repro.telemetry.features.CounterSnapshot`),
+  and feed the full feature vector to the detector;
+- **fast-forward** — take a copy-on-write snapshot, swap the scheme for
+  unbounded slack (``FixedSlackPolicy(SlackConfig(bound=None))`` — no
+  windows, no barriers, maximum host-side concurrency), traverse the
+  interval cheaply, swap back, and classify the traversal's *partial*
+  feature vector (violation dimension masked — it is scheme-sensitive).
+  If the traversal matches a well-sampled phase the skip **commits**; if
+  it looks new or under-sampled the engine **restores** the entry
+  snapshot — the standard rollback mechanics of
+  ``repro.core.speculative`` — and measures the interval in detail
+  instead.  No phase is ever extrapolated from zero measurements.
+
+A detailed interval that follows a committed fast-forward starts from a
+trajectory the fast traversal distorted (the interleaving under
+unbounded slack is not the scheme's), so its first ``warmup`` cycles are
+run in detail but excluded from the measurement window — the functional-
+warmup discipline of SMARTS-style samplers, applied to slack distortion
+rather than cache cold-start.
+
+Cost honesty: snapshots and restores are charged to the modeled host
+clock through the same ``pause_all_contexts``/``wake_all`` seam and the
+same :func:`~repro.core.checkpoint.checkpoint_cost_ns` model as the
+paper's speculation controller, and they count into the report's
+``checkpoints``/``rollbacks`` fields.  The sampled report's
+``sim_time_s`` therefore includes every overhead the sampling scheme
+introduces.
+
+Determinism: the trajectory is a pure function of the run spec and the
+sample seed (the detector's RNG drives the only stochastic choice), so
+the same ``(spec, seed)`` reproduces a byte-identical report and
+estimate.  At rate 1.0 ``should_measure`` short-circuits before drawing,
+no snapshot is ever taken and no scheme is ever swapped — the engine
+degenerates to a pure cut loop and the report digest is byte-identical
+to the unsampled run's for every scheme kind.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gc
+import time
+from typing import List, Optional, Tuple
+
+from repro.config import SlackConfig, SpeculativeConfig
+from repro.core.analytical import SpeculativeModelInputs, speculative_time
+from repro.core.checkpoint import (
+    checkpoint_cost_ns,
+    restore_snapshot,
+    take_snapshot,
+)
+from repro.core.epochs import make_stop_predicate
+from repro.core.report import SimulationReport
+from repro.core.scheduler import Scheduler
+from repro.core.schemes.fixed import FixedSlackPolicy
+from repro.core.simulation import DEFAULT_MAX_TARGET_CYCLES, Simulation
+from repro.errors import ConfigError, SimulationError
+from repro.harness.cache import RunSpec
+from repro.sampling.estimator import IntervalSample, SampledEstimate, estimate
+from repro.sampling.phases import (
+    DEFAULT_DISTANCE_THRESHOLD,
+    DEFAULT_SMOOTHING,
+    PhaseDetector,
+)
+from repro.telemetry import TelemetrySession
+from repro.telemetry.features import CounterSnapshot
+from repro.util.rng import SplitMix64
+from repro.workloads import make_workload
+
+__all__ = ["SampledRunResult", "SamplingConfig", "SamplingStats", "run_sampled"]
+
+#: Runaway guard (intervals, not cycles) — the cut loop must terminate
+#: even if a workload change makes intervals degenerate.
+_MAX_INTERVALS = 100_000
+
+
+@dataclasses.dataclass(frozen=True)
+class SamplingConfig:
+    """Parameters of one sampled run.
+
+    ``rate`` is the per-interval probability that a well-sampled phase is
+    measured anyway (1.0 = measure everything, the degenerate mode whose
+    digest must match the unsampled run).  ``interval`` is the cut stride
+    in target cycles; ``warmup`` detailed cycles at the head of a
+    measured interval that follows a fast-forward are excluded from the
+    measurement window.
+    """
+
+    rate: float = 0.25
+    interval: int = 1000
+    warmup: int = 100
+    seed: int = 12345
+    min_phase_samples: int = 2
+    confidence: float = 0.95
+    distance_threshold: float = DEFAULT_DISTANCE_THRESHOLD
+    smoothing: float = DEFAULT_SMOOTHING
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.rate <= 1.0:
+            raise ConfigError(f"sampling rate must be in (0, 1], got {self.rate}")
+        if self.interval < 2:
+            raise ConfigError(f"sampling interval must be >= 2, got {self.interval}")
+        if not 0 <= self.warmup < self.interval:
+            raise ConfigError(
+                f"warmup must be in [0, interval), got {self.warmup} "
+                f"against interval {self.interval}"
+            )
+        if not 0.0 < self.confidence < 1.0:
+            raise ConfigError(f"confidence must be in (0, 1), got {self.confidence}")
+        if self.min_phase_samples < 1:
+            raise ConfigError(
+                f"min_phase_samples must be >= 1, got {self.min_phase_samples}"
+            )
+
+
+@dataclasses.dataclass
+class SamplingStats:
+    """Bookkeeping of one sampled run (counts + modeled/wall times)."""
+
+    intervals: int = 0
+    measured_intervals: int = 0
+    fast_intervals: int = 0  # committed skips
+    restored_intervals: int = 0  # fast traversals rolled back and measured
+    warmup_windows: int = 0
+    snapshots: int = 0
+    phases: int = 0
+    #: Modeled host-ns of first attempts only (the no-restore plan) —
+    #: ``T_cpt`` in the section-5.2 analytical model's sampling reading.
+    planned_host_ns: float = 0.0
+    actual_host_ns: float = 0.0
+    estimated_detailed_host_ns: float = 0.0
+    #: Section-5.2 model evaluated with F = restored fraction.
+    predicted_host_ns: float = 0.0
+    predicted_speedup: float = 0.0
+    #: Extrapolated detailed time over actual sampled time.
+    estimated_speedup: float = 0.0
+    wall_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class SampledRunResult:
+    """Everything one sampled run produces."""
+
+    report: SimulationReport
+    digest: str
+    estimate: SampledEstimate
+    stats: SamplingStats
+    samples: Tuple[IntervalSample, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "report": self.report.to_dict(),
+            "digest": self.digest,
+            "estimate": self.estimate.to_dict(),
+            "stats": self.stats.to_dict(),
+            "samples": [s.to_dict() for s in self.samples],
+        }
+
+
+# --------------------------------------------------------------------- #
+
+
+def _build_machine(
+    spec: RunSpec, telemetry: Optional[TelemetrySession]
+) -> Tuple[Simulation, Scheduler]:
+    """Construct the sim + scheduler pair the sampling loop drives
+    (mirrors ``repro.harness.timepar._build_machine``)."""
+    workload = make_workload(
+        spec.benchmark, num_threads=spec.num_threads, scale=spec.scale
+    )
+    sim = Simulation(
+        workload,
+        scheme=spec.scheme,
+        target=spec.target,
+        host=spec.host,
+        checkpoint=spec.checkpoint,
+        detection=spec.detection,
+        seed=spec.seed,
+        telemetry=telemetry,
+    )
+    sim._ran = True  # the sampling loop owns the scheduler lifecycle
+    return sim, Scheduler(sim, sim.host)
+
+
+def _completed(sim: Simulation) -> bool:
+    """Workload done and every queue drained (the scheduler loop's own
+    termination condition) — distinguishes 'finished' from 'cut'."""
+    state = sim.state
+    if not state.all_finished:
+        return False
+    return state.manager.quiescent(state) and all(not cs.inq for cs in state.cores)
+
+
+def _charge(scheduler: Scheduler, cost_ns: float) -> None:
+    """Charge a sampling action to the modeled host clock (all contexts
+    pause for the action, exactly like checkpoint/rollback charging)."""
+    resume = scheduler.pause_all_contexts(cost_ns)
+    scheduler.wake_all(resume)
+
+
+def run_sampled(
+    spec: RunSpec,
+    config: SamplingConfig,
+    telemetry: Optional[TelemetrySession] = None,
+) -> SampledRunResult:
+    """Execute ``spec`` under live statistical sampling.
+
+    Sampling below rate 1.0 owns the snapshot/rollback machinery, so it
+    refuses specs that carry their own (speculative schemes, periodic
+    checkpointing) — at rate 1.0 those run unmodified through the pure
+    cut loop.
+    """
+    if config.rate < 1.0:
+        if isinstance(spec.scheme, SpeculativeConfig):
+            raise ConfigError(
+                "sampled execution below rate 1.0 owns rollback; speculative "
+                "schemes carry their own — run them at --sample-rate 1.0 or "
+                "unsampled"
+            )
+        if spec.checkpoint is not None:
+            raise ConfigError(
+                "sampled execution below rate 1.0 owns snapshots; drop the "
+                "checkpoint config or use --sample-rate 1.0"
+            )
+
+    wall_start = time.perf_counter()  # repro: noqa[RPR001] sampling-wall telemetry; never feeds the digest
+    sim, scheduler = _build_machine(spec, telemetry)
+    if sim.controller is not None:
+        sim.controller.on_run_start(scheduler)
+    detector = PhaseDetector(
+        rng=SplitMix64(config.seed),
+        distance_threshold=config.distance_threshold,
+        smoothing=config.smoothing,
+        min_samples=config.min_phase_samples,
+    )
+    stats = SamplingStats()
+    samples: List[IntervalSample] = []
+    cost_model = sim.host.cost
+    fast_policy = FixedSlackPolicy(SlackConfig(bound=None))
+    last_phase = -1  # "no phase yet": forces the first interval detailed
+    needs_warmup = False
+    host_stats = scheduler.stats
+
+    def capture() -> CounterSnapshot:
+        return CounterSnapshot.capture(sim.state, scheduler.simulation_time_ns())
+
+    def run_to(boundary: int):
+        return scheduler.run(
+            DEFAULT_MAX_TARGET_CYCLES, make_stop_predicate(sim, boundary)
+        )
+
+    # Same GC discipline as Simulation.run: heavy allocation, almost no
+    # cyclic garbage.
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        while not _completed(sim):
+            if stats.intervals >= _MAX_INTERVALS:
+                raise SimulationError(
+                    f"sampling runaway: {_MAX_INTERVALS} intervals without "
+                    f"completion (interval={config.interval})"
+                )
+            index = stats.intervals
+            stats.intervals += 1
+            start_cycle = sim.state.global_time()
+            boundary = start_cycle + config.interval
+
+            if detector.should_measure(last_phase, config.rate):
+                last_phase = _measure_interval(
+                    sim, scheduler, detector, config, samples, stats,
+                    index, boundary, needs_warmup, restored=False,
+                    capture=capture, run_to=run_to,
+                )
+                host_stats = scheduler.stats
+                needs_warmup = False
+                continue
+
+            # ---- fast-forward attempt -------------------------------- #
+            entry_ns = scheduler.simulation_time_ns()
+            snap = take_snapshot(sim.state, start_cycle, entry_ns)
+            snap_cost = checkpoint_cost_ns(cost_model, snap.pages)
+            scheduler.stats.checkpoints += 1
+            scheduler.stats.checkpoint_cost_ns += snap_cost
+            _charge(scheduler, snap_cost)
+            stats.snapshots += 1
+
+            state = sim.state
+            saved_policy = state.scheme
+            state.scheme = fast_policy
+            state.manager._limits_stale = True  # repopulate the limit bank
+            entry = capture()
+            host_stats = run_to(boundary)
+            exit_snap = capture()
+            state.scheme = saved_policy
+            state.manager._limits_stale = True
+            # Fast-mode violations are not the scheme's; keep them out of
+            # the adaptive controller's next control window.
+            state.manager.detector.reset_window()
+
+            feats = exit_snap.delta(entry)
+            stats.planned_host_ns += (
+                scheduler.simulation_time_ns() - entry_ns
+            )
+            phase, is_new = detector.classify(feats.vector(), partial=True)
+            if not is_new and not detector.needs_samples(phase):
+                # Commit the skip: the interval stays fast-forwarded.
+                stats.fast_intervals += 1
+                samples.append(
+                    IntervalSample(
+                        index=index,
+                        phase=phase,
+                        measured=False,
+                        restored=False,
+                        cycles=feats.cycles,
+                        core_cycles=feats.core_cycles,
+                        instructions=feats.instructions,
+                        violations=feats.violations,
+                        host_ns=feats.host_ns,
+                    )
+                )
+                last_phase = phase
+                needs_warmup = True
+                continue
+
+            # Unknown or under-sampled: roll back and measure in detail.
+            wasted = sim.state.global_time() - start_cycle
+            sim.state = restore_snapshot(snap)
+            scheduler.stats.rollbacks += 1
+            scheduler.stats.wasted_target_cycles += wasted
+            scheduler.stats.rollback_cost_ns += cost_model.rollback_ns
+            _charge(scheduler, cost_model.rollback_ns)
+            stats.restored_intervals += 1
+            last_phase = _measure_interval(
+                sim, scheduler, detector, config, samples, stats,
+                index, boundary, needs_warmup, restored=True,
+                capture=capture, run_to=run_to,
+            )
+            host_stats = scheduler.stats
+            needs_warmup = False
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    report = sim._build_report(scheduler, host_stats)
+    est = estimate(samples, confidence=config.confidence)
+    stats.phases = detector.num_phases
+    stats.actual_host_ns = scheduler.simulation_time_ns()
+    stats.estimated_detailed_host_ns = est.estimated_detailed_host_ns
+    if stats.actual_host_ns > 0.0:
+        stats.estimated_speedup = est.estimated_detailed_host_ns / stats.actual_host_ns
+    if stats.planned_host_ns > 0.0 and est.num_intervals > 0:
+        # Section-5.2 model, sampling reading: a restored interval is a
+        # "violating" one — its fast traversal is wasted (D_r = I) and it
+        # re-executes at detailed cost (the F * T_cc replay term).
+        inputs = SpeculativeModelInputs(
+            t_cc=est.estimated_detailed_host_ns,
+            t_cpt=stats.planned_host_ns,
+            fraction_violating=stats.restored_intervals / est.num_intervals,
+            rollback_distance=float(config.interval),
+            interval=float(config.interval),
+        )
+        stats.predicted_host_ns = speculative_time(inputs)
+        if stats.predicted_host_ns > 0.0:
+            stats.predicted_speedup = (
+                est.estimated_detailed_host_ns / stats.predicted_host_ns
+            )
+    stats.wall_s = time.perf_counter() - wall_start  # repro: noqa[RPR001] sampling-wall telemetry; never feeds the digest
+    return SampledRunResult(
+        report=report,
+        digest=report.digest(),
+        estimate=est,
+        stats=stats,
+        samples=tuple(samples),
+    )
+
+
+def _measure_interval(
+    sim: Simulation,
+    scheduler: Scheduler,
+    detector: PhaseDetector,
+    config: SamplingConfig,
+    samples: List[IntervalSample],
+    stats: SamplingStats,
+    index: int,
+    boundary: int,
+    needs_warmup: bool,
+    restored: bool,
+    capture,
+    run_to,
+) -> int:
+    """Run one interval in detail; record its sample; return its phase."""
+    planned_start_ns = scheduler.simulation_time_ns()
+    if needs_warmup and config.warmup > 0 and not _completed(sim):
+        # The preceding fast-forward distorted the trajectory; run the
+        # window head in detail but keep it out of the measurement.
+        stats.warmup_windows += 1
+        run_to(sim.state.global_time() + config.warmup)
+    entry = capture()
+    if not _completed(sim):
+        run_to(boundary)
+    exit_snap = capture()
+    if not restored:
+        # First-attempt cost only: a restored interval's plan was its
+        # fast traversal, already accounted by the caller.
+        stats.planned_host_ns += scheduler.simulation_time_ns() - planned_start_ns
+    feats = exit_snap.delta(entry)
+    if feats.cycles <= 0:
+        # Completion landed exactly on the previous cut; nothing to
+        # measure and no phase transition.
+        return -1
+    phase, _ = detector.observe(feats.vector())
+    stats.measured_intervals += 1
+    samples.append(
+        IntervalSample(
+            index=index,
+            phase=phase,
+            measured=True,
+            restored=restored,
+            cycles=feats.cycles,
+            core_cycles=feats.core_cycles,
+            instructions=feats.instructions,
+            violations=feats.violations,
+            host_ns=feats.host_ns,
+        )
+    )
+    return phase

@@ -1,0 +1,215 @@
+"""Statistical estimation over sampled interval records.
+
+The engine (``repro.sampling.engine``) emits one :class:`IntervalSample`
+per interval — measured (detailed) intervals carry trusted counters,
+fast-forwarded ones contribute only their phase membership.  This module
+turns that stream into the run-level estimates with confidence
+intervals, and is deliberately pure over plain records: the hypothesis
+property tests exercise it without ever building a simulation.
+
+Estimator protocol (stratified ratio estimation):
+
+Every headline metric is a ratio of counter totals — CPI is
+core-cycles/instruction, violation rate is violations/cycle, slowdown is
+modeled host-ns/target-cycle.  With phases as strata of weight
+``w_p = N_p / N`` (``N_p`` counts *all* intervals assigned to phase
+``p``, measured or skipped) the estimate is the **ratio of stratified
+means**::
+
+    est = sum_p w_p * mean(num_p) / sum_p w_p * mean(den_p)
+
+where the means run over the *measured* intervals of each phase.  At
+sampling rate 1.0 every interval is measured, the stratified means
+collapse to totals/N, and the estimate equals the full run's ratio
+exactly — no estimator bias at the degenerate rate, which is what makes
+the rate-1.0 digest-identity contract meaningful.
+
+The confidence interval treats the per-interval ratios as the dispersion
+sample: ``Var(est) = sum_p w_p^2 * s_p^2 / n_p`` with Welch–Satterthwaite
+degrees of freedom across strata.  Phases measured exactly once have no
+within-phase variance; they borrow the pooled variance of the multi-
+sample phases (and the pooled degrees of freedom), and if *every* phase
+is a singleton the half-width is infinite — an honest "one sample tells
+you nothing about spread".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, NamedTuple, Sequence, Tuple
+
+from repro.stats.aggregate import ConfidenceInterval, t_critical, variance
+
+__all__ = ["IntervalSample", "SampledEstimate", "estimate"]
+
+
+class IntervalSample(NamedTuple):
+    """One interval's contribution to the estimator.
+
+    ``measured`` intervals carry counters from detailed simulation;
+    unmeasured (fast-forwarded) intervals contribute membership weight
+    only — their counters describe the unbounded-slack traversal and
+    must never be averaged with detailed ones.  ``restored`` marks a
+    measured interval that was first fast-forwarded, then rolled back to
+    the entry snapshot for detailed re-execution.
+    """
+
+    index: int
+    phase: int
+    measured: bool
+    restored: bool
+    cycles: int
+    core_cycles: int
+    instructions: int
+    violations: int
+    host_ns: float
+
+    def to_dict(self) -> dict:
+        return self._asdict()
+
+
+class SampledEstimate(NamedTuple):
+    """Run-level estimates extrapolated from the measured intervals."""
+
+    cpi: ConfidenceInterval
+    violation_rate: ConfidenceInterval
+    slowdown_ns_per_cycle: ConfidenceInterval
+    num_intervals: int
+    num_measured: int
+    num_phases: int
+    total_cycles: int
+    #: Host-ns a fully detailed run would have cost, extrapolated from
+    #: the measured intervals' host cost per phase.
+    estimated_detailed_host_ns: float
+
+    def to_dict(self) -> dict:
+        return {
+            "cpi": self.cpi.to_dict(),
+            "violation_rate": self.violation_rate.to_dict(),
+            "slowdown_ns_per_cycle": self.slowdown_ns_per_cycle.to_dict(),
+            "num_intervals": self.num_intervals,
+            "num_measured": self.num_measured,
+            "num_phases": self.num_phases,
+            "total_cycles": self.total_cycles,
+            "estimated_detailed_host_ns": self.estimated_detailed_host_ns,
+        }
+
+
+def _stratified_ratio(
+    weights: Dict[int, float],
+    numerators: Dict[int, List[float]],
+    denominators: Dict[int, List[float]],
+    confidence: float,
+) -> ConfidenceInterval:
+    """Ratio-of-stratified-means estimate with a Welch-combined CI."""
+    num_total = 0.0
+    den_total = 0.0
+    ratios: Dict[int, List[float]] = {}
+    n_measured = 0
+    for phase, w in weights.items():
+        nums = numerators[phase]
+        dens = denominators[phase]
+        n_measured += len(nums)
+        num_total += w * (sum(nums) / len(nums))
+        den_total += w * (sum(dens) / len(dens))
+        ratios[phase] = [
+            (n / d) if d != 0.0 else 0.0 for n, d in zip(nums, dens)
+        ]
+    est = num_total / den_total if den_total != 0.0 else 0.0
+
+    # Within-phase dispersion of the per-interval ratios; singleton
+    # phases borrow the pooled variance of the multi-sample phases.
+    pooled_num = 0.0
+    pooled_df = 0
+    per_phase_var: Dict[int, float] = {}
+    for phase, rs in ratios.items():
+        if len(rs) >= 2:
+            s2 = variance(rs)
+            per_phase_var[phase] = s2
+            pooled_num += (len(rs) - 1) * s2
+            pooled_df += len(rs) - 1
+    if pooled_df == 0:
+        # Every phase measured exactly once: no variance information.
+        return ConfidenceInterval(
+            mean=est, half_width=math.inf, n=n_measured, confidence=confidence
+        )
+    pooled_var = pooled_num / pooled_df
+
+    var_est = 0.0
+    welch_den = 0.0
+    for phase, w in weights.items():
+        rs = ratios[phase]
+        n_p = len(rs)
+        s2 = per_phase_var.get(phase, pooled_var)
+        df_p = (n_p - 1) if n_p >= 2 else pooled_df
+        term = (w * w) * s2 / n_p
+        var_est += term
+        if term > 0.0:
+            welch_den += (term * term) / df_p
+    if var_est <= 0.0:
+        half_width = 0.0
+    else:
+        df = (var_est * var_est) / welch_den if welch_den > 0.0 else float(pooled_df)
+        half_width = t_critical(max(df, 1.0), confidence) * math.sqrt(var_est)
+    return ConfidenceInterval(
+        mean=est, half_width=half_width, n=n_measured, confidence=confidence
+    )
+
+
+def estimate(
+    samples: Sequence[IntervalSample], confidence: float = 0.95
+) -> SampledEstimate:
+    """Extrapolate run-level metrics from the interval sample stream.
+
+    Raises ``ValueError`` on an empty stream or on a phase with zero
+    measured intervals — the engine's live-sampling policy guarantees
+    every phase is measured at least once, so a violation here means the
+    caller fabricated an inconsistent stream.
+    """
+    if not samples:
+        raise ValueError("cannot estimate from zero intervals")
+    membership: Dict[int, int] = {}
+    measured: Dict[int, List[IntervalSample]] = {}
+    for s in samples:
+        membership[s.phase] = membership.get(s.phase, 0) + 1
+        if s.measured:
+            measured.setdefault(s.phase, []).append(s)
+    for phase in membership:
+        if phase not in measured:
+            raise ValueError(
+                f"phase {phase} has intervals but no detailed measurements"
+            )
+
+    total = len(samples)
+    weights = {p: n / total for p, n in membership.items()}
+
+    def columns(num_of: str, den_of: str) -> Tuple[Dict[int, List[float]], Dict[int, List[float]]]:
+        nums = {
+            p: [float(getattr(s, num_of)) for s in ss] for p, ss in measured.items()
+        }
+        dens = {
+            p: [float(getattr(s, den_of)) for s in ss] for p, ss in measured.items()
+        }
+        return nums, dens
+
+    cpi_n, cpi_d = columns("core_cycles", "instructions")
+    vio_n, vio_d = columns("violations", "cycles")
+    slow_n, slow_d = columns("host_ns", "cycles")
+
+    # Extrapolated detailed host time: each phase's mean measured host
+    # cost, scaled by how many intervals the phase covers.
+    detailed_ns = 0.0
+    for phase, ss in measured.items():
+        mean_ns = sum(s.host_ns for s in ss) / len(ss)
+        detailed_ns += mean_ns * membership[phase]
+
+    return SampledEstimate(
+        cpi=_stratified_ratio(weights, cpi_n, cpi_d, confidence),
+        violation_rate=_stratified_ratio(weights, vio_n, vio_d, confidence),
+        slowdown_ns_per_cycle=_stratified_ratio(weights, slow_n, slow_d, confidence),
+        num_intervals=total,
+        num_measured=sum(len(ss) for ss in measured.values()),
+        num_phases=len(membership),
+        total_cycles=sum(s.cycles for s in samples),
+        estimated_detailed_host_ns=detailed_ns,
+    )

@@ -1,0 +1,161 @@
+"""Online phase detection: incremental clustering of interval features.
+
+Pac-Sim's lesson (PAPERS.md) is that multi-threaded sampling must detect
+phases *live*: there is no offline profiling pass, so the detector sees
+one feature vector per interval, as it completes, and must decide on the
+spot whether the interval belongs to a known phase or opens a new one.
+
+The clustering is leader-follower (a.k.a. sequential leader): the first
+vector founds phase 0; every later vector joins the nearest centroid
+within ``distance_threshold`` (Chebyshev distance over the normalized
+feature box) or founds a new phase.  Centroids track their members with
+an exponential moving average so slow drift follows the workload while
+the threshold still splits genuine phase changes.  Classification is
+deterministic; the injectable seeded RNG drives the *sampling policy*
+(:meth:`PhaseDetector.should_measure`), which is the stochastic half of
+the detector — phase-stratified Bernoulli sampling at the configured
+rate, reproducible from the sample seed.
+
+Fast-forwarded intervals are classified with ``partial=True``: the
+violation dimension (dimension 0, scheme-sensitive — unbounded slack
+inflates it) is masked out of the distance, and partial vectors never
+found phases or move centroids.  A partial vector that matches nothing
+reports ``is_new=True``, which the engine treats as "restore the entry
+snapshot and measure this interval in detail" — the live-sampling
+guarantee that no phase is ever extrapolated from zero measurements.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.util.rng import SplitMix64
+
+__all__ = ["PhaseDetector"]
+
+#: Default join radius in the normalized feature box.  Interval features
+#: are rates in [0, 1); two intervals whose every (trusted) dimension is
+#: within this radius exercise the engine the same way.
+DEFAULT_DISTANCE_THRESHOLD = 0.10
+
+#: Default EMA weight of a new member in its centroid.
+DEFAULT_SMOOTHING = 0.25
+
+
+class PhaseDetector:
+    """Incremental leader-follower clustering plus the sampling policy."""
+
+    def __init__(
+        self,
+        rng: SplitMix64,
+        distance_threshold: float = DEFAULT_DISTANCE_THRESHOLD,
+        smoothing: float = DEFAULT_SMOOTHING,
+        min_samples: int = 2,
+    ) -> None:
+        if distance_threshold <= 0.0:
+            raise ValueError(
+                f"distance threshold must be positive, got {distance_threshold}"
+            )
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError(f"smoothing must be in (0, 1], got {smoothing}")
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+        self.rng = rng
+        self.distance_threshold = distance_threshold
+        self.smoothing = smoothing
+        #: Detailed measurements required before a phase may be skipped.
+        self.min_samples = min_samples
+        self.centroids: List[List[float]] = []
+        #: Intervals assigned to each phase (measured or skipped).
+        self.members: List[int] = []
+        #: Detailed measurements folded into each phase.
+        self.samples: List[int] = []
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_phases(self) -> int:
+        return len(self.centroids)
+
+    def _nearest(
+        self, vec: Sequence[float], partial: bool
+    ) -> Tuple[Optional[int], float]:
+        """Nearest centroid index and its distance (Chebyshev; partial
+        vectors skip the scheme-sensitive dimension 0)."""
+        best: Optional[int] = None
+        best_dist = 0.0
+        start = 1 if partial else 0
+        for idx, centroid in enumerate(self.centroids):
+            dist = 0.0
+            for d in range(start, len(centroid)):
+                delta = vec[d] - centroid[d]
+                if delta < 0.0:
+                    delta = -delta
+                if delta > dist:
+                    dist = delta
+            if best is None or dist < best_dist:
+                best = idx
+                best_dist = dist
+        return best, best_dist
+
+    def classify(
+        self, vec: Sequence[float], partial: bool = False
+    ) -> Tuple[int, bool]:
+        """Assign ``vec`` to a phase; return ``(phase_id, is_new)``.
+
+        A full vector founds a new phase when nothing is within the
+        threshold; a partial vector (fast-forwarded interval) never
+        founds or moves anything — it returns ``(best_or_-1, True)`` and
+        leaves the decision to the engine.  Membership counts advance
+        for every assigned interval; only :meth:`observe` advances the
+        measured-sample counts.
+        """
+        nearest, dist = self._nearest(vec, partial)
+        if nearest is not None and dist <= self.distance_threshold:
+            self.members[nearest] += 1
+            if not partial:
+                # EMA pull toward the new member (trusted features only).
+                alpha = self.smoothing
+                centroid = self.centroids[nearest]
+                for d in range(len(centroid)):
+                    centroid[d] += alpha * (vec[d] - centroid[d])
+            return nearest, False
+        if partial:
+            return (nearest if nearest is not None else -1), True
+        self.centroids.append(list(vec))
+        self.members.append(1)
+        self.samples.append(0)
+        return len(self.centroids) - 1, True
+
+    def observe(self, vec: Sequence[float]) -> Tuple[int, bool]:
+        """Classify a *measured* interval's full vector and count the
+        detailed sample toward its phase."""
+        phase, is_new = self.classify(vec, partial=False)
+        self.samples[phase] += 1
+        return phase, is_new
+
+    # ------------------------------------------------------------------ #
+    # Sampling policy (the seeded-RNG half)
+    # ------------------------------------------------------------------ #
+
+    def needs_samples(self, phase: int) -> bool:
+        """True while a phase has fewer detailed measurements than
+        ``min_samples`` — such phases must be measured, not skipped."""
+        if phase < 0 or phase >= len(self.samples):
+            return True
+        return self.samples[phase] < self.min_samples
+
+    def should_measure(self, phase: int, rate: float) -> bool:
+        """Decide whether the *next* interval (predicted to repeat
+        ``phase``) runs in detail.
+
+        Under-sampled phases are always measured; beyond that the policy
+        is phase-stratified Bernoulli sampling at ``rate``, drawn from
+        the injected seeded RNG — the draw sequence, and therefore the
+        entire sampled trajectory, is a pure function of the sample seed.
+        """
+        if rate >= 1.0:
+            return True
+        if self.needs_samples(phase):
+            return True
+        return self.rng.next_float() < rate

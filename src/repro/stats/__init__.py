@@ -1,12 +1,28 @@
 """Cross-run statistics: aggregate accuracy/speed over report sets."""
 
-from repro.stats.aggregate import geomean, mean, median
+from repro.stats.aggregate import (
+    ConfidenceInterval,
+    confidence_interval,
+    geomean,
+    mean,
+    median,
+    stddev,
+    student_t_cdf,
+    t_critical,
+    variance,
+)
 from repro.stats.accuracy import AccuracySummary, SchemeSummary, summarize_scheme
 
 __all__ = [
+    "ConfidenceInterval",
+    "confidence_interval",
     "geomean",
     "mean",
     "median",
+    "stddev",
+    "student_t_cdf",
+    "t_critical",
+    "variance",
     "AccuracySummary",
     "SchemeSummary",
     "summarize_scheme",

@@ -1,0 +1,204 @@
+"""Per-interval feature extraction for online phase detection.
+
+The sampling subsystem (``repro.sampling``) classifies execution
+intervals into phases from the counters the engine already maintains —
+no new probes, no perturbation of the simulation.  A
+:class:`CounterSnapshot` freezes the cumulative counters at an interval
+boundary; subtracting two snapshots yields an :class:`IntervalFeatures`
+record whose :meth:`~IntervalFeatures.vector` is the normalized feature
+vector the phase detector clusters on:
+
+``(violations/kcycle (squashed), IPC proxy, L1 miss mix, sync-stall mix)``
+
+The violation dimension is special: it is *scheme-sensitive* (the same
+code phase produces far more violations under unbounded slack than under
+cycle-by-cycle), so intervals traversed in fast-forward mode compare
+against centroids with that dimension masked (see
+``repro.sampling.phases.PhaseDetector.classify(partial=True)``).  The
+remaining dimensions are workload-intrinsic and survive the scheme swap.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.state import SimulationState
+
+__all__ = ["CounterSnapshot", "IntervalFeatures", "FEATURE_DIMS"]
+
+#: Feature-vector dimension names, in vector order.  Dimension 0 is the
+#: scheme-sensitive one the detector can mask.
+FEATURE_DIMS: Tuple[str, ...] = (
+    "violations_per_kcycle",
+    "ipc",
+    "l1_miss_mix",
+    "sync_mix",
+)
+
+
+class CounterSnapshot:
+    """Cumulative engine counters frozen at one interval boundary.
+
+    Pure observation: capturing reads counters, never mutates them, so a
+    sampled run at rate 1.0 (capture at every cut, act on nothing)
+    remains digest-identical to the unsampled run.
+    """
+
+    __slots__ = (
+        "global_time",
+        "core_cycles",
+        "instructions",
+        "l1_accesses",
+        "l1_misses",
+        "sync_stall_cycles",
+        "bus_requests",
+        "violations",
+        "host_ns",
+    )
+
+    def __init__(
+        self,
+        global_time: int,
+        core_cycles: int,
+        instructions: int,
+        l1_accesses: int,
+        l1_misses: int,
+        sync_stall_cycles: int,
+        bus_requests: int,
+        violations: int,
+        host_ns: float,
+    ) -> None:
+        self.global_time = global_time
+        self.core_cycles = core_cycles
+        self.instructions = instructions
+        self.l1_accesses = l1_accesses
+        self.l1_misses = l1_misses
+        self.sync_stall_cycles = sync_stall_cycles
+        self.bus_requests = bus_requests
+        self.violations = violations
+        self.host_ns = host_ns
+
+    @classmethod
+    def capture(cls, state: SimulationState, host_ns: float) -> "CounterSnapshot":
+        """Freeze the counters of ``state`` (``host_ns`` is the modeled
+        host clock at the boundary, from ``Scheduler.simulation_time_ns``)."""
+        l1_accesses = 0
+        l1_misses = 0
+        instructions = 0
+        sync_stall = 0
+        for cs in state.cores:
+            model = cs.model
+            l1 = model.l1
+            l1_accesses += l1.loads + l1.stores
+            l1_misses += l1.load_misses + l1.store_misses + l1.upgrades
+            instructions += model.instructions
+            sync_stall += model.sync_stall_cycles
+        manager = state.manager
+        return cls(
+            global_time=state.global_time(),
+            core_cycles=sum(state.local_times),
+            instructions=instructions,
+            l1_accesses=l1_accesses,
+            l1_misses=l1_misses,
+            sync_stall_cycles=sync_stall,
+            bus_requests=manager.bus.requests,
+            violations=manager.detector.total,
+            host_ns=host_ns,
+        )
+
+    def delta(self, entry: "CounterSnapshot") -> "IntervalFeatures":
+        """Counters accumulated between ``entry`` and this snapshot."""
+        return IntervalFeatures(
+            cycles=self.global_time - entry.global_time,
+            core_cycles=self.core_cycles - entry.core_cycles,
+            instructions=self.instructions - entry.instructions,
+            l1_accesses=self.l1_accesses - entry.l1_accesses,
+            l1_misses=self.l1_misses - entry.l1_misses,
+            sync_stall_cycles=self.sync_stall_cycles - entry.sync_stall_cycles,
+            bus_requests=self.bus_requests - entry.bus_requests,
+            violations=self.violations - entry.violations,
+            host_ns=self.host_ns - entry.host_ns,
+        )
+
+
+class IntervalFeatures:
+    """Counter deltas over one interval plus the derived feature vector."""
+
+    __slots__ = (
+        "cycles",
+        "core_cycles",
+        "instructions",
+        "l1_accesses",
+        "l1_misses",
+        "sync_stall_cycles",
+        "bus_requests",
+        "violations",
+        "host_ns",
+    )
+
+    def __init__(
+        self,
+        cycles: int,
+        core_cycles: int,
+        instructions: int,
+        l1_accesses: int,
+        l1_misses: int,
+        sync_stall_cycles: int,
+        bus_requests: int,
+        violations: int,
+        host_ns: float,
+    ) -> None:
+        self.cycles = cycles
+        self.core_cycles = core_cycles
+        self.instructions = instructions
+        self.l1_accesses = l1_accesses
+        self.l1_misses = l1_misses
+        self.sync_stall_cycles = sync_stall_cycles
+        self.bus_requests = bus_requests
+        self.violations = violations
+        self.host_ns = host_ns
+
+    # -- derived rates ------------------------------------------------- #
+
+    @property
+    def ipc(self) -> float:
+        """Per-core IPC proxy: instructions per core-cycle, in ``[0, 1]``
+        (every committed instruction costs at least one core cycle)."""
+        return self.instructions / self.core_cycles if self.core_cycles > 0 else 0.0
+
+    @property
+    def cpi(self) -> float:
+        """Aggregate core-cycles per instruction over the interval."""
+        return self.core_cycles / self.instructions if self.instructions > 0 else 0.0
+
+    @property
+    def l1_miss_mix(self) -> float:
+        """L1 misses per access (0 when the interval made no accesses)."""
+        return self.l1_misses / self.l1_accesses if self.l1_accesses > 0 else 0.0
+
+    @property
+    def sync_mix(self) -> float:
+        """Sync-stall core-cycles as a fraction of all core-cycles."""
+        return (
+            self.sync_stall_cycles / self.core_cycles if self.core_cycles > 0 else 0.0
+        )
+
+    @property
+    def violations_per_kcycle(self) -> float:
+        """Violations per thousand global cycles."""
+        return 1000.0 * self.violations / self.cycles if self.cycles > 0 else 0.0
+
+    @property
+    def violation_rate(self) -> float:
+        """Violations per global cycle (the report's rate convention)."""
+        return self.violations / self.cycles if self.cycles > 0 else 0.0
+
+    def vector(self) -> Tuple[float, float, float, float]:
+        """Normalized feature vector (all dimensions in ``[0, 1)``).
+
+        The violation dimension is squashed ``v/(1+v)`` so schemes with
+        dense violations still land in the unit box and the clustering
+        distance stays comparable across dimensions.
+        """
+        vpk = self.violations_per_kcycle
+        return (vpk / (1.0 + vpk), self.ipc, self.l1_miss_mix, self.sync_mix)

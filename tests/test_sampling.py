@@ -1,0 +1,384 @@
+"""Tests for repro.sampling: phases, estimator, engine, frontier."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SlackConfig
+from repro.errors import ConfigError
+from repro.harness.bench import BenchCase, golden_path, load_golden
+from repro.sampling import (
+    IntervalSample,
+    PhaseDetector,
+    SamplingConfig,
+    estimate,
+    run_sampled,
+)
+from repro.util.rng import SplitMix64
+
+
+# --------------------------------------------------------------------- #
+# Phase detector
+# --------------------------------------------------------------------- #
+
+
+class TestPhaseDetector:
+    def detector(self, seed=1, **kwargs):
+        return PhaseDetector(SplitMix64(seed), **kwargs)
+
+    def test_first_vector_founds_phase_zero(self):
+        det = self.detector()
+        phase, is_new = det.classify((0.1, 0.5, 0.2, 0.0))
+        assert (phase, is_new) == (0, True)
+        assert det.num_phases == 1
+
+    def test_near_vector_joins_far_vector_founds(self):
+        det = self.detector()
+        det.classify((0.1, 0.5, 0.2, 0.0))
+        phase, is_new = det.classify((0.12, 0.52, 0.21, 0.01))
+        assert (phase, is_new) == (0, False)
+        phase, is_new = det.classify((0.9, 0.1, 0.8, 0.5))
+        assert (phase, is_new) == (1, True)
+        assert det.num_phases == 2
+
+    def test_partial_never_creates_phases(self):
+        det = self.detector()
+        phase, is_new = det.classify((0.9, 0.9, 0.9, 0.9), partial=True)
+        assert (phase, is_new) == (-1, True)
+        assert det.num_phases == 0
+
+    def test_partial_masks_violation_dimension(self):
+        det = self.detector()
+        det.classify((0.0, 0.5, 0.2, 0.1))
+        # Wildly different violation feature, same workload features: a
+        # partial (fast-mode) vector must still match.
+        phase, is_new = det.classify((0.99, 0.5, 0.2, 0.1), partial=True)
+        assert (phase, is_new) == (0, False)
+        # A full vector with that distance founds a new phase instead.
+        phase, is_new = det.classify((0.99, 0.5, 0.2, 0.1))
+        assert (phase, is_new) == (1, True)
+
+    def test_partial_never_moves_centroids(self):
+        det = self.detector()
+        det.classify((0.0, 0.5, 0.2, 0.1))
+        before = list(det.centroids[0])
+        det.classify((0.05, 0.55, 0.25, 0.15), partial=True)
+        assert det.centroids[0] == before
+
+    def test_observe_counts_samples(self):
+        det = self.detector(min_samples=2)
+        det.observe((0.1, 0.5, 0.2, 0.0))
+        assert det.needs_samples(0)
+        det.observe((0.1, 0.5, 0.2, 0.0))
+        assert not det.needs_samples(0)
+
+    def test_unknown_phase_needs_samples(self):
+        det = self.detector()
+        assert det.needs_samples(-1)
+        assert det.needs_samples(99)
+
+    def test_should_measure_rate_one_never_draws(self):
+        det = self.detector()
+        state_before = det.rng.state
+        assert det.should_measure(0, 1.0)
+        assert det.rng.state == state_before
+
+    def test_should_measure_is_seed_deterministic(self):
+        def draws(seed):
+            det = PhaseDetector(SplitMix64(seed), min_samples=1)
+            det.observe((0.1, 0.1, 0.1, 0.1))
+            return [det.should_measure(0, 0.5) for _ in range(64)]
+
+        assert draws(7) == draws(7)
+        assert draws(7) != draws(8)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            self.detector(distance_threshold=0.0)
+        with pytest.raises(ValueError):
+            self.detector(smoothing=0.0)
+        with pytest.raises(ValueError):
+            self.detector(min_samples=0)
+
+
+# --------------------------------------------------------------------- #
+# Estimator
+# --------------------------------------------------------------------- #
+
+
+def sample(index, phase, measured, cycles=1000, core=4000, instr=4000, vio=10,
+           host=1.0, restored=False):
+    return IntervalSample(
+        index=index, phase=phase, measured=measured, restored=restored,
+        cycles=cycles, core_cycles=core, instructions=instr, violations=vio,
+        host_ns=host,
+    )
+
+
+class TestEstimator:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            estimate([])
+
+    def test_phase_without_measurement_raises(self):
+        with pytest.raises(ValueError):
+            estimate([sample(0, 0, True), sample(1, 1, False)])
+
+    def test_all_measured_equals_totals_ratio(self):
+        samples = [
+            sample(0, 0, True, core=4000, instr=2000),
+            sample(1, 0, True, core=6000, instr=2000),
+            sample(2, 1, True, core=1000, instr=1000),
+        ]
+        est = estimate(samples)
+        total_core = sum(s.core_cycles for s in samples)
+        total_instr = sum(s.instructions for s in samples)
+        assert est.cpi.mean == pytest.approx(total_core / total_instr)
+        assert est.num_measured == 3
+        assert est.num_phases == 2
+
+    def test_homogeneous_phases_are_estimated_exactly(self):
+        # Within-phase constant counters: any measured subset recovers
+        # the full-population ratio exactly.
+        full = [sample(i, 0, True, core=5000, instr=2500) for i in range(4)]
+        full += [sample(4 + i, 1, True, core=2000, instr=2000) for i in range(4)]
+        sparse = [
+            sample(0, 0, True, core=5000, instr=2500),
+            sample(1, 0, False, core=5000, instr=2500),
+            sample(2, 0, False, core=5000, instr=2500),
+            sample(3, 0, True, core=5000, instr=2500),
+            sample(4, 1, True, core=2000, instr=2000),
+            sample(5, 1, False, core=2000, instr=2000),
+            sample(6, 1, True, core=2000, instr=2000),
+            sample(7, 1, False, core=2000, instr=2000),
+        ]
+        assert estimate(sparse).cpi.mean == pytest.approx(estimate(full).cpi.mean)
+
+    def test_singleton_phases_give_infinite_interval(self):
+        est = estimate([sample(0, 0, True), sample(1, 1, True, core=9000)])
+        assert math.isinf(est.cpi.half_width)
+
+    def test_extrapolated_host_time(self):
+        samples = [
+            sample(0, 0, True, host=10.0),
+            sample(1, 0, False, host=3.0),  # fast interval: host ignored
+            sample(2, 0, True, host=14.0),
+        ]
+        est = estimate(samples)
+        # Phase 0 covers 3 intervals at mean measured cost 12.0.
+        assert est.estimated_detailed_host_ns == pytest.approx(36.0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2),  # phase
+                st.integers(min_value=500, max_value=8000),  # core cycles
+                st.integers(min_value=100, max_value=4000),  # instructions
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_full_measurement_is_exact_for_any_stream(self, rows):
+        samples = [
+            sample(i, phase, True, core=core, instr=instr)
+            for i, (phase, core, instr) in enumerate(rows)
+        ]
+        est = estimate(samples)
+        expected = sum(r[1] for r in rows) / sum(r[2] for r in rows)
+        assert est.cpi.mean == pytest.approx(expected)
+        assert est.num_intervals == est.num_measured == len(rows)
+
+    @given(
+        st.integers(min_value=2, max_value=8),  # measured per phase
+        st.integers(min_value=0, max_value=10),  # extra unmeasured
+        st.floats(min_value=0.5, max_value=4.0),  # phase-0 CPI
+        st.floats(min_value=0.5, max_value=4.0),  # phase-1 CPI
+    )
+    @settings(max_examples=50)
+    def test_sparser_measurement_converges_from_above(
+        self, n_measured, n_fast, cpi0, cpi1
+    ):
+        # As the measured fraction rises to 1.0 the estimate converges to
+        # the full-run value; with homogeneous phases it is exact at every
+        # rate, so the CI must cover the truth throughout.
+        instr = 1000
+
+        def phase_samples(phase, cpi, measured_flags):
+            return [
+                sample(
+                    100 * phase + i, phase, flag,
+                    core=int(cpi * instr), instr=instr,
+                )
+                for i, flag in enumerate(measured_flags)
+            ]
+
+        flags = [True] * n_measured + [False] * n_fast
+        samples = phase_samples(0, cpi0, flags) + phase_samples(1, cpi1, flags)
+        est = estimate(samples)
+        core0, core1 = int(cpi0 * instr), int(cpi1 * instr)
+        truth = (core0 + core1) / (2 * instr)
+        assert est.cpi.mean == pytest.approx(truth)
+        assert est.cpi.covers(truth)
+
+
+# --------------------------------------------------------------------- #
+# Engine (real simulations, quarter-scale)
+# --------------------------------------------------------------------- #
+
+
+GOLDEN = load_golden(golden_path())
+
+
+def run_case(scheme, cores=4, scale=0.25, **cfg):
+    case = BenchCase(scheme, cores, scale)
+    return case, run_sampled(case.spec(), SamplingConfig(**cfg))
+
+
+class TestEngineDigestContract:
+    @pytest.mark.parametrize("scheme", ["cc", "bounded", "adaptive", "speculative"])
+    def test_rate_one_digest_matches_golden(self, scheme):
+        case, result = run_case(scheme, rate=1.0)
+        assert result.digest == GOLDEN[case.case_id]
+        # Degenerate mode: pure cut loop, no sampling machinery engaged.
+        assert result.stats.snapshots == 0
+        assert result.stats.fast_intervals == 0
+        assert result.stats.measured_intervals == result.stats.intervals
+
+    def test_same_seed_byte_identical(self):
+        _, a = run_case("bounded", rate=0.25, interval=500, warmup=50)
+        _, b = run_case("bounded", rate=0.25, interval=500, warmup=50)
+        assert a.digest == b.digest
+        assert a.estimate == b.estimate
+        assert a.samples == b.samples
+
+    def test_different_seeds_differ_but_cis_overlap(self):
+        _, a = run_case("bounded", rate=0.25, interval=500, warmup=50, seed=12345)
+        _, b = run_case("bounded", rate=0.25, interval=500, warmup=50, seed=999)
+        assert a.digest != b.digest
+        assert a.estimate.cpi.overlaps(b.estimate.cpi)
+
+    def test_rate_quarter_ci_covers_full_run_value(self):
+        case, result = run_case("bounded", rate=0.25, interval=500, warmup=50)
+        full = run_sampled(case.spec(), SamplingConfig(rate=1.0)).report
+        assert result.estimate.cpi.covers(full.cpi)
+        assert result.estimate.violation_rate.covers(full.violation_rate)
+
+
+class TestEngineBehavior:
+    def test_sampling_actually_skips(self):
+        _, result = run_case(
+            "cc", cores=8, scale=0.5, rate=0.1, interval=500, warmup=50,
+            distance_threshold=0.2, min_phase_samples=1,
+        )
+        assert result.stats.fast_intervals > 0
+        assert result.report.checkpoints == result.stats.snapshots > 0
+
+    def test_every_phase_has_a_measurement(self):
+        _, result = run_case(
+            "bounded", rate=0.1, interval=500, warmup=50, min_phase_samples=1
+        )
+        measured_phases = {s.phase for s in result.samples if s.measured}
+        all_phases = {s.phase for s in result.samples}
+        assert all_phases <= measured_phases
+
+    def test_restored_intervals_are_measured(self):
+        _, result = run_case(
+            "cc", cores=8, scale=0.5, rate=0.1, interval=500, warmup=50,
+            distance_threshold=0.2, min_phase_samples=1,
+        )
+        for s in result.samples:
+            if s.restored:
+                assert s.measured
+        assert result.report.rollbacks == result.stats.restored_intervals
+
+    def test_report_cycles_match_sample_stream(self):
+        _, result = run_case("bounded", rate=0.25, interval=500, warmup=50)
+        # Warmup windows run outside measurement but inside the run, so
+        # the stream can undercount; it must never overcount.
+        assert result.estimate.total_cycles <= result.report.target_cycles
+
+    def test_rejects_speculative_below_rate_one(self):
+        case = BenchCase("speculative", 4, 0.25)
+        with pytest.raises(ConfigError):
+            run_sampled(case.spec(), SamplingConfig(rate=0.5))
+
+    def test_rejects_checkpoint_below_rate_one(self):
+        import dataclasses
+
+        from repro.config import CheckpointConfig
+
+        spec = dataclasses.replace(
+            BenchCase("bounded", 4, 0.25).spec(),
+            checkpoint=CheckpointConfig(interval=5000),
+        )
+        with pytest.raises(ConfigError):
+            run_sampled(spec, SamplingConfig(rate=0.5))
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            SamplingConfig(rate=0.0)
+        with pytest.raises(ConfigError):
+            SamplingConfig(rate=1.5)
+        with pytest.raises(ConfigError):
+            SamplingConfig(warmup=1000, interval=1000)
+        with pytest.raises(ConfigError):
+            SamplingConfig(confidence=1.0)
+        with pytest.raises(ConfigError):
+            SamplingConfig(min_phase_samples=0)
+
+    def test_result_round_trips_to_plain_data(self):
+        import json
+
+        _, result = run_case("bounded", rate=0.25, interval=500, warmup=50)
+        doc = json.loads(json.dumps(result.to_dict()))
+        assert doc["digest"] == result.digest
+        assert doc["estimate"]["num_intervals"] == result.estimate.num_intervals
+        assert len(doc["samples"]) == len(result.samples)
+
+
+class TestFrontier:
+    def test_frontier_smoke(self, tmp_path):
+        import json
+
+        from repro.sampling import sampling_frontier
+
+        out = tmp_path / "BENCH_sampling.json"
+        result = sampling_frontier(
+            benchmark="fft", cores=4, scale=0.25, rates=(1.0, 0.25),
+            interval=500, warmup=50, output=str(out),
+        )
+        assert result.name == "frontier"
+        assert len(result.rows) == 2 * len(
+            __import__("repro.sampling.frontier", fromlist=["FRONTIER_SCHEMES"]).FRONTIER_SCHEMES
+        )
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == 1
+        assert "host" in doc
+        for record in doc["results"]:
+            if record["rate"] == 1.0:
+                # The reference rows are self-referential: error is zero
+                # up to the stratified-ratio rounding of the estimator.
+                assert record["cpi_error"] < 1e-12
+                assert record["cpi_ci_covers"]
+
+    def test_frontier_rejects_reference_less_sweep(self):
+        from repro.sampling import sampling_frontier
+
+        with pytest.raises(ValueError):
+            sampling_frontier(
+                benchmark="fft", cores=4, scale=0.25, rates=(0.5,), output=None
+            )
+
+
+class TestUnboundedFastPolicy:
+    def test_fast_policy_is_unbounded(self):
+        # The engine's fast mode must impose no window and no barriers.
+        from repro.core.schemes.fixed import FixedSlackPolicy
+
+        policy = FixedSlackPolicy(SlackConfig(bound=None))
+        assert policy.window() is None
+        assert not policy.barrier_sync
+        assert not policy.conservative_service

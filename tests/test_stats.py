@@ -89,3 +89,151 @@ class TestSchemeSummary:
     def test_rejects_empty(self):
         with pytest.raises(ValueError):
             summarize_scheme([])
+
+
+class TestVarianceStddev:
+    def test_variance_known_value(self):
+        from repro.stats import variance
+
+        # Sample variance of 2, 4, 4, 4, 5, 5, 7, 9 is 32/7.
+        assert variance([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(32 / 7)
+
+    def test_variance_empty_raises(self):
+        from repro.stats import variance
+
+        with pytest.raises(ValueError):
+            variance([])
+
+    def test_variance_single_sample_is_inf(self):
+        import math
+
+        from repro.stats import variance
+
+        assert math.isinf(variance([3.0]))
+
+    def test_variance_population_ddof0(self):
+        from repro.stats import variance
+
+        assert variance([1.0, 3.0], ddof=0) == pytest.approx(1.0)
+
+    def test_stddev_is_sqrt_of_variance(self):
+        from repro.stats import stddev, variance
+
+        values = [1.0, 2.0, 4.0, 8.0]
+        assert stddev(values) == pytest.approx(variance(values) ** 0.5)
+
+    @given(st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=2, max_size=30))
+    def test_variance_nonnegative(self, values):
+        from repro.stats import variance
+
+        assert variance(values) >= 0.0
+
+
+class TestStudentT:
+    def test_critical_values_match_tables(self):
+        from repro.stats import t_critical
+
+        # Standard two-sided 95% table values.
+        assert t_critical(1) == pytest.approx(12.7062, rel=1e-4)
+        assert t_critical(2) == pytest.approx(4.3027, rel=1e-4)
+        assert t_critical(10) == pytest.approx(2.2281, rel=1e-4)
+        assert t_critical(30) == pytest.approx(2.0423, rel=1e-4)
+
+    def test_critical_converges_to_normal(self):
+        from repro.stats import t_critical
+
+        assert t_critical(float("inf")) == pytest.approx(1.95996, rel=1e-4)
+        assert t_critical(1e6) == pytest.approx(1.95996, rel=1e-3)
+
+    def test_critical_99(self):
+        from repro.stats import t_critical
+
+        assert t_critical(10, confidence=0.99) == pytest.approx(3.1693, rel=1e-4)
+
+    def test_cdf_symmetry_and_median(self):
+        from repro.stats import student_t_cdf
+
+        assert student_t_cdf(0.0, 5) == pytest.approx(0.5)
+        assert student_t_cdf(2.0, 5) + student_t_cdf(-2.0, 5) == pytest.approx(1.0)
+
+    def test_rejects_bad_inputs(self):
+        from repro.stats import t_critical
+
+        with pytest.raises(ValueError):
+            t_critical(0)
+        with pytest.raises(ValueError):
+            t_critical(5, confidence=1.0)
+
+    @given(
+        st.floats(min_value=-30, max_value=30),
+        st.integers(min_value=1, max_value=200),
+    )
+    def test_cdf_monotone_in_t(self, t, df):
+        from repro.stats import student_t_cdf
+
+        assert student_t_cdf(t, df) <= student_t_cdf(t + 0.5, df) + 1e-12
+
+
+class TestConfidenceInterval:
+    def test_single_sample_infinite_half_width(self):
+        import math
+
+        from repro.stats import confidence_interval
+
+        ci = confidence_interval([5.0])
+        assert ci.mean == 5.0
+        assert math.isinf(ci.half_width)
+        assert ci.covers(1e9) and ci.covers(-1e9)
+
+    def test_empty_raises(self):
+        from repro.stats import confidence_interval
+
+        with pytest.raises(ValueError):
+            confidence_interval([])
+
+    def test_known_interval(self):
+        from repro.stats import confidence_interval, t_critical
+
+        values = [1.0, 2.0, 3.0]
+        ci = confidence_interval(values)
+        assert ci.mean == pytest.approx(2.0)
+        # s = 1, n = 3: half-width = t(2) * 1 / sqrt(3)
+        assert ci.half_width == pytest.approx(t_critical(2) / (3 ** 0.5))
+        assert ci.low == pytest.approx(2.0 - ci.half_width)
+        assert ci.high == pytest.approx(2.0 + ci.half_width)
+
+    def test_covers_and_overlaps(self):
+        from repro.stats import ConfidenceInterval
+
+        a = ConfidenceInterval(mean=1.0, half_width=0.5, n=3, confidence=0.95)
+        b = ConfidenceInterval(mean=1.8, half_width=0.5, n=3, confidence=0.95)
+        c = ConfidenceInterval(mean=3.0, half_width=0.5, n=3, confidence=0.95)
+        assert a.covers(1.4) and not a.covers(1.6)
+        assert a.overlaps(b) and not a.overlaps(c)
+
+    def test_zero_variance_zero_width(self):
+        from repro.stats import confidence_interval
+
+        ci = confidence_interval([4.0, 4.0, 4.0, 4.0])
+        assert ci.half_width == 0.0
+        assert ci.covers(4.0)
+
+    @given(
+        st.lists(st.floats(min_value=-100, max_value=100), min_size=2, max_size=25)
+    )
+    def test_interval_always_covers_sample_mean(self, values):
+        from repro.stats import confidence_interval, mean
+
+        ci = confidence_interval(values)
+        assert ci.covers(mean(values))
+
+    @given(
+        st.lists(st.floats(min_value=-50, max_value=50), min_size=2, max_size=20),
+        st.sampled_from([0.90, 0.95, 0.99]),
+    )
+    def test_higher_confidence_is_wider(self, values, confidence):
+        from repro.stats import confidence_interval
+
+        lo = confidence_interval(values, confidence=0.80)
+        hi = confidence_interval(values, confidence=confidence)
+        assert hi.half_width >= lo.half_width - 1e-12
